@@ -1,0 +1,67 @@
+// Command tcplp-bench reproduces the paper's tables and figures. Each
+// experiment id corresponds to one table or figure of the evaluation;
+// "all" runs the complete set.
+//
+// Usage:
+//
+//	tcplp-bench -list
+//	tcplp-bench -exp fig4 [-scale 0.25] [-markdown]
+//	tcplp-bench -exp all -scale 0.1
+//
+// Scale 1.0 runs the full published durations (the fig10/table8 day-long
+// runs take a while); smaller scales shrink the measurement windows
+// proportionally and are fine for checking shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcplp/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale    = flag.Float64("scale", 1.0, "duration scale factor (1.0 = full runs)")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+		list     = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.Registry {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Desc)
+		}
+		if *exp == "" {
+			os.Exit(0)
+		}
+		return
+	}
+
+	run := func(e experiments.Experiment) {
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Desc)
+		for _, tab := range e.Run(experiments.Scale(*scale)) {
+			if *markdown {
+				fmt.Println(tab.Markdown())
+			} else {
+				fmt.Println(tab.String())
+			}
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.Registry {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+		os.Exit(1)
+	}
+	run(e)
+}

@@ -1,0 +1,29 @@
+// Command tcplp-trace emits the Fig. 7a congestion-window trace: a bulk
+// TCP flow over three wireless hops with no link-retry delay (d = 0), so
+// hidden-terminal losses occur continuously. Output is TSV
+// (time_s, cwnd_bytes, ssthresh_bytes), suitable for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tcplp/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "duration scale factor")
+	flag.Parse()
+
+	trace, summary := experiments.CwndTrace(experiments.Scale(*scale))
+	fmt.Println("# time_s\tcwnd_bytes\tssthresh_bytes")
+	for _, p := range trace {
+		ss := p.Ssthresh
+		if ss > 1<<20 {
+			ss = -1 // initial "infinite" ssthresh
+		}
+		fmt.Printf("%.3f\t%d\t%d\n", p.T.Seconds(), p.Cwnd, ss)
+	}
+	fmt.Println()
+	fmt.Println(summary.String())
+}

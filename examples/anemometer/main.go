@@ -1,0 +1,99 @@
+// Anemometer: the paper's §9 application study in miniature. Four
+// duty-cycled sensors in the 15-node office mesh sample at 1 Hz and ship
+// batched readings to a cloud collector behind the border router — once
+// over TCPlp and once over CoAP — reporting reliability and radio/CPU
+// duty cycles.
+package main
+
+import (
+	"fmt"
+
+	"tcplp/internal/app"
+	"tcplp/internal/ip6"
+	"tcplp/internal/mesh"
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+)
+
+const sensors = 4
+
+func run(useTCP bool) {
+	net := stack.New(99, mesh.Office(), stack.DefaultOptions())
+	host := net.AttachHost()
+
+	credit := map[ip6.Addr]*app.SensorStats{}
+	app.NewCollector(host, 80, credit)
+
+	nodes := []int{11, 12, 13, 14}
+	info := stack.SegmentSizing(5, true)
+	var all []*app.Sensor
+	for _, id := range nodes {
+		node := net.Nodes[id]
+		sc := net.MakeSleepyLeaf(id)
+		sc.SleepInterval = 4 * sim.Minute
+		sc.FastInterval = 100 * sim.Millisecond
+		sc.Start()
+
+		var tr app.Transport
+		queueCap := app.TCPQueueCap
+		if useTCP {
+			tr = app.NewTCPTransport(node, host.Addr, 80)
+		} else {
+			queueCap = app.CoAPQueueCap
+			tr = app.NewCoAPTransport(node, host.Addr, true,
+				info.SegmentPayload/app.ReadingSize*app.ReadingSize)
+		}
+		s := app.NewSensor(net.Eng, tr, queueCap)
+		s.Batch = app.DefaultBatch
+		switch v := tr.(type) {
+		case *app.TCPTransport:
+			v.Attach(s)
+		case *app.CoAPTransport:
+			v.Attach(s)
+		}
+		credit[node.Addr] = &s.Stats
+		all = append(all, s)
+		s.Start()
+	}
+
+	// Warm up, then measure 20 simulated minutes.
+	net.Eng.RunFor(2 * sim.Minute)
+	for _, id := range nodes {
+		net.Nodes[id].Radio.ResetEnergy()
+		net.Nodes[id].CPU.Reset()
+	}
+	var gen0, del0 uint64
+	for _, s := range all {
+		gen0 += s.Stats.Generated
+		del0 += s.Stats.Delivered
+	}
+	net.Eng.RunFor(20 * sim.Minute)
+
+	var gen, del uint64
+	var radio, cpu float64
+	for _, s := range all {
+		gen += s.Stats.Generated
+		del += s.Stats.Delivered
+	}
+	for _, id := range nodes {
+		radio += net.Nodes[id].Radio.DutyCycle()
+		cpu += net.Nodes[id].CPU.DutyCycle()
+	}
+	name := "CoAP "
+	if useTCP {
+		name = "TCPlp"
+	}
+	rel := float64(del-del0) / float64(gen-gen0) * 100
+	if rel > 100 {
+		rel = 100
+	}
+	fmt.Printf("%s: reliability %5.1f%%   radio duty cycle %.2f%%   CPU duty cycle %.2f%%\n",
+		name, rel, radio/sensors*100, cpu/sensors*100)
+}
+
+func main() {
+	fmt.Println("Anemometer telemetry, 4 duty-cycled sensors at 3-5 hops, batching 64 readings (§9):")
+	run(true)
+	run(false)
+	fmt.Println("\npaper Table 8: TCPlp 99.3% @ 2.29% radio DC vs CoAP 99.5% @ 1.84% — comparable.")
+}

@@ -1,0 +1,65 @@
+// Dutycycle: Appendix C's TCP-friendly duty-cycling protocol. A leaf
+// node's radio sleeps between data-request polls; with a fixed 2 s sleep
+// interval TCP throughput collapses (RTT ≈ the sleep interval), while
+// the Trickle-based adaptive interval recovers always-on throughput yet
+// idles at a tiny duty cycle.
+package main
+
+import (
+	"fmt"
+
+	"tcplp/internal/app"
+	"tcplp/internal/mesh"
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+)
+
+func run(adaptive bool, sleep sim.Duration) {
+	opt := stack.DefaultOptions()
+	opt.WindowSegs = 6 // Appendix C uses 6-segment buffers
+	net := stack.New(5, mesh.Chain(2, 10), opt)
+	host := net.AttachHost()
+
+	sc := net.MakeSleepyLeaf(1)
+	sc.FastInterval = 0 // pure duty-cycling, no §9.2 fast-poll hint
+	net.Nodes[1].TCP.OnExpectingChange = nil
+	if adaptive {
+		sc.Adaptive = true
+		sc.Min = 20 * sim.Millisecond
+		sc.Max = 5 * sim.Second
+		sc.SleepInterval = 5 * sim.Second
+	} else {
+		sc.SleepInterval = sleep
+	}
+	sc.Start()
+
+	sink := app.ListenSink(host, 80)
+	src := app.StartBulk(net.Nodes[1], host.Addr, 80)
+	net.Eng.RunFor(15 * sim.Second)
+	sink.Mark()
+	net.Eng.RunFor(60 * sim.Second)
+	goodput := sink.GoodputKbps()
+	src.Stop()
+
+	// Idle phase: measure the duty cycle with no traffic.
+	net.Eng.RunFor(30 * sim.Second)
+	net.Nodes[1].Radio.ResetEnergy()
+	net.Eng.RunFor(2 * sim.Minute)
+	idle := net.Nodes[1].Radio.DutyCycle() * 100
+
+	mode := fmt.Sprintf("fixed %v sleep", sleep)
+	if adaptive {
+		mode = "adaptive 20ms..5s  "
+	}
+	fmt.Printf("%-20s uplink %6.1f kb/s   idle duty cycle %5.2f%%\n", mode, goodput, idle)
+}
+
+func main() {
+	fmt.Println("TCP over a duty-cycled leaf link (Appendix C):")
+	run(false, 20*sim.Millisecond)
+	run(false, 500*sim.Millisecond)
+	run(false, 2*sim.Second)
+	run(true, 0)
+	fmt.Println("\npaper §C.2: the Trickle-based adaptive interval achieves ≈68.6 kb/s uplink")
+	fmt.Println("while idling at ≈0.1% duty cycle — both ends of the trade-off at once.")
+}

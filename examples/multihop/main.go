@@ -1,0 +1,49 @@
+// Multihop: a TCP flow over a three-hop chain with hidden terminals,
+// showing the paper's §7.1 result — without a randomized link-retry
+// delay, hidden-terminal collisions repeat and segment loss is high;
+// with d = 40 ms the loss melts away while goodput holds.
+package main
+
+import (
+	"fmt"
+
+	"tcplp/internal/app"
+	"tcplp/internal/mesh"
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+)
+
+func run(d sim.Duration) {
+	opt := stack.DefaultOptions()
+	opt.MAC.RetryDelayMax = d
+	net := stack.New(7, mesh.Chain(4, 10), opt)
+
+	sink := app.ListenSink(net.Nodes[0], 80)
+	src := app.StartBulk(net.Nodes[3], net.Nodes[0].Addr, 80)
+
+	net.Eng.RunFor(10 * sim.Second)
+	sink.Mark()
+	before := src.Conn.Stats
+	framesBefore := net.TotalFramesSent()
+	net.Eng.RunFor(60 * sim.Second)
+
+	st := src.Conn.Stats
+	segs := float64(st.BytesSent-before.BytesSent) / float64(net.Opt.TCP.MSS)
+	loss := 0.0
+	if segs > 0 {
+		loss = float64(st.Retransmits-before.Retransmits) / segs
+	}
+	fmt.Printf("d = %-6v goodput %6.1f kb/s   segment loss %5.2f%%   RTT %8v   frames %6d   (timeouts %d, fast rtx %d)\n",
+		d, sink.GoodputKbps(), loss*100, src.Conn.SRTT(),
+		net.TotalFramesSent()-framesBefore,
+		st.Timeouts-before.Timeouts, st.FastRetransmits-before.FastRetransmits)
+}
+
+func main() {
+	fmt.Println("TCP over three wireless hops (hidden terminals), varying the max link-retry delay d:")
+	for _, d := range []sim.Duration{0, 5 * sim.Millisecond, 40 * sim.Millisecond, 100 * sim.Millisecond} {
+		run(d)
+	}
+	fmt.Println("\npaper Fig. 6b: ≈6% loss at d=0 falling under 1% by d=30ms, with goodput nearly flat —")
+	fmt.Println("the small-window congestion behaviour of §7.3 masks the loss.")
+}

@@ -1,0 +1,293 @@
+package app
+
+import (
+	"encoding/binary"
+
+	"tcplp/internal/coap"
+	"tcplp/internal/ip6"
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+	"tcplp/internal/tcplp"
+)
+
+// Anemometer workload constants (§3, §9.2).
+const (
+	// ReadingSize is one ultrasonic anemometer sample: 12 transit-time
+	// measurements plus framing = 82 bytes.
+	ReadingSize = 82
+	// DefaultInterval is the 1 Hz sample rate.
+	DefaultInterval = sim.Second
+	// TCPQueueCap readings fit the application-layer queue when TCP's
+	// send buffer absorbs another 40 (§9.2).
+	TCPQueueCap = 64
+	// CoAPQueueCap is the larger queue used for CoAP (§9.2).
+	CoAPQueueCap = 104
+	// DefaultBatch is the §9.3 batching threshold.
+	DefaultBatch = 64
+)
+
+// SensorStats measures a sensor's delivery performance; reliability is
+// delivered/generated (§9.2's definition).
+type SensorStats struct {
+	Generated uint64
+	Queued    uint64
+	Dropped   uint64 // application-queue overflow
+	Delivered uint64 // confirmed by the transport
+}
+
+// Reliability returns delivered readings over generated readings.
+func (s SensorStats) Reliability() float64 {
+	if s.Generated == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(s.Generated)
+}
+
+// Transport abstracts how batches leave the node (TCP stream vs CoAP
+// exchanges vs unreliable CoAP).
+type Transport interface {
+	// Send attempts to hand bytes to the network; it returns how many
+	// bytes were accepted. delivered is invoked (possibly later, possibly
+	// repeatedly with partial counts) as bytes are confirmed end-to-end.
+	Send(p []byte) int
+	// CanSend returns how many bytes the transport can accept now.
+	CanSend() int
+}
+
+// Sensor generates fixed-size readings on a period, queues them in a
+// bounded application-layer queue, and drains the queue through a
+// Transport, either immediately or in batches.
+type Sensor struct {
+	eng       *sim.Engine
+	transport Transport
+
+	Interval sim.Duration
+	QueueCap int // in readings
+	// Batch drains only once this many readings are queued (0 = send
+	// each reading immediately).
+	Batch int
+
+	queue   []byte // queued readings, back-to-back
+	seq     uint32
+	started bool
+
+	Stats SensorStats
+}
+
+// NewSensor builds a sensor over a transport.
+func NewSensor(eng *sim.Engine, tr Transport, queueCap int) *Sensor {
+	return &Sensor{
+		eng:       eng,
+		transport: tr,
+		Interval:  DefaultInterval,
+		QueueCap:  queueCap,
+	}
+}
+
+// Start begins sampling.
+func (s *Sensor) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.eng.Schedule(s.Interval, s.sample)
+}
+
+func (s *Sensor) sample() {
+	s.Stats.Generated++
+	s.seq++
+	if len(s.queue)/ReadingSize >= s.QueueCap {
+		s.Stats.Dropped++
+	} else {
+		s.queue = append(s.queue, s.makeReading()...)
+		s.Stats.Queued++
+	}
+	s.drain()
+	s.eng.Schedule(s.Interval, s.sample)
+}
+
+// makeReading builds an 82-byte reading tagged with the sequence number.
+func (s *Sensor) makeReading() []byte {
+	r := make([]byte, ReadingSize)
+	binary.BigEndian.PutUint32(r, s.seq)
+	for i := 4; i < ReadingSize; i++ {
+		r[i] = byte(i + int(s.seq))
+	}
+	return r
+}
+
+// Drain pushes queued readings into the transport subject to the
+// batching policy.
+func (s *Sensor) drain() {
+	if s.Batch > 0 && len(s.queue) < s.Batch*ReadingSize {
+		return
+	}
+	for len(s.queue) > 0 {
+		n := s.transport.Send(s.queue)
+		if n == 0 {
+			return
+		}
+		// Only whole readings leave the queue; transports accept
+		// arbitrary byte counts but we account in readings.
+		s.queue = s.queue[n:]
+	}
+}
+
+// NotifyWritable retries draining (wired to transport progress).
+func (s *Sensor) NotifyWritable() { s.drain() }
+
+// QueueDepth returns queued readings.
+func (s *Sensor) QueueDepth() int { return len(s.queue) / ReadingSize }
+
+// ---- TCP transport ----
+
+// TCPTransport streams readings over one long-lived TCPlp connection.
+type TCPTransport struct {
+	Conn   *tcplp.Conn
+	sensor *Sensor
+}
+
+// NewTCPTransport connects node to collector:port and returns the
+// transport plus a hook to attach the sensor.
+func NewTCPTransport(node *stack.Node, collector ip6.Addr, port uint16) *TCPTransport {
+	tr := &TCPTransport{}
+	c := node.TCP.Connect(collector, port)
+	tr.Conn = c
+	c.OnWritable = func() {
+		if tr.sensor != nil {
+			tr.sensor.NotifyWritable()
+		}
+	}
+	return tr
+}
+
+// Attach links the sensor that drains through this transport (delivery
+// itself is counted at the Collector, as the paper measures it).
+func (t *TCPTransport) Attach(s *Sensor) { t.sensor = s }
+
+// CanSend implements Transport.
+func (t *TCPTransport) CanSend() int { return t.Conn.WriteBufferSpace() }
+
+// Send implements Transport.
+func (t *TCPTransport) Send(p []byte) int {
+	n, err := t.Conn.Write(p)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// ---- CoAP transport ----
+
+// CoAPTransport ships readings as CoAP POSTs sized to one LLN packet
+// (§9.3 sizes each CoAP batch message like a five-frame TCP segment),
+// using blockwise numbering within a batch, confirmable or not.
+type CoAPTransport struct {
+	Client      *coap.Client
+	Confirmable bool
+	// MessageSize is the payload bytes per POST.
+	MessageSize int
+
+	sensor   *Sensor
+	blockNum uint32
+}
+
+// NewCoAPTransport builds a CoAP transport over the node's UDP stack.
+func NewCoAPTransport(node *stack.Node, collector ip6.Addr, confirmable bool, msgSize int) *CoAPTransport {
+	cl := coap.NewClient(node.Eng(), node.UDP, collector, coap.DefaultPort)
+	if node.Sleep != nil {
+		sc := node.Sleep
+		cl.OnExpectingChange = func(on bool) { sc.SetExpecting(on) }
+	}
+	return &CoAPTransport{Client: cl, Confirmable: confirmable, MessageSize: msgSize}
+}
+
+// Attach links the sensor that drains through this transport.
+func (t *CoAPTransport) Attach(s *Sensor) { t.sensor = s }
+
+// CanSend implements Transport: NSTART=1 plus a short queue.
+func (t *CoAPTransport) CanSend() int {
+	if t.Client.Pending() >= 4 {
+		return 0
+	}
+	return t.MessageSize
+}
+
+// Send implements Transport: it takes up to MessageSize whole readings
+// per POST.
+func (t *CoAPTransport) Send(p []byte) int {
+	if t.Client.Pending() >= 4 {
+		return 0
+	}
+	n := t.MessageSize / ReadingSize * ReadingSize
+	if n > len(p) {
+		n = len(p) / ReadingSize * ReadingSize
+	}
+	if n == 0 {
+		return 0
+	}
+	payload := append([]byte(nil), p[:n]...)
+	blk := &coap.Block1{Num: t.blockNum, More: false, SZX: 6}
+	t.blockNum++
+	t.Client.Post("telemetry", payload, t.Confirmable, blk, func(ok bool) {
+		// Delivery is counted at the collector (server side), as the
+		// paper measures reliability; here we only resume draining.
+		if t.sensor != nil {
+			t.sensor.NotifyWritable()
+		}
+	})
+	return n
+}
+
+// ---- collector-side accounting ----
+
+// Collector counts readings arriving at the cloud host over either
+// transport. Reliability is measured here, at the server, exactly as the
+// paper does: delivered readings over generated readings, regardless of
+// which protocol carried them.
+type Collector struct {
+	ReadingsByTCP  uint64
+	ReadingsByCoAP uint64
+
+	tcpRemainder map[*tcplp.Conn]int
+}
+
+// NewCollector installs TCP (port) and CoAP (5683) collectors on the
+// host. credit maps each sensor node's address to the SensorStats whose
+// Delivered count the collector maintains.
+func NewCollector(host *stack.Node, port uint16, credit map[ip6.Addr]*SensorStats) *Collector {
+	col := &Collector{tcpRemainder: map[*tcplp.Conn]int{}}
+	host.TCP.Listen(port, func(c *tcplp.Conn) {
+		buf := make([]byte, 4096)
+		c.OnReadable = func() {
+			for {
+				n := c.Read(buf)
+				if n == 0 {
+					break
+				}
+				col.tcpRemainder[c] += n
+				readings := col.tcpRemainder[c] / ReadingSize
+				col.tcpRemainder[c] %= ReadingSize
+				col.ReadingsByTCP += uint64(readings)
+				if credit != nil {
+					addr, _ := c.RemoteAddr()
+					if st := credit[addr]; st != nil {
+						st.Delivered += uint64(readings)
+					}
+				}
+			}
+		}
+	})
+	srv := coap.NewServer(host.Eng(), host.UDP, coap.DefaultPort)
+	srv.OnPost = func(src ip6.Addr, payload []byte, blk *coap.Block1) coap.Code {
+		readings := uint64(len(payload) / ReadingSize)
+		col.ReadingsByCoAP += readings
+		if credit != nil {
+			if st := credit[src]; st != nil {
+				st.Delivered += readings
+			}
+		}
+		return coap.CodeChanged
+	}
+	return col
+}

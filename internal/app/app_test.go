@@ -1,0 +1,160 @@
+package app_test
+
+import (
+	"testing"
+
+	"tcplp/internal/app"
+	"tcplp/internal/ip6"
+	"tcplp/internal/mesh"
+	"tcplp/internal/netem"
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+)
+
+func TestBulkSourceSinkGoodput(t *testing.T) {
+	net := stack.New(1, mesh.Chain(2, 10), stack.DefaultOptions())
+	sink := app.ListenSink(net.Nodes[0], 80)
+	src := app.StartBulk(net.Nodes[1], net.Nodes[0].Addr, 80)
+	net.Eng.RunFor(5 * sim.Second)
+	sink.Mark()
+	net.Eng.RunFor(20 * sim.Second)
+	if g := sink.GoodputKbps(); g < 40 {
+		t.Fatalf("goodput = %.1f", g)
+	}
+	if src.Sent < sink.Received {
+		t.Fatal("sink received more than source sent")
+	}
+	src.Stop()
+}
+
+func TestVerifyPattern(t *testing.T) {
+	if app.VerifyPattern([]byte{7, 38, 69}, 0) != -1 {
+		t.Fatal("pattern prefix rejected")
+	}
+	if app.VerifyPattern([]byte{7, 0}, 0) != 1 {
+		t.Fatal("corruption not detected")
+	}
+	// Offsets shift the expected pattern.
+	if app.VerifyPattern([]byte{38, 69}, 1) != -1 {
+		t.Fatal("offset pattern rejected")
+	}
+}
+
+func TestSensorQueueOverflow(t *testing.T) {
+	eng := sim.NewEngine(3)
+	// A transport that never accepts anything.
+	s := app.NewSensor(eng, blockedTransport{}, 4)
+	s.Interval = sim.Second
+	s.Start()
+	eng.RunUntil(sim.Time(10 * sim.Second))
+	if s.Stats.Generated != 10 {
+		t.Fatalf("generated = %d", s.Stats.Generated)
+	}
+	if s.Stats.Dropped != 6 || s.QueueDepth() != 4 {
+		t.Fatalf("dropped=%d depth=%d, want 6 dropped with 4 queued", s.Stats.Dropped, s.QueueDepth())
+	}
+}
+
+type blockedTransport struct{}
+
+func (blockedTransport) Send(p []byte) int { return 0 }
+func (blockedTransport) CanSend() int      { return 0 }
+
+func TestSensorBatchingHoldsUntilThreshold(t *testing.T) {
+	eng := sim.NewEngine(4)
+	rec := &recordingTransport{}
+	s := app.NewSensor(eng, rec, 128)
+	s.Interval = sim.Second
+	s.Batch = 8
+	s.Start()
+	eng.RunUntil(sim.Time(7 * sim.Second))
+	if rec.calls != 0 {
+		t.Fatalf("transport invoked before batch threshold: %d", rec.calls)
+	}
+	eng.RunUntil(sim.Time(9 * sim.Second))
+	if rec.calls == 0 {
+		t.Fatal("batch never flushed")
+	}
+	if rec.bytes != 8*app.ReadingSize {
+		t.Fatalf("flushed %d bytes, want %d", rec.bytes, 8*app.ReadingSize)
+	}
+}
+
+type recordingTransport struct {
+	calls int
+	bytes int
+}
+
+func (r *recordingTransport) Send(p []byte) int { r.calls++; r.bytes += len(p); return len(p) }
+func (r *recordingTransport) CanSend() int      { return 1 << 20 }
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	net := stack.New(5, mesh.Chain(2, 10), stack.DefaultOptions())
+	host := net.AttachHost()
+	credit := map[ip6.Addr]*app.SensorStats{}
+	col := app.NewCollector(host, 80, credit)
+
+	node := net.Nodes[1]
+	tr := app.NewTCPTransport(node, host.Addr, 80)
+	s := app.NewSensor(net.Eng, tr, app.TCPQueueCap)
+	s.Interval = 200 * sim.Millisecond
+	tr.Attach(s)
+	credit[node.Addr] = &s.Stats
+	s.Start()
+	net.Eng.RunFor(30 * sim.Second)
+	if col.ReadingsByTCP == 0 {
+		t.Fatal("no readings collected over TCP")
+	}
+	if s.Stats.Reliability() < 0.9 {
+		t.Fatalf("reliability = %.2f", s.Stats.Reliability())
+	}
+}
+
+func TestCoAPTransportEndToEnd(t *testing.T) {
+	net := stack.New(6, mesh.Chain(2, 10), stack.DefaultOptions())
+	host := net.AttachHost()
+	credit := map[ip6.Addr]*app.SensorStats{}
+	col := app.NewCollector(host, 80, credit)
+
+	node := net.Nodes[1]
+	tr := app.NewCoAPTransport(node, host.Addr, true, 410)
+	s := app.NewSensor(net.Eng, tr, app.CoAPQueueCap)
+	s.Interval = 200 * sim.Millisecond
+	tr.Attach(s)
+	credit[node.Addr] = &s.Stats
+	s.Start()
+	net.Eng.RunFor(30 * sim.Second)
+	if col.ReadingsByCoAP == 0 {
+		t.Fatal("no readings collected over CoAP")
+	}
+	if s.Stats.Reliability() < 0.9 {
+		t.Fatalf("reliability = %.2f", s.Stats.Reliability())
+	}
+}
+
+func TestUniformLossFilter(t *testing.T) {
+	f := netem.UniformLoss(0.5, 1)
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		if f(nil) {
+			drops++
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Fatalf("drops = %d/1000 at p=0.5", drops)
+	}
+}
+
+func TestDiurnalProfileShape(t *testing.T) {
+	prof := netem.DiurnalProfile(1.0)
+	night := prof(sim.Time(3 * sim.Hour))
+	noon := prof(sim.Time(12 * sim.Hour))
+	evening := prof(sim.Time(19 * sim.Hour))
+	if !(noon > evening && evening > night) {
+		t.Fatalf("profile not diurnal: night=%.2f noon=%.2f evening=%.2f", night, noon, evening)
+	}
+	// Periodic across days.
+	if prof(sim.Time(12*sim.Hour)) != prof(sim.Time(36*sim.Hour)) {
+		t.Fatal("profile not 24h-periodic")
+	}
+}

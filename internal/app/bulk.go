@@ -1,0 +1,124 @@
+// Package app provides the workloads of the measurement study: bulk
+// transfer sources/sinks for the throughput experiments (§6-§8) and the
+// anemometer telemetry application of §3/§9.
+package app
+
+import (
+	"tcplp/internal/ip6"
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+	"tcplp/internal/tcplp"
+)
+
+// Sink accepts one TCP connection on a port and consumes everything sent
+// to it, counting bytes — the receiving half of every throughput
+// experiment.
+type Sink struct {
+	Received  int
+	Conn      *tcplp.Conn
+	markBytes int
+	markTime  sim.Time
+	eng       *sim.Engine
+}
+
+// ListenSink installs a byte-counting server on node:port.
+func ListenSink(node *stack.Node, port uint16) *Sink {
+	s := &Sink{eng: node.Eng()}
+	node.TCP.Listen(port, func(c *tcplp.Conn) {
+		s.Conn = c
+		buf := make([]byte, 4096)
+		c.OnReadable = func() {
+			for {
+				n := c.Read(buf)
+				if n == 0 {
+					break
+				}
+				s.Received += n
+			}
+			if c.EOF() {
+				c.Close()
+			}
+		}
+	})
+	return s
+}
+
+// Mark begins a measurement window at the current time.
+func (s *Sink) Mark() {
+	s.markBytes = s.Received
+	s.markTime = s.eng.Now()
+}
+
+// GoodputKbps returns application-layer goodput in kb/s since Mark.
+func (s *Sink) GoodputKbps() float64 {
+	elapsed := s.eng.Now().Sub(s.markTime).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Received-s.markBytes) * 8 / elapsed / 1000
+}
+
+// BytesSinceMark returns bytes received in the measurement window.
+func (s *Sink) BytesSinceMark() int { return s.Received - s.markBytes }
+
+// Source keeps a TCP connection's send buffer full with a repeating
+// pattern — an unbounded bulk sender.
+type Source struct {
+	Conn *tcplp.Conn
+	Sent int
+
+	pattern []byte
+	off     int
+	stopped bool
+}
+
+// StartBulk opens a connection from node to dst:port and streams data
+// indefinitely (until Stop).
+func StartBulk(node *stack.Node, dst ip6.Addr, port uint16) *Source {
+	s := &Source{pattern: makePattern()}
+	c := node.TCP.Connect(dst, port)
+	s.Conn = c
+	pump := func() {
+		if s.stopped {
+			return
+		}
+		for {
+			n, err := c.Write(s.pattern[s.off:])
+			if err != nil || n == 0 {
+				return
+			}
+			s.Sent += n
+			s.off = (s.off + n) % len(s.pattern)
+		}
+	}
+	c.OnEstablished = pump
+	c.OnWritable = pump
+	return s
+}
+
+// Stop ceases writing and closes the connection.
+func (s *Source) Stop() {
+	s.stopped = true
+	s.Conn.Close()
+}
+
+// makePattern builds a verifiable repeating byte pattern.
+func makePattern() []byte {
+	p := make([]byte, 1024)
+	for i := range p {
+		p[i] = byte(i*31 + 7)
+	}
+	return p
+}
+
+// VerifyPattern checks that data matches the Source pattern starting at
+// stream offset off; it returns the first mismatching index or -1.
+func VerifyPattern(data []byte, off int) int {
+	p := makePattern()
+	for i, b := range data {
+		if b != p[(off+i)%len(p)] {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,187 @@
+package coap
+
+import (
+	"encoding/binary"
+
+	"tcplp/internal/ip6"
+	"tcplp/internal/sim"
+	"tcplp/internal/udp"
+)
+
+// ClientStats counts exchange-layer events (Fig. 9b reads
+// Retransmissions).
+type ClientStats struct {
+	Sent            uint64 // first transmissions
+	Retransmissions uint64
+	Responses       uint64
+	GiveUps         uint64
+}
+
+type exchange struct {
+	msg         *Message
+	confirmable bool
+	done        func(ok bool)
+	retries     int
+	firstTx     sim.Time
+	rto         sim.Duration
+}
+
+// Client is a CoAP client bound to one server, enforcing NSTART=1 (one
+// outstanding confirmable exchange).
+type Client struct {
+	eng     *sim.Engine
+	sock    *udp.Stack
+	dst     ip6.Addr
+	dstPort uint16
+	srcPort uint16
+
+	// Policy supplies RTOs: DefaultPolicy or CoCoA.
+	Policy RTOPolicy
+
+	// OnExpectingChange mirrors the TCP stack's duty-cycle hint: true
+	// while a confirmable exchange awaits its ACK (§9.2).
+	OnExpectingChange func(bool)
+
+	cur     *exchange
+	queue   []*exchange
+	timer   *sim.Timer
+	nextMID uint16
+	nextTok uint64
+
+	Stats ClientStats
+}
+
+// NewClient creates a client on sock targeting dst:dstPort.
+func NewClient(eng *sim.Engine, sock *udp.Stack, dst ip6.Addr, dstPort uint16) *Client {
+	c := &Client{
+		eng:     eng,
+		sock:    sock,
+		dst:     dst,
+		dstPort: dstPort,
+		Policy:  DefaultPolicy{},
+		nextMID: uint16(eng.Rand().Uint32()),
+	}
+	c.timer = sim.NewTimer(eng, c.onTimeout)
+	c.srcPort = sock.Bind(0, c.onDatagram)
+	return c
+}
+
+// Pending returns queued plus in-flight exchanges.
+func (c *Client) Pending() int {
+	n := len(c.queue)
+	if c.cur != nil {
+		n++
+	}
+	return n
+}
+
+// Post sends a POST to path. Confirmable requests are retransmitted and
+// report success/failure via done; nonconfirmable ones are fire-and-
+// forget (done, if set, is called optimistically after transmission).
+func (c *Client) Post(path string, payload []byte, confirmable bool, block *Block1, done func(ok bool)) {
+	typ := NON
+	if confirmable {
+		typ = CON
+	}
+	c.nextMID++
+	c.nextTok++
+	var tok [4]byte
+	binary.BigEndian.PutUint32(tok[:], uint32(c.nextTok))
+	m := &Message{
+		Type:      typ,
+		Code:      CodePOST,
+		MessageID: c.nextMID,
+		Token:     tok[:],
+		Payload:   payload,
+	}
+	if path != "" {
+		m.AddOption(OptUriPath, []byte(path))
+	}
+	if block != nil {
+		m.AddOption(OptBlock1, block.Encode())
+	}
+	c.queue = append(c.queue, &exchange{msg: m, confirmable: confirmable, done: done})
+	c.pump()
+}
+
+func (c *Client) pump() {
+	if c.cur != nil || len(c.queue) == 0 {
+		return
+	}
+	c.cur = c.queue[0]
+	c.queue = c.queue[1:]
+	ex := c.cur
+	ex.firstTx = c.eng.Now()
+	ex.rto = c.Policy.InitialRTO(c.eng.Rand())
+	c.Stats.Sent++
+	c.transmit(ex)
+	if ex.confirmable {
+		c.setExpecting(true)
+		c.timer.Reset(ex.rto)
+	} else {
+		// Nonconfirmable: complete after the (unreliable) send — via the
+		// event queue, because the completion callback may immediately
+		// queue the next message (drain loops would otherwise recurse
+		// one stack frame per message).
+		c.eng.Schedule(0, func() { c.finish(ex, true) })
+	}
+}
+
+func (c *Client) transmit(ex *exchange) {
+	c.sock.Send(c.dst, c.dstPort, c.srcPort, ex.msg.Encode())
+}
+
+func (c *Client) onTimeout() {
+	ex := c.cur
+	if ex == nil {
+		return
+	}
+	ex.retries++
+	if ex.retries > MaxRetransmit {
+		c.Stats.GiveUps++
+		c.Policy.OnGiveUp()
+		c.finish(ex, false)
+		return
+	}
+	c.Stats.Retransmissions++
+	ex.rto = c.Policy.Backoff(ex.rto)
+	c.transmit(ex)
+	c.timer.Reset(ex.rto)
+}
+
+func (c *Client) onDatagram(src ip6.Addr, srcPort uint16, payload []byte) {
+	m, err := Decode(payload)
+	if err != nil {
+		return
+	}
+	ex := c.cur
+	if ex == nil || !ex.confirmable {
+		return
+	}
+	if m.Type != ACK && m.Type != RST {
+		return
+	}
+	if m.MessageID != ex.msg.MessageID {
+		return
+	}
+	c.timer.Stop()
+	c.Stats.Responses++
+	c.Policy.OnResponse(c.eng.Now().Sub(ex.firstTx), ex.retries)
+	c.finish(ex, m.Type == ACK && m.Code != CodeNotFound)
+}
+
+func (c *Client) finish(ex *exchange, ok bool) {
+	c.timer.Stop()
+	c.cur = nil
+	c.setExpecting(false)
+	if ex.done != nil {
+		ex.done(ok)
+	}
+	c.pump()
+}
+
+func (c *Client) setExpecting(on bool) {
+	if c.OnExpectingChange != nil {
+		c.OnExpectingChange(on)
+	}
+}

@@ -1,0 +1,322 @@
+package coap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcplp/internal/ip6"
+	"tcplp/internal/sim"
+	"tcplp/internal/udp"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:      CON,
+		Code:      CodePOST,
+		MessageID: 0xbeef,
+		Token:     []byte{1, 2, 3, 4},
+		Payload:   []byte("sensor readings"),
+	}
+	m.AddOption(OptUriPath, []byte("telemetry"))
+	m.AddOption(OptContentFormat, []byte{42})
+	m.AddOption(OptBlock1, Block1{Num: 3, More: true, SZX: 2}.Encode())
+	g, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != CON || g.Code != CodePOST || g.MessageID != 0xbeef ||
+		!bytes.Equal(g.Token, m.Token) || !bytes.Equal(g.Payload, m.Payload) {
+		t.Fatalf("round trip: %+v", g)
+	}
+	if len(g.Options) != 3 {
+		t.Fatalf("options: %+v", g.Options)
+	}
+	if v, ok := g.GetOption(OptUriPath); !ok || string(v) != "telemetry" {
+		t.Fatalf("uri-path: %q %v", v, ok)
+	}
+	bv, _ := g.GetOption(OptBlock1)
+	blk, err := DecodeBlock1(bv)
+	if err != nil || blk.Num != 3 || !blk.More || blk.SZX != 2 {
+		t.Fatalf("block1: %+v %v", blk, err)
+	}
+}
+
+func TestEmptyAckRoundTrip(t *testing.T) {
+	a := &Message{Type: ACK, Code: CodeChanged, MessageID: 7, Token: []byte{9}}
+	g, err := Decode(a.Encode())
+	if err != nil || g.Type != ACK || g.Code != CodeChanged || g.MessageID != 7 {
+		t.Fatalf("%+v %v", g, err)
+	}
+}
+
+func TestOptionDeltaEncoding(t *testing.T) {
+	// Large option numbers exercise the 13/14 extended-delta paths.
+	m := &Message{Type: NON, Code: CodeGET, MessageID: 1}
+	m.AddOption(1, []byte{0xaa})
+	m.AddOption(300, bytes.Repeat([]byte{0xbb}, 20))
+	m.AddOption(2000, bytes.Repeat([]byte{0xcc}, 300))
+	g, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Options) != 3 || g.Options[1].Number != 300 || g.Options[2].Number != 2000 {
+		t.Fatalf("options: %+v", g.Options)
+	}
+	if len(g.Options[2].Value) != 300 {
+		t.Fatalf("long option value: %d", len(g.Options[2].Value))
+	}
+}
+
+func TestBlock1Sizes(t *testing.T) {
+	for szx := uint8(0); szx <= 6; szx++ {
+		b := Block1{Num: 100, More: true, SZX: szx}
+		g, err := DecodeBlock1(b.Encode())
+		if err != nil || g != b {
+			t.Fatalf("szx %d: %+v %v", szx, g, err)
+		}
+		if g.Size() != 16<<szx {
+			t.Fatalf("size(%d) = %d", szx, g.Size())
+		}
+	}
+}
+
+// Property: messages round-trip for arbitrary fields.
+func TestQuickMessageRoundTrip(t *testing.T) {
+	f := func(typ uint8, code uint8, mid uint16, tok []byte, payload []byte, path []byte) bool {
+		if len(tok) > 8 {
+			tok = tok[:8]
+		}
+		m := &Message{Type: Type(typ % 4), Code: Code(code), MessageID: mid, Token: tok, Payload: payload}
+		if len(path) > 0 && len(path) < 200 {
+			m.AddOption(OptUriPath, path)
+		}
+		g, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		tokEq := bytes.Equal(g.Token, tok) || (len(tok) == 0 && len(g.Token) == 0)
+		// Zero-length payloads decode as nil.
+		payEq := bytes.Equal(g.Payload, payload) || (len(payload) == 0 && len(g.Payload) == 0)
+		return g.Type == m.Type && g.Code == m.Code && g.MessageID == mid && tokEq && payEq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pipe wires two UDP stacks through a delayed, lossy link.
+type pipe struct {
+	eng   *sim.Engine
+	a, b  *udp.Stack
+	delay sim.Duration
+	drop  func() bool
+}
+
+func newPipe(seed int64, delay sim.Duration) *pipe {
+	eng := sim.NewEngine(seed)
+	p := &pipe{eng: eng, delay: delay}
+	p.a = udp.NewStack(ip6.AddrFromID(0))
+	p.b = udp.NewStack(ip6.AddrFromID(1))
+	forward := func(to *udp.Stack) func(*ip6.Packet) {
+		return func(pkt *ip6.Packet) {
+			if p.drop != nil && p.drop() {
+				return
+			}
+			eng.Schedule(p.delay, func() { to.Input(pkt) })
+		}
+	}
+	p.a.Output = forward(p.b)
+	p.b.Output = forward(p.a)
+	return p
+}
+
+func TestConfirmableExchange(t *testing.T) {
+	p := newPipe(1, 20*sim.Millisecond)
+	srv := NewServer(p.eng, p.b, DefaultPort)
+	var got []byte
+	srv.OnPost = func(src ip6.Addr, payload []byte, blk *Block1) Code {
+		got = payload
+		return CodeChanged
+	}
+	cl := NewClient(p.eng, p.a, ip6.AddrFromID(1), DefaultPort)
+	ok := false
+	cl.Post("t", []byte("reading"), true, nil, func(s bool) { ok = s })
+	p.eng.RunUntil(sim.Time(sim.Second))
+	if !ok || string(got) != "reading" {
+		t.Fatalf("exchange: ok=%v got=%q", ok, got)
+	}
+	if cl.Stats.Retransmissions != 0 {
+		t.Fatalf("retransmissions on a clean link: %d", cl.Stats.Retransmissions)
+	}
+}
+
+func TestRetransmissionRecoversLoss(t *testing.T) {
+	p := newPipe(2, 20*sim.Millisecond)
+	drops := 2
+	p.drop = func() bool {
+		if drops > 0 {
+			drops--
+			return true
+		}
+		return false
+	}
+	srv := NewServer(p.eng, p.b, DefaultPort)
+	delivered := 0
+	srv.OnPost = func(ip6.Addr, []byte, *Block1) Code { delivered++; return CodeChanged }
+	cl := NewClient(p.eng, p.a, ip6.AddrFromID(1), DefaultPort)
+	ok := false
+	cl.Post("t", []byte("x"), true, nil, func(s bool) { ok = s })
+	p.eng.RunUntil(sim.Time(30 * sim.Second))
+	if !ok || delivered != 1 {
+		t.Fatalf("ok=%v delivered=%d", ok, delivered)
+	}
+	if cl.Stats.Retransmissions == 0 {
+		t.Fatal("no retransmissions recorded")
+	}
+}
+
+func TestGiveUpAfterMaxRetransmit(t *testing.T) {
+	p := newPipe(3, 20*sim.Millisecond)
+	p.drop = func() bool { return true } // blackout
+	NewServer(p.eng, p.b, DefaultPort)
+	cl := NewClient(p.eng, p.a, ip6.AddrFromID(1), DefaultPort)
+	result := -1
+	cl.Post("t", []byte("x"), true, nil, func(s bool) {
+		if s {
+			result = 1
+		} else {
+			result = 0
+		}
+	})
+	p.eng.RunUntil(sim.Time(5 * sim.Minute))
+	if result != 0 {
+		t.Fatalf("result = %d, want give-up", result)
+	}
+	if cl.Stats.Retransmissions != MaxRetransmit {
+		t.Fatalf("retransmissions = %d, want %d", cl.Stats.Retransmissions, MaxRetransmit)
+	}
+}
+
+func TestServerDeduplicatesRetransmissions(t *testing.T) {
+	p := newPipe(4, 20*sim.Millisecond)
+	// Drop the server's ACKs (b→a direction) once.
+	ackDrops := 1
+	origOut := p.b.Output
+	p.b.Output = func(pkt *ip6.Packet) {
+		if ackDrops > 0 {
+			ackDrops--
+			return
+		}
+		origOut(pkt)
+	}
+	srv := NewServer(p.eng, p.b, DefaultPort)
+	delivered := 0
+	srv.OnPost = func(ip6.Addr, []byte, *Block1) Code { delivered++; return CodeChanged }
+	cl := NewClient(p.eng, p.a, ip6.AddrFromID(1), DefaultPort)
+	ok := false
+	cl.Post("t", []byte("x"), true, nil, func(s bool) { ok = s })
+	p.eng.RunUntil(sim.Time(30 * sim.Second))
+	if !ok {
+		t.Fatal("exchange failed")
+	}
+	if delivered != 1 {
+		t.Fatalf("handler ran %d times, want 1 (dedup)", delivered)
+	}
+	if srv.Stats.Duplicates != 1 {
+		t.Fatalf("duplicates = %d", srv.Stats.Duplicates)
+	}
+}
+
+func TestNonconfirmableNoAck(t *testing.T) {
+	p := newPipe(5, 20*sim.Millisecond)
+	srv := NewServer(p.eng, p.b, DefaultPort)
+	delivered := 0
+	srv.OnPost = func(ip6.Addr, []byte, *Block1) Code { delivered++; return CodeChanged }
+	cl := NewClient(p.eng, p.a, ip6.AddrFromID(1), DefaultPort)
+	cl.Post("t", []byte("x"), false, nil, nil)
+	cl.Post("t", []byte("y"), false, nil, nil)
+	p.eng.RunUntil(sim.Time(sim.Second))
+	if delivered != 2 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	if srv.Stats.NonPosts != 2 || cl.Stats.Responses != 0 {
+		t.Fatalf("non stats: %+v %+v", srv.Stats, cl.Stats)
+	}
+}
+
+func TestNSTARTSerialization(t *testing.T) {
+	p := newPipe(6, 50*sim.Millisecond)
+	srv := NewServer(p.eng, p.b, DefaultPort)
+	var order []string
+	srv.OnPost = func(src ip6.Addr, payload []byte, blk *Block1) Code {
+		order = append(order, string(payload))
+		return CodeChanged
+	}
+	cl := NewClient(p.eng, p.a, ip6.AddrFromID(1), DefaultPort)
+	for _, s := range []string{"one", "two", "three"} {
+		cl.Post("t", []byte(s), true, nil, nil)
+	}
+	if cl.Pending() != 3 {
+		t.Fatalf("pending = %d", cl.Pending())
+	}
+	p.eng.RunUntil(sim.Time(5 * sim.Second))
+	if len(order) != 3 || order[0] != "one" || order[1] != "two" || order[2] != "three" {
+		t.Fatalf("order: %v", order)
+	}
+}
+
+func TestCoCoAStrongSamplesTightenRTO(t *testing.T) {
+	c := NewCoCoA()
+	for i := 0; i < 30; i++ {
+		c.OnResponse(100*sim.Millisecond, 0)
+	}
+	if c.OverallRTO() > 500*sim.Millisecond {
+		t.Fatalf("overall RTO = %v after fast strong samples", c.OverallRTO())
+	}
+}
+
+func TestCoCoAWeakSamplesInflateRTO(t *testing.T) {
+	// The §9.4 pathology: retransmitted exchanges feed multi-second
+	// "RTTs" (measured from the first transmission) into the weak
+	// estimator, blowing up the overall RTO.
+	c := NewCoCoA()
+	for i := 0; i < 10; i++ {
+		c.OnResponse(150*sim.Millisecond, 0)
+	}
+	tight := c.OverallRTO()
+	for i := 0; i < 10; i++ {
+		c.OnResponse(5*sim.Second, 1) // RTO-worth of delay counted as RTT
+	}
+	if c.OverallRTO() < 2*tight {
+		t.Fatalf("weak samples did not inflate RTO: %v → %v", tight, c.OverallRTO())
+	}
+}
+
+func TestCoCoAVariableBackoff(t *testing.T) {
+	c := NewCoCoA()
+	c.overall = 500 * sim.Millisecond
+	if got := c.Backoff(500 * sim.Millisecond); got != 1500*sim.Millisecond {
+		t.Fatalf("small-RTO backoff = %v, want ×3", got)
+	}
+	c.overall = 2 * sim.Second
+	if got := c.Backoff(2 * sim.Second); got != 4*sim.Second {
+		t.Fatalf("mid-RTO backoff = %v, want ×2", got)
+	}
+	c.overall = 5 * sim.Second
+	if got := c.Backoff(4 * sim.Second); got != 6*sim.Second {
+		t.Fatalf("large-RTO backoff = %v, want ×1.5", got)
+	}
+}
+
+func TestDefaultPolicyRTODither(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var d DefaultPolicy
+	for i := 0; i < 100; i++ {
+		rto := d.InitialRTO(rng)
+		if rto < AckTimeout || rto > 3*sim.Second {
+			t.Fatalf("initial RTO %v outside [2s,3s]", rto)
+		}
+	}
+}

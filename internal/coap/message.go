@@ -1,0 +1,273 @@
+// Package coap implements the Constrained Application Protocol (RFC 7252)
+// message layer and the pieces the paper's §9 evaluation needs: a
+// confirmable-exchange client with the default congestion control, the
+// CoCoA RTO algorithm (including the retransmission-ambiguity behaviour
+// §9.4 identifies), blockwise batch transfer that does not discard a
+// whole batch on one failure (§9.1), and nonconfirmable (unreliable)
+// mode (§9.6).
+package coap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Type is the CoAP message type.
+type Type uint8
+
+// Message types.
+const (
+	CON Type = 0
+	NON Type = 1
+	ACK Type = 2
+	RST Type = 3
+)
+
+func (t Type) String() string {
+	switch t {
+	case CON:
+		return "CON"
+	case NON:
+		return "NON"
+	case ACK:
+		return "ACK"
+	case RST:
+		return "RST"
+	}
+	return "?"
+}
+
+// Code is a CoAP request method or response code (class.detail).
+type Code uint8
+
+// Codes used in this implementation.
+const (
+	CodeEmpty    Code = 0
+	CodeGET      Code = 1
+	CodePOST     Code = 2
+	CodeCreated  Code = 2<<5 | 1  // 2.01
+	CodeChanged  Code = 2<<5 | 4  // 2.04
+	CodeContent  Code = 2<<5 | 5  // 2.05
+	CodeContinue Code = 2<<5 | 31 // 2.31 (block transfer continue)
+	CodeNotFound Code = 4<<5 | 4  // 4.04
+)
+
+func (c Code) String() string { return fmt.Sprintf("%d.%02d", c>>5, c&0x1f) }
+
+// Option numbers.
+const (
+	OptUriPath       = 11
+	OptContentFormat = 12
+	OptBlock1        = 27
+)
+
+// Option is one CoAP option instance.
+type Option struct {
+	Number uint16
+	Value  []byte
+}
+
+// Message is a parsed CoAP message.
+type Message struct {
+	Type      Type
+	Code      Code
+	MessageID uint16
+	Token     []byte
+	Options   []Option // must be sorted by Number before encoding
+	Payload   []byte
+}
+
+// Codec errors.
+var (
+	ErrTruncated  = errors.New("coap: truncated message")
+	ErrBadVersion = errors.New("coap: bad version")
+	ErrBadOption  = errors.New("coap: bad option encoding")
+)
+
+// AddOption appends an option, keeping the list sorted by number.
+func (m *Message) AddOption(num uint16, val []byte) {
+	opt := Option{Number: num, Value: val}
+	i := len(m.Options)
+	for i > 0 && m.Options[i-1].Number > num {
+		i--
+	}
+	m.Options = append(m.Options, Option{})
+	copy(m.Options[i+1:], m.Options[i:])
+	m.Options[i] = opt
+}
+
+// GetOption returns the first option with the given number.
+func (m *Message) GetOption(num uint16) ([]byte, bool) {
+	for _, o := range m.Options {
+		if o.Number == num {
+			return o.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Encode serializes the message (RFC 7252 §3).
+func (m *Message) Encode() []byte {
+	if len(m.Token) > 8 {
+		panic("coap: token too long")
+	}
+	b := make([]byte, 0, 16+len(m.Payload))
+	b = append(b, 1<<6|uint8(m.Type)<<4|uint8(len(m.Token)))
+	b = append(b, uint8(m.Code))
+	b = binary.BigEndian.AppendUint16(b, m.MessageID)
+	b = append(b, m.Token...)
+	prev := uint16(0)
+	for _, o := range m.Options {
+		delta := int(o.Number - prev)
+		prev = o.Number
+		b = appendOptionHeader(b, delta, len(o.Value))
+		b = append(b, o.Value...)
+	}
+	if len(m.Payload) > 0 {
+		b = append(b, 0xff)
+		b = append(b, m.Payload...)
+	}
+	return b
+}
+
+func appendOptionHeader(b []byte, delta, length int) []byte {
+	db, dext := optNibble(delta)
+	lb, lext := optNibble(length)
+	b = append(b, db<<4|lb)
+	b = append(b, dext...)
+	b = append(b, lext...)
+	return b
+}
+
+func optNibble(v int) (uint8, []byte) {
+	switch {
+	case v < 13:
+		return uint8(v), nil
+	case v < 269:
+		return 13, []byte{uint8(v - 13)}
+	default:
+		var ext [2]byte
+		binary.BigEndian.PutUint16(ext[:], uint16(v-269))
+		return 14, ext[:]
+	}
+}
+
+// Decode parses a CoAP message.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	if b[0]>>6 != 1 {
+		return nil, ErrBadVersion
+	}
+	m := &Message{
+		Type:      Type(b[0] >> 4 & 0x3),
+		Code:      Code(b[1]),
+		MessageID: binary.BigEndian.Uint16(b[2:4]),
+	}
+	tkl := int(b[0] & 0xf)
+	if tkl > 8 || len(b) < 4+tkl {
+		return nil, ErrTruncated
+	}
+	if tkl > 0 {
+		m.Token = append([]byte(nil), b[4:4+tkl]...)
+	}
+	i := 4 + tkl
+	prev := uint16(0)
+	for i < len(b) {
+		if b[i] == 0xff {
+			i++
+			if i >= len(b) {
+				return nil, ErrTruncated
+			}
+			m.Payload = append([]byte(nil), b[i:]...)
+			return m, nil
+		}
+		dn := int(b[i] >> 4)
+		ln := int(b[i] & 0xf)
+		i++
+		var delta, length int
+		var err error
+		if delta, i, err = readOptExt(b, i, dn); err != nil {
+			return nil, err
+		}
+		if length, i, err = readOptExt(b, i, ln); err != nil {
+			return nil, err
+		}
+		if i+length > len(b) {
+			return nil, ErrTruncated
+		}
+		prev += uint16(delta)
+		m.Options = append(m.Options, Option{
+			Number: prev,
+			Value:  append([]byte(nil), b[i:i+length]...),
+		})
+		i += length
+	}
+	return m, nil
+}
+
+func readOptExt(b []byte, i, nib int) (int, int, error) {
+	switch nib {
+	case 13:
+		if i >= len(b) {
+			return 0, i, ErrTruncated
+		}
+		return int(b[i]) + 13, i + 1, nil
+	case 14:
+		if i+1 >= len(b) {
+			return 0, i, ErrTruncated
+		}
+		return int(binary.BigEndian.Uint16(b[i:])) + 269, i + 2, nil
+	case 15:
+		return 0, i, ErrBadOption
+	default:
+		return nib, i, nil
+	}
+}
+
+// Block1 is the RFC 7959 Block1 option value: block number, more flag,
+// and block size exponent (size = 2^(szx+4)).
+type Block1 struct {
+	Num  uint32
+	More bool
+	SZX  uint8
+}
+
+// Size returns the block size in bytes.
+func (b Block1) Size() int { return 1 << (b.SZX + 4) }
+
+// Encode packs the option value.
+func (b Block1) Encode() []byte {
+	v := b.Num<<4 | uint32(b.SZX)&0x7
+	if b.More {
+		v |= 0x8
+	}
+	switch {
+	case v < 1<<8:
+		return []byte{uint8(v)}
+	case v < 1<<16:
+		var out [2]byte
+		binary.BigEndian.PutUint16(out[:], uint16(v))
+		return out[:]
+	default:
+		return []byte{uint8(v >> 16), uint8(v >> 8), uint8(v)}
+	}
+}
+
+// DecodeBlock1 unpacks a Block1 option value.
+func DecodeBlock1(b []byte) (Block1, error) {
+	var v uint32
+	switch len(b) {
+	case 1:
+		v = uint32(b[0])
+	case 2:
+		v = uint32(binary.BigEndian.Uint16(b))
+	case 3:
+		v = uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])
+	default:
+		return Block1{}, ErrBadOption
+	}
+	return Block1{Num: v >> 4, More: v&0x8 != 0, SZX: uint8(v & 0x7)}, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"tcplp/internal/app"
+	"tcplp/internal/mesh"
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+	"tcplp/internal/stats"
+)
+
+// dutyCycledFlow runs one bulk flow between a duty-cycled leaf (node 1)
+// and the wired host, with a fixed or adaptive sleep interval and the
+// §9.2 fast-poll hint disabled (Appendix C studies the raw protocol).
+func dutyCycledFlow(seed int64, uplink bool, sleep sim.Duration, adaptive bool,
+	windowSegs int, warm, dur sim.Duration) (float64, *stats.Sample, float64) {
+
+	opt := stack.DefaultOptions()
+	opt.WindowSegs = windowSegs
+	net := stack.New(seed, mesh.Chain(2, 10), opt)
+	host := net.AttachHost()
+	sc := net.MakeSleepyLeaf(1)
+	sc.FastInterval = 0 // no expecting-driven fast polls
+	if adaptive {
+		sc.Adaptive = true
+		sc.Min = 20 * sim.Millisecond
+		sc.Max = 5 * sim.Second
+		sc.SleepInterval = 5 * sim.Second
+	} else {
+		sc.SleepInterval = sleep
+	}
+	// The TCP-expecting hook is also disabled: poll cadence is under
+	// test.
+	net.Nodes[1].TCP.OnExpectingChange = nil
+	sc.Start()
+
+	from, to := net.Nodes[1], host
+	if !uplink {
+		from, to = host, net.Nodes[1]
+	}
+	sink := app.ListenSink(to, 80)
+	src := app.StartBulk(from, to.Addr, 80)
+	rtts := &stats.Sample{}
+	src.Conn.TraceRTT = func(s sim.Duration) { rtts.Add(float64(s) / float64(sim.Millisecond)) }
+
+	net.Eng.RunFor(warm)
+	sink.Mark()
+	net.Eng.RunFor(dur)
+	goodput := sink.GoodputKbps()
+	src.Stop()
+
+	// Idle duty cycle: stop traffic, let the controller settle back, and
+	// measure.
+	idleDC := 0.0
+	if adaptive {
+		net.Eng.RunFor(30 * sim.Second) // back off to Max
+		net.Nodes[1].Radio.ResetEnergy()
+		net.Eng.RunFor(2 * sim.Minute)
+		idleDC = net.Nodes[1].Radio.DutyCycle()
+	}
+	return goodput, rtts, idleDC
+}
+
+// Fig12 sweeps a fixed sleep interval and reports TCP RTT and goodput in
+// both directions over the duty-cycled link.
+func Fig12(scale Scale) *Table {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "TCP over a duty-cycled link: fixed sleep interval sweep",
+		Columns: []string{"Sleep interval", "Up kb/s", "Up RTT ms", "Down kb/s", "Down RTT ms"},
+	}
+	warm, dur := scale.dur(20*sim.Second), scale.dur(2*sim.Minute)
+	intervals := []sim.Duration{
+		20 * sim.Millisecond, 50 * sim.Millisecond, 100 * sim.Millisecond,
+		250 * sim.Millisecond, 500 * sim.Millisecond, sim.Second, 2 * sim.Second,
+	}
+	for i, iv := range intervals {
+		upG, upR, _ := dutyCycledFlow(int64(800+i), true, iv, false, 4, warm, dur)
+		dnG, dnR, _ := dutyCycledFlow(int64(850+i), false, iv, false, 4, warm, dur)
+		t.AddRow(iv.String(), f1(upG), f1(upR.Mean()), f1(dnG), f1(dnR.Mean()))
+	}
+	t.Note("paper Fig. 12: ≈full goodput at 20 ms; throughput collapses as the interval exceeds what the 4-segment window can cover (uplink RTT ≈ sleep interval from self-clocking)")
+	return t
+}
+
+// Fig13 reports the RTT distribution at a fixed two-second sleep
+// interval, uplink and downlink.
+func Fig13(scale Scale) *Table {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "RTT distribution, duty-cycled link, 2 s sleep interval",
+		Columns: []string{"Direction", "p10 ms", "Median ms", "p90 ms", "Max ms"},
+	}
+	warm, dur := scale.dur(30*sim.Second), scale.dur(4*sim.Minute)
+	_, up, _ := dutyCycledFlow(900, true, 2*sim.Second, false, 4, warm, dur)
+	_, dn, _ := dutyCycledFlow(901, false, 2*sim.Second, false, 4, warm, dur)
+	t.AddRow("uplink", f1(up.Quantile(0.1)), f1(up.Median()), f1(up.Quantile(0.9)), f1(up.Max()))
+	t.AddRow("downlink", f1(dn.Quantile(0.1)), f1(dn.Median()), f1(dn.Quantile(0.9)), f1(dn.Max()))
+	t.Note("paper Fig. 13: uplink RTT ≈ the sleep interval (self-clocking); downlink clusters at multiples of it")
+	return t
+}
+
+// Fig14 evaluates the Trickle-based adaptive sleep interval of Appendix
+// C.2: goodput with 6-segment buffers, and the idle duty cycle after
+// traffic stops.
+func Fig14(scale Scale) *Table {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Adaptive (Trickle) sleep interval: smin=20ms smax=5s, 6-segment buffers",
+		Columns: []string{"Direction", "Goodput kb/s", "Median RTT ms", "Idle duty cycle"},
+	}
+	warm, dur := scale.dur(20*sim.Second), scale.dur(2*sim.Minute)
+	upG, upR, upIdle := dutyCycledFlow(910, true, 0, true, 6, warm, dur)
+	dnG, dnR, dnIdle := dutyCycledFlow(911, false, 0, true, 6, warm, dur)
+	t.AddRow("uplink", f1(upG), f1(upR.Median()), pct(upIdle))
+	t.AddRow("downlink", f1(dnG), f1(dnR.Median()), pct(dnIdle))
+	t.Note("paper §C.2: 68.6 kb/s up / 55.6 kb/s down with a ≈0.1%% idle duty cycle")
+	return t
+}

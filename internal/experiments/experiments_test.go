@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"tcplp/internal/sim"
+)
+
+// cell parses a numeric table cell ("67.3", "4.2%", "12").
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d)", tab.ID, row, col)
+	}
+	s := strings.TrimSuffix(tab.Rows[row][col], "%")
+	s = strings.TrimSuffix(s, " ms")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s cell (%d,%d) = %q: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+const quick = Scale(0.15)
+
+func TestStaticTables(t *testing.T) {
+	for _, f := range []func() *Table{Table1, Table2, Table34, Table5, Table6, ModelComparison} {
+		tab := f()
+		if len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+			t.Fatalf("%s: empty", tab.ID)
+		}
+		if out := tab.String(); !strings.Contains(out, tab.Title) {
+			t.Fatalf("%s: render broken", tab.ID)
+		}
+		if md := tab.Markdown(); !strings.Contains(md, "|") {
+			t.Fatalf("%s: markdown broken", tab.ID)
+		}
+	}
+}
+
+func TestTable6HeaderBudget(t *testing.T) {
+	tab := Table6()
+	first := cell(t, tab, 4, 1)
+	other := cell(t, tab, 4, 2)
+	// Paper Table 6: 50-107 B first frame, 28-35 B subsequent.
+	if first < 50 || first > 107 {
+		t.Fatalf("first-frame overhead = %v", first)
+	}
+	if other < 26 || other > 35 {
+		t.Fatalf("other-frame overhead = %v", other)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab := Fig4(quick)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	up2 := cell(t, tab, 0, 2) // 2 frames
+	up5 := cell(t, tab, 3, 2) // 5 frames
+	up8 := cell(t, tab, 6, 2) // 8 frames
+	if !(up5 > up2) {
+		t.Fatalf("MSS gain missing: 2f=%.1f 5f=%.1f", up2, up5)
+	}
+	// Diminishing returns: 8 frames gains little over 5.
+	if up8 < up5*0.9 {
+		t.Fatalf("8-frame goodput regressed: 5f=%.1f 8f=%.1f", up5, up8)
+	}
+	if gain := up8 - up5; gain > up5-up2 {
+		t.Fatalf("no diminishing returns: Δ(5→8)=%.1f Δ(2→5)=%.1f", gain, up5-up2)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab := Fig5(quick)
+	g1 := cell(t, tab, 0, 2)
+	g4 := cell(t, tab, 3, 2)
+	g6 := cell(t, tab, 5, 2)
+	if !(g4 > g1*1.5) {
+		t.Fatalf("window growth missing: w1=%.1f w4=%.1f", g1, g4)
+	}
+	// Past the BDP the curve flattens.
+	if g6 < g4*0.85 {
+		t.Fatalf("goodput collapsed past BDP: w4=%.1f w6=%.1f", g4, g6)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	tab := Table7(quick)
+	// Last row is TCPlp; first is uIP.
+	uip1 := cell(t, tab, 0, 3)
+	tcplp1 := cell(t, tab, len(tab.Rows)-1, 3)
+	if tcplp1 < 4*uip1 {
+		t.Fatalf("TCPlp %.1f kb/s not ≥4x uIP %.1f kb/s (paper: 5-40x)", tcplp1, uip1)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tabs := Fig6(quick)
+	if len(tabs) != 5 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	t6b, t6c := tabs[1], tabs[2]
+	lossD0 := cell(t, t6b, 0, 1)
+	lossD40 := cell(t, t6b, 5, 1)
+	if lossD0 <= lossD40 {
+		t.Fatalf("retry delay did not cut loss: d0=%.1f%% d40=%.1f%%", lossD0, lossD40)
+	}
+	// RTT grows with d.
+	rttD0 := cell(t, t6c, 0, 2)
+	rttD100 := cell(t, t6c, len(t6c.Rows)-1, 2)
+	if rttD100 < rttD0 {
+		t.Fatalf("RTT did not grow with d: %.0f → %.0f ms", rttD0, rttD100)
+	}
+	// Eq. 2 prediction within a factor ≈2 of measurement at d=40.
+	meas := cell(t, t6b, 5, 2)
+	pred := cell(t, t6b, 5, 3)
+	if pred < meas/2 || pred > meas*2 {
+		t.Fatalf("Eq.2 prediction off: measured %.1f predicted %.1f", meas, pred)
+	}
+}
+
+func TestCwndTraceShape(t *testing.T) {
+	trace, tab := CwndTrace(quick)
+	if len(trace) == 0 {
+		t.Fatal("no cwnd events")
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("summary rows = %d", len(tab.Rows))
+	}
+}
+
+func TestHopSweepShape(t *testing.T) {
+	tab := HopSweep(quick)
+	g1 := cell(t, tab, 0, 1)
+	g2 := cell(t, tab, 1, 1)
+	g3 := cell(t, tab, 2, 1)
+	if !(g1 > g2 && g2 > g3) {
+		t.Fatalf("hop degradation missing: %v %v %v", g1, g2, g3)
+	}
+	ratio3 := g3 / g1
+	if ratio3 < 0.2 || ratio3 > 0.5 {
+		t.Fatalf("3-hop ratio %.2f, want ≈1/3", ratio3)
+	}
+}
+
+func TestTable9Shape(t *testing.T) {
+	tab := Table9(Scale(0.08))
+	// w=4 rows: fair (Jain close to 1).
+	if j := cell(t, tab, 0, 3); j < 0.8 {
+		t.Fatalf("one-hop w=4 unfair: Jain %.3f", j)
+	}
+	if j := cell(t, tab, 1, 3); j < 0.7 {
+		t.Fatalf("three-hop w=4 unfair: Jain %.3f", j)
+	}
+	// RED+ECN should not be less fair than plain w=7.
+	plain := cell(t, tab, 2, 3)
+	red := cell(t, tab, 3, 3)
+	if red < plain-0.25 {
+		t.Fatalf("RED/ECN made fairness worse: %.3f → %.3f", plain, red)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab := Fig8(Scale(0.1))
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// All protocols near-100% reliable in favorable conditions.
+	for i := range tab.Rows {
+		if rel := cell(t, tab, i, 2); rel < 95 {
+			t.Fatalf("row %d reliability %.1f%%", i, rel)
+		}
+	}
+	// Batching reduces radio duty cycle for every protocol.
+	for p := 0; p < 3; p++ {
+		nb := cell(t, tab, 2*p, 3)
+		b := cell(t, tab, 2*p+1, 3)
+		if b >= nb {
+			t.Fatalf("%s: batching did not reduce radio DC (%.2f → %.2f)", tab.Rows[2*p][0], nb, b)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tab := Fig12(Scale(0.2))
+	gFast := cell(t, tab, 0, 1) // 20 ms
+	gSlow := cell(t, tab, len(tab.Rows)-1, 1)
+	if gFast < 5*gSlow {
+		t.Fatalf("sleep interval did not throttle uplink: 20ms=%.1f slowest=%.1f", gFast, gSlow)
+	}
+	// Self-clocking: uplink RTT ≈ the sleep interval at 2 s.
+	rtt2s := cell(t, tab, len(tab.Rows)-1, 2)
+	if rtt2s < 1000 {
+		t.Fatalf("2s-sleep uplink RTT = %.0f ms, want ≈2000", rtt2s)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	tab := Fig14(Scale(0.3))
+	up := cell(t, tab, 0, 1)
+	idle := cell(t, tab, 0, 3)
+	if up < 30 {
+		t.Fatalf("adaptive uplink = %.1f kb/s, want near always-on rates", up)
+	}
+	if idle > 2 {
+		t.Fatalf("idle duty cycle = %.2f%%, want ≈0.1%%", idle)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table34", "table5", "table6",
+		"fig4", "fig5", "table7", "fig6", "fig7a", "hopsweep", "model",
+		"table9", "fig8", "fig9", "fig10", "table8", "fig12", "fig13", "fig14"}
+	for _, id := range want {
+		if _, ok := Find(id); !ok {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find accepted an unknown id")
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	if d := Scale(0.0001).dur(time600); d < 5*sim.Second {
+		t.Fatalf("scale floor broken: %v", d)
+	}
+}
+
+const time600 = 600 * sim.Second

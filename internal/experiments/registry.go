@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"tcplp/internal/model"
+	"tcplp/internal/sim"
+)
+
+// ModelComparison contrasts Eq. 1 (Mathis) with Eq. 2 (the paper's
+// small-window model) across loss rates at LLN-typical RTTs, showing why
+// the classical model wildly overpredicts LLN TCP (§8).
+func ModelComparison() *Table {
+	t := &Table{
+		ID:      "model",
+		Title:   "Eq. 1 vs Eq. 2 predicted goodput (MSS=440 B, w=4 segments)",
+		Columns: []string{"Scenario", "Loss", "Eq.1 kb/s", "Eq.2 kb/s"},
+	}
+	mss := 440
+	cases := []struct {
+		name string
+		rtt  sim.Duration
+	}{
+		{"one hop (RTT 120 ms)", 120 * sim.Millisecond},
+		{"three hops (RTT 750 ms)", 750 * sim.Millisecond},
+	}
+	for _, c := range cases {
+		for _, p := range []float64{0.001, 0.01, 0.03, 0.06, 0.1} {
+			eq1 := model.MathisGoodput(mss, c.rtt, p) / 1000
+			eq2 := model.TCPlpGoodput(mss, c.rtt, 4, p) / 1000
+			t.AddRow(c.name, pct(p), f1(eq1), f1(eq2))
+		}
+	}
+	t.Note("Eq.1 assumes cwnd is loss-limited; with a 4-segment window the 1/w term dominates, making goodput insensitive to small p (§8)")
+	return t
+}
+
+// Runner produces one or more tables for an experiment id.
+type Runner func(Scale) []*Table
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  Runner
+}
+
+func one(f func(Scale) *Table) Runner {
+	return func(s Scale) []*Table { return []*Table{f(s)} }
+}
+
+func static(f func() *Table) Runner {
+	return func(Scale) []*Table { return []*Table{f()} }
+}
+
+// Registry lists every reproducible table and figure.
+var Registry = []Experiment{
+	{"table1", "Feature comparison (Table 1)", static(Table1)},
+	{"table2", "Platform comparison (Table 2)", static(Table2)},
+	{"table34", "Memory footprint (Tables 3-4)", static(Table34)},
+	{"table5", "Link comparison (Table 5)", static(Table5)},
+	{"table6", "Header overhead (Table 6)", static(Table6)},
+	{"fig4", "Goodput vs MSS (Fig. 4)", one(Fig4)},
+	{"fig5", "Goodput/RTT vs window (Fig. 5)", one(Fig5)},
+	{"table7", "Baseline stack comparison (Table 7)", one(Table7)},
+	{"fig6", "Link-retry delay sweep incl. Fig. 7b (Fig. 6)", Fig6},
+	{"fig7a", "cwnd behaviour summary (Fig. 7a)", func(s Scale) []*Table {
+		_, t := CwndTrace(s)
+		return []*Table{t}
+	}},
+	{"hopsweep", "Goodput vs hops (§7.2)", one(HopSweep)},
+	{"model", "Eq.1 vs Eq.2 (§8)", static(ModelComparison)},
+	{"table9", "Two-flow fairness (Table 9 / Appendix A)", one(Table9)},
+	{"fig8", "Batching vs power (Fig. 8)", one(Fig8)},
+	{"fig9", "Injected loss sweep (Fig. 9)", Fig9},
+	{"fig10", "Diurnal day run (Fig. 10)", one(Fig10)},
+	{"table8", "Full-day summary (Table 8)", one(Table8)},
+	{"fig12", "Fixed sleep interval sweep (Fig. 12 / Appendix C)", one(Fig12)},
+	{"fig13", "RTT distribution at 2 s sleep (Fig. 13)", one(Fig13)},
+	{"fig14", "Adaptive sleep interval (Fig. 14 / §C.2)", one(Fig14)},
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,68 @@
+// Package ip6 provides the minimal IPv6 layer TCPlp runs over: the
+// 40-byte header codec, ECN codepoints in the traffic class, protocol
+// demultiplexing, and hop-limited forwarding. Routing decisions live in
+// package mesh; compression and fragmentation live in package sixlowpan.
+package ip6
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is a 128-bit IPv6 address.
+type Addr [16]byte
+
+// ULAPrefix is the unique-local /64 prefix all simulated nodes share,
+// which is also the single 6LoWPAN compression context.
+var ULAPrefix = [8]byte{0xfd, 0x00, 0, 0, 0, 0, 0, 0}
+
+// AddrFromID returns fd00::(id+1), the mesh-local address of node id.
+func AddrFromID(id int) Addr {
+	var a Addr
+	copy(a[:8], ULAPrefix[:])
+	binary.BigEndian.PutUint64(a[8:], uint64(id)+1)
+	return a
+}
+
+// ID recovers the node identifier from an AddrFromID address; ok is
+// false for addresses outside the mesh prefix or with a wide IID.
+func (a Addr) ID() (int, bool) {
+	for i := range ULAPrefix {
+		if a[i] != ULAPrefix[i] {
+			return 0, false
+		}
+	}
+	iid := binary.BigEndian.Uint64(a[8:])
+	if iid == 0 || iid > 1<<16 {
+		return 0, false
+	}
+	return int(iid) - 1, true
+}
+
+// IID16 returns the low 16 bits of the interface identifier and whether
+// the address is compressible to 16-bit IPHC form (mesh prefix, IID fits
+// in 16 bits).
+func (a Addr) IID16() (uint16, bool) {
+	for i := range ULAPrefix {
+		if a[i] != ULAPrefix[i] {
+			return 0, false
+		}
+	}
+	for i := 8; i < 14; i++ {
+		if a[i] != 0 {
+			return 0, false
+		}
+	}
+	return binary.BigEndian.Uint16(a[14:]), true
+}
+
+func (a Addr) String() string {
+	if id, ok := a.ID(); ok {
+		return fmt.Sprintf("fd00::%x", id+1)
+	}
+	return fmt.Sprintf("%x:%x:%x:%x:%x:%x:%x:%x",
+		binary.BigEndian.Uint16(a[0:]), binary.BigEndian.Uint16(a[2:]),
+		binary.BigEndian.Uint16(a[4:]), binary.BigEndian.Uint16(a[6:]),
+		binary.BigEndian.Uint16(a[8:]), binary.BigEndian.Uint16(a[10:]),
+		binary.BigEndian.Uint16(a[12:]), binary.BigEndian.Uint16(a[14:]))
+}

@@ -1,0 +1,538 @@
+// Package mac implements the software MAC the paper builds to avoid the
+// AT86RF233's "deaf listening" (§4): unslotted CSMA-CA and link-layer
+// retransmissions run in software with the radio kept in listen mode
+// between attempts, immediate ACKs carry the frame-pending bit, and a
+// random delay of up to d between link retries avoids repeated
+// hidden-terminal collisions (§7.1).
+//
+// It also implements the Thread-style indirect delivery used for
+// duty-cycled leaf nodes (§3.2, §9.5, Appendix C): a parent holds frames
+// for a sleepy child until the child polls with a DataRequest command.
+package mac
+
+import (
+	"tcplp/internal/phy"
+	"tcplp/internal/sim"
+)
+
+// TxStatus is the outcome of a link-layer transmission attempt.
+type TxStatus int
+
+// Transmission outcomes.
+const (
+	TxOK TxStatus = iota
+	TxNoAck
+	TxChannelBusy
+)
+
+func (s TxStatus) String() string {
+	switch s {
+	case TxOK:
+		return "ok"
+	case TxNoAck:
+		return "no-ack"
+	case TxChannelBusy:
+		return "channel-busy"
+	}
+	return "unknown"
+}
+
+// Params are the CSMA-CA and ARQ parameters. The zero value is not
+// useful; use DefaultParams.
+type Params struct {
+	MinBE           int // macMinBE
+	MaxBE           int // macMaxBE
+	MaxCSMABackoffs int // macMaxCSMABackoffs
+	// MaxFrameRetries is the number of link-layer retransmissions after
+	// the initial attempt.
+	MaxFrameRetries int
+	// RetryDelayMax is the paper's d: before each link retry the node
+	// waits uniform[0, d] in addition to CSMA backoff, so two frames
+	// that collided are unlikely to collide again (§7.1).
+	RetryDelayMax sim.Duration
+	// DataWaitTimeout is how long a sleepy child listens for an indirect
+	// frame after an ACK with the pending bit set.
+	DataWaitTimeout sim.Duration
+}
+
+// DefaultParams mirrors IEEE 802.15.4 defaults plus the paper's software
+// link-retry scheme with d = 40 ms, the value §7.1 recommends.
+func DefaultParams() Params {
+	return Params{
+		MinBE:           3,
+		MaxBE:           5,
+		MaxCSMABackoffs: 4,
+		MaxFrameRetries: 7,
+		RetryDelayMax:   40 * sim.Millisecond,
+		DataWaitTimeout: 100 * sim.Millisecond,
+	}
+}
+
+// Stats counts MAC activity for the Fig. 6d "total frames transmitted"
+// measurement and loss analysis.
+type Stats struct {
+	DataSent     uint64 // successful link transmissions (ACKed or no-ACK-needed)
+	DataDropped  uint64 // frames dropped after exhausting retries
+	Retries      uint64 // link-layer retransmission attempts
+	CSMAFailures uint64 // channel-access failures (CCA busy too many times)
+	AcksSent     uint64
+	Duplicates   uint64 // MAC-level duplicate frames suppressed
+	DataReqSent  uint64
+	IndirectSent uint64
+}
+
+type txJob struct {
+	frame    *phy.Frame
+	wire     []byte // encoded once, when loaded into the frame buffer
+	done     func(TxStatus)
+	attempts int
+	nb, be   int
+	indirect bool
+}
+
+// Mac is one node's MAC instance.
+type Mac struct {
+	eng    *sim.Engine
+	radio  *phy.Radio
+	params Params
+
+	seq         uint8
+	queue       []*txJob
+	inflight    *txJob
+	ackTimer    *sim.Timer
+	sendingAck  bool
+	kickPending bool
+	// lastAckPending records the frame-pending bit of the most recent
+	// ACK that completed one of our transmissions (data-request polls).
+	lastAckPending bool
+
+	// IdleListen decides whether the radio should listen when the MAC is
+	// idle. Always-on routers return true; a SleepController installs a
+	// policy that usually returns false. Nil means always listen.
+	IdleListen func() bool
+
+	// OnReceive is invoked for every accepted data or command frame.
+	OnReceive func(f *phy.Frame)
+
+	// OnDataRequest is invoked when a DataRequest command arrives (parent
+	// side), after the ACK (with pending bit) has been generated.
+	OnDataRequest func(child phy.Addr)
+
+	// indirect delivery state (parent side)
+	sleepyChildren map[phy.Addr]bool
+	indirectQ      map[phy.Addr][]*txJob
+
+	// duplicate suppression
+	lastSeq map[phy.Addr]uint8
+	seenSeq map[phy.Addr]bool
+
+	Stats Stats
+}
+
+// New wires a MAC onto a radio. The radio's OnReceive/OnTxDone callbacks
+// are owned by the MAC from this point on.
+func New(eng *sim.Engine, radio *phy.Radio, params Params) *Mac {
+	m := &Mac{
+		eng:            eng,
+		radio:          radio,
+		params:         params,
+		sleepyChildren: map[phy.Addr]bool{},
+		indirectQ:      map[phy.Addr][]*txJob{},
+		lastSeq:        map[phy.Addr]uint8{},
+		seenSeq:        map[phy.Addr]bool{},
+	}
+	m.ackTimer = sim.NewTimer(eng, m.ackTimeout)
+	radio.OnReceive = m.radioReceive
+	m.applyIdleState()
+	return m
+}
+
+// Radio returns the underlying radio.
+func (m *Mac) Radio() *phy.Radio { return m.radio }
+
+// Params returns the MAC parameters.
+func (m *Mac) Params() Params { return m.params }
+
+// SetRetryDelayMax changes the link-retry delay knob d at runtime (used
+// by the Fig. 6 sweep).
+func (m *Mac) SetRetryDelayMax(d sim.Duration) { m.params.RetryDelayMax = d }
+
+// SetChildSleepy registers (or deregisters) a sleepy child: unicast
+// frames to it are held in the indirect queue until it polls.
+func (m *Mac) SetChildSleepy(child phy.Addr, sleepy bool) {
+	if sleepy {
+		m.sleepyChildren[child] = true
+	} else {
+		delete(m.sleepyChildren, child)
+		for _, j := range m.indirectQ[child] {
+			m.enqueue(j)
+		}
+		delete(m.indirectQ, child)
+	}
+}
+
+// IndirectQueueLen returns the number of frames held for child.
+func (m *Mac) IndirectQueueLen(child phy.Addr) int { return len(m.indirectQ[child]) }
+
+func (m *Mac) applyIdleState() {
+	if m.inflight != nil || m.sendingAck || m.radio.Transmitting() {
+		return
+	}
+	listen := true
+	if m.IdleListen != nil {
+		listen = m.IdleListen()
+	}
+	m.radio.SetListen(listen)
+}
+
+// RefreshIdleState re-applies the idle listen policy; a SleepController
+// calls this when its schedule changes the desired radio state.
+func (m *Mac) RefreshIdleState() { m.applyIdleState() }
+
+// Send queues a payload for dst. done (may be nil) is invoked with the
+// link-layer outcome. Frames to registered sleepy children are placed on
+// the indirect queue instead of the air.
+func (m *Mac) Send(dst phy.Addr, payload []byte, done func(TxStatus)) {
+	m.seq++
+	f := &phy.Frame{
+		Type:       phy.FrameData,
+		Seq:        m.seq,
+		Dst:        dst,
+		Src:        m.radio.Addr(),
+		AckRequest: !dst.IsBroadcast(),
+		Payload:    payload,
+	}
+	job := &txJob{frame: f, done: done}
+	if m.sleepyChildren[dst] {
+		job.indirect = true
+		m.indirectQ[dst] = append(m.indirectQ[dst], job)
+		return
+	}
+	m.enqueue(job)
+}
+
+// SendDataRequest transmits a DataRequest poll to the parent (leaf side).
+// done receives the link outcome and whether the parent's ACK had the
+// frame-pending bit set.
+func (m *Mac) SendDataRequest(parent phy.Addr, done func(TxStatus, bool)) {
+	m.seq++
+	f := &phy.Frame{
+		Type:       phy.FrameCommand,
+		Seq:        m.seq,
+		Dst:        parent,
+		Src:        m.radio.Addr(),
+		Command:    phy.DataRequest,
+		AckRequest: true,
+	}
+	m.Stats.DataReqSent++
+	m.enqueue(&txJob{frame: f, done: func(s TxStatus) {
+		if done != nil {
+			done(s, m.lastAckPending)
+		}
+	}})
+}
+
+// QueueLen returns the number of frames waiting (excluding indirect).
+func (m *Mac) QueueLen() int {
+	n := len(m.queue)
+	if m.inflight != nil {
+		n++
+	}
+	return n
+}
+
+func (m *Mac) enqueue(job *txJob) {
+	if job.indirect {
+		// Indirect frames jump the queue: §9.5 improvement (1),
+		// "prioritized indirect messages over the current packet being
+		// sent" — here, over queued packets; an in-flight frame finishes.
+		m.queue = append([]*txJob{job}, m.queue...)
+	} else {
+		m.queue = append(m.queue, job)
+	}
+	m.kick()
+}
+
+func (m *Mac) kick() {
+	if m.inflight != nil || len(m.queue) == 0 {
+		return
+	}
+	if m.radio.Transmitting() || m.sendingAck {
+		// The radio is busy with an ACK or a late transmission. Poll
+		// until it frees: relying on every completion path to re-kick
+		// proved fragile (a lost wakeup strands the queue forever).
+		if !m.kickPending {
+			m.kickPending = true
+			m.eng.Schedule(phy.UnitBackoff, func() {
+				m.kickPending = false
+				m.kick()
+			})
+		}
+		return
+	}
+	m.inflight = m.queue[0]
+	m.queue = m.queue[1:]
+	m.inflight.attempts = 0
+	job := m.inflight
+	// Pay the SPI cost of moving the frame into the radio's frame buffer
+	// once; link retries reuse the buffer. The radio listens during the
+	// load, the CSMA backoff, and the CCA — the fix for deaf listening
+	// (§4).
+	m.radio.SetListen(true)
+	job.wire = job.frame.Encode()
+	m.eng.Schedule(phy.LoadTime(len(job.wire)), func() {
+		if m.inflight == job {
+			m.startCSMA()
+		}
+	})
+}
+
+func (m *Mac) startCSMA() {
+	job := m.inflight
+	job.nb = 0
+	// Escalate the starting backoff exponent across link retries: two
+	// hidden-terminal victims that collided once spread further apart on
+	// each attempt even before the random retry delay d is added.
+	job.be = min(m.params.MinBE+job.attempts, m.params.MaxBE)
+	m.radio.SetListen(true)
+	m.backoffStep()
+}
+
+func (m *Mac) backoffStep() {
+	job := m.inflight
+	if job == nil {
+		return
+	}
+	slots := m.eng.Rand().Intn(1 << job.be)
+	delay := sim.Duration(slots)*phy.UnitBackoff + phy.CCATime
+	m.eng.Schedule(delay, func() {
+		if m.inflight != job {
+			return
+		}
+		if m.radio.Transmitting() {
+			// An ACK we owed someone is on air; retry shortly.
+			m.eng.Schedule(phy.UnitBackoff, func() {
+				if m.inflight == job {
+					m.backoffStep()
+				}
+			})
+			return
+		}
+		if m.radio.ChannelClear() {
+			m.transmit()
+			return
+		}
+		job.nb++
+		job.be = min(job.be+1, m.params.MaxBE)
+		if job.nb > m.params.MaxCSMABackoffs {
+			m.Stats.CSMAFailures++
+			m.linkRetry(TxChannelBusy)
+			return
+		}
+		m.backoffStep()
+	})
+}
+
+func (m *Mac) transmit() {
+	job := m.inflight
+	if job.attempts > 0 {
+		m.Stats.Retries++
+	}
+	m.radio.OnTxDone = func() {
+		m.radio.OnTxDone = nil
+		if m.inflight != job {
+			m.applyIdleState()
+			return
+		}
+		if !job.frame.AckRequest {
+			m.finish(TxOK)
+			return
+		}
+		m.ackTimer.Reset(phy.AckWait)
+	}
+	m.radio.TransmitLoaded(job.wire)
+}
+
+func (m *Mac) ackTimeout() {
+	if m.inflight == nil {
+		return
+	}
+	m.linkRetry(TxNoAck)
+}
+
+func (m *Mac) linkRetry(cause TxStatus) {
+	job := m.inflight
+	job.attempts++
+	if job.attempts > m.params.MaxFrameRetries {
+		m.finish(cause)
+		return
+	}
+	// The paper's hidden-terminal fix: wait uniform[0, d] before retrying
+	// so the two colliding parties retransmit at different times.
+	var delay sim.Duration
+	if d := m.params.RetryDelayMax; d > 0 {
+		delay = sim.Duration(m.eng.Rand().Int63n(int64(d) + 1))
+	}
+	m.eng.Schedule(delay, func() {
+		if m.inflight == job {
+			m.startCSMA()
+		}
+	})
+}
+
+func (m *Mac) finish(status TxStatus) {
+	job := m.inflight
+	m.inflight = nil
+	m.ackTimer.Stop()
+	if status == TxOK {
+		m.Stats.DataSent++
+		if job.indirect {
+			m.Stats.IndirectSent++
+		}
+	} else {
+		m.Stats.DataDropped++
+	}
+	m.applyIdleState()
+	if job.done != nil {
+		job.done(status)
+	}
+	m.kick()
+}
+
+func (m *Mac) radioReceive(data []byte) {
+	f, err := phy.DecodeFrame(data)
+	if err != nil {
+		return
+	}
+	if f.Type == phy.FrameAck {
+		m.handleAck(f)
+		return
+	}
+	if f.Dst != m.radio.Addr() && !f.Dst.IsBroadcast() {
+		return
+	}
+	// Generate the immediate ACK first (after turnaround), then deliver.
+	if f.AckRequest {
+		pending := false
+		if f.Type == phy.FrameCommand && f.Command == phy.DataRequest {
+			pending = len(m.indirectQ[f.Src]) > 0
+		} else if m.sleepyChildren[f.Src] {
+			pending = len(m.indirectQ[f.Src]) > 0
+		}
+		m.sendAck(f.Seq, pending)
+	}
+	// MAC-level duplicate suppression (a lost ACK causes the peer to
+	// retransmit a frame we already accepted).
+	if m.seenSeq[f.Src] && m.lastSeq[f.Src] == f.Seq {
+		m.Stats.Duplicates++
+		return
+	}
+	m.lastSeq[f.Src] = f.Seq
+	m.seenSeq[f.Src] = true
+
+	if f.Type == phy.FrameCommand && f.Command == phy.DataRequest {
+		m.serveDataRequest(f.Src)
+		if m.OnDataRequest != nil {
+			m.OnDataRequest(f.Src)
+		}
+		return
+	}
+	if m.OnReceive != nil {
+		m.OnReceive(f)
+	}
+}
+
+func (m *Mac) handleAck(f *phy.Frame) {
+	job := m.inflight
+	if job == nil || !m.ackTimer.Armed() || f.Seq != job.frame.Seq {
+		return
+	}
+	m.lastAckPending = f.FramePending
+	m.finish(TxOK)
+}
+
+func (m *Mac) sendAck(seq uint8, pending bool) {
+	if m.radio.Transmitting() {
+		return // cannot ACK while our own frame is on air (rare)
+	}
+	// If we were awaiting a link ACK, turning the radio around to
+	// transmit forfeits it (half-duplex); the retry path recovers. A job
+	// that is merely loading or in CSMA backoff is NOT "waiting" — its
+	// own scheduled steps continue independently.
+	wasWaiting := m.ackTimer.Armed()
+	m.ackTimer.Stop()
+	m.sendingAck = true
+	m.radio.OnTxDone = func() {
+		m.radio.OnTxDone = nil
+		m.sendingAck = false
+		m.Stats.AcksSent++
+		if wasWaiting && m.inflight != nil {
+			// Our own pending exchange lost its ACK window; retry it.
+			m.linkRetry(TxNoAck)
+		} else {
+			m.applyIdleState()
+			m.kick()
+		}
+	}
+	// ACKs are generated from radio-internal state: no SPI load, just the
+	// turnaround (inside TransmitLoaded).
+	m.radio.TransmitLoaded(phy.AckFor(seq, pending).Encode())
+}
+
+// serveDataRequest moves the next indirect frame for child (if any) to
+// the head of the transmit queue. If more frames remain queued, the
+// frame-pending bit is set so the child keeps listening (Appendix C's
+// burst-delivery improvement, after [37]).
+func (m *Mac) serveDataRequest(child phy.Addr) {
+	q := m.indirectQ[child]
+	if len(q) == 0 {
+		return
+	}
+	job := q[0]
+	m.indirectQ[child] = q[1:]
+	job.frame.FramePending = len(m.indirectQ[child]) > 0
+	m.enqueue(job)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DebugState summarizes internal MAC progress state (diagnostics only).
+func (m *Mac) DebugState() string {
+	st := "idle"
+	if m.inflight != nil {
+		st = "inflight"
+		if m.inflight.wire == nil {
+			st += "/loading"
+		}
+	}
+	return st + " queue=" + itoa(len(m.queue)) +
+		" sendingAck=" + boolStr(m.sendingAck) +
+		" ackTimerArmed=" + boolStr(m.ackTimer.Armed()) +
+		" radio=" + m.radio.State().String()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

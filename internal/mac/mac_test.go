@@ -1,0 +1,350 @@
+package mac
+
+import (
+	"testing"
+
+	"tcplp/internal/phy"
+	"tcplp/internal/sim"
+)
+
+// pair builds two always-on MACs one hop apart.
+func pair(seed int64) (*sim.Engine, *Mac, *Mac) {
+	eng := sim.NewEngine(seed)
+	ch := phy.NewChannel(eng, phy.NewUnitDisk(1.0, 1.0))
+	a := New(eng, ch.AddRadio(0, phy.Point{X: 0}), DefaultParams())
+	b := New(eng, ch.AddRadio(1, phy.Point{X: 1}), DefaultParams())
+	return eng, a, b
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	eng, a, b := pair(1)
+	var got []byte
+	b.OnReceive = func(f *phy.Frame) { got = f.Payload }
+	status := TxStatus(-1)
+	a.Send(b.Radio().Addr(), []byte("payload"), func(s TxStatus) { status = s })
+	eng.Run()
+	if string(got) != "payload" {
+		t.Fatalf("payload = %q", got)
+	}
+	if status != TxOK {
+		t.Fatalf("status = %v", status)
+	}
+	if b.Stats.AcksSent != 1 {
+		t.Fatalf("acks sent = %d", b.Stats.AcksSent)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	eng, a, b := pair(2)
+	var got []string
+	b.OnReceive = func(f *phy.Frame) { got = append(got, string(f.Payload)) }
+	for _, s := range []string{"one", "two", "three"} {
+		a.Send(b.Radio().Addr(), []byte(s), nil)
+	}
+	eng.Run()
+	if len(got) != 3 || got[0] != "one" || got[1] != "two" || got[2] != "three" {
+		t.Fatalf("delivery order: %v", got)
+	}
+}
+
+func TestRetriesOnLoss(t *testing.T) {
+	eng := sim.NewEngine(3)
+	ch := phy.NewChannel(eng, phy.NewUnitDisk(1.0, 1.0))
+	ra := ch.AddRadio(0, phy.Point{X: 0})
+	rb := ch.AddRadio(1, phy.Point{X: 1})
+	// Drop the first two data transmissions a→b.
+	drops := 2
+	ch.PER = func(src, dst *phy.Radio) float64 {
+		if src == ra && drops > 0 {
+			drops--
+			return 1
+		}
+		return 0
+	}
+	a := New(eng, ra, DefaultParams())
+	b := New(eng, rb, DefaultParams())
+	delivered := 0
+	b.OnReceive = func(*phy.Frame) { delivered++ }
+	var status TxStatus = -1
+	a.Send(rb.Addr(), []byte("x"), func(s TxStatus) { status = s })
+	eng.Run()
+	if status != TxOK || delivered != 1 {
+		t.Fatalf("status=%v delivered=%d", status, delivered)
+	}
+	if a.Stats.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", a.Stats.Retries)
+	}
+}
+
+func TestDropAfterMaxRetries(t *testing.T) {
+	eng := sim.NewEngine(4)
+	ch := phy.NewChannel(eng, phy.NewUnitDisk(1.0, 1.0))
+	ra := ch.AddRadio(0, phy.Point{X: 0})
+	rb := ch.AddRadio(1, phy.Point{X: 1})
+	ch.PER = func(src, dst *phy.Radio) float64 { return 1 } // total blackout
+	p := DefaultParams()
+	p.MaxFrameRetries = 3
+	a := New(eng, ra, p)
+	New(eng, rb, p)
+	var status TxStatus = -1
+	a.Send(rb.Addr(), []byte("x"), func(s TxStatus) { status = s })
+	eng.Run()
+	if status != TxNoAck {
+		t.Fatalf("status = %v, want no-ack", status)
+	}
+	if a.Stats.DataDropped != 1 || a.Stats.Retries != 3 {
+		t.Fatalf("dropped=%d retries=%d", a.Stats.DataDropped, a.Stats.Retries)
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	eng := sim.NewEngine(5)
+	ch := phy.NewChannel(eng, phy.NewUnitDisk(1.0, 1.0))
+	ra := ch.AddRadio(0, phy.Point{X: 0})
+	rb := ch.AddRadio(1, phy.Point{X: 1})
+	// Lose b's ACKs (frames from b) once, forcing a retransmission of a
+	// frame b already accepted.
+	ackDrops := 1
+	ch.PER = func(src, dst *phy.Radio) float64 {
+		if src == rb && ackDrops > 0 {
+			ackDrops--
+			return 1
+		}
+		return 0
+	}
+	a := New(eng, ra, DefaultParams())
+	b := New(eng, rb, DefaultParams())
+	delivered := 0
+	b.OnReceive = func(*phy.Frame) { delivered++ }
+	a.Send(rb.Addr(), []byte("x"), nil)
+	eng.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (duplicate must be suppressed)", delivered)
+	}
+	if b.Stats.Duplicates != 1 {
+		t.Fatalf("duplicates = %d, want 1", b.Stats.Duplicates)
+	}
+}
+
+func TestBroadcastNoAck(t *testing.T) {
+	eng, a, b := pair(6)
+	got := 0
+	b.OnReceive = func(*phy.Frame) { got++ }
+	var status TxStatus = -1
+	a.Send(phy.BroadcastAddr, []byte("hello all"), func(s TxStatus) { status = s })
+	eng.Run()
+	if got != 1 || status != TxOK {
+		t.Fatalf("broadcast: got=%d status=%v", got, status)
+	}
+	if b.Stats.AcksSent != 0 {
+		t.Fatal("broadcast must not be ACKed")
+	}
+}
+
+// Two hidden senders (0 and 2 cannot sense each other) both push a stream
+// of frames to node 1. With d=0, retries repeatedly collide and drops
+// occur; with d=40ms, delivery improves markedly (Fig. 6 mechanism).
+func TestRetryDelayBeatsHiddenTerminals(t *testing.T) {
+	run := func(d sim.Duration) (delivered, dropped uint64) {
+		eng := sim.NewEngine(7)
+		ch := phy.NewChannel(eng, phy.NewUnitDisk(1.0, 1.0))
+		r0 := ch.AddRadio(0, phy.Point{X: 0})
+		r1 := ch.AddRadio(1, phy.Point{X: 1})
+		r2 := ch.AddRadio(2, phy.Point{X: 2})
+		p := DefaultParams()
+		p.RetryDelayMax = d
+		p.MaxFrameRetries = 4
+		m0 := New(eng, r0, p)
+		m1 := New(eng, r1, p)
+		m2 := New(eng, r2, p)
+		count := uint64(0)
+		m1.OnReceive = func(*phy.Frame) { count++ }
+		payload := make([]byte, 90)
+		var feed func(m *Mac)
+		feed = func(m *Mac) {
+			m.Send(r1.Addr(), payload, func(TxStatus) {
+				if eng.Now() < sim.Time(20*sim.Second) {
+					feed(m)
+				}
+			})
+		}
+		feed(m0)
+		feed(m2)
+		eng.RunUntil(sim.Time(25 * sim.Second))
+		return count, m0.Stats.DataDropped + m2.Stats.DataDropped
+	}
+	d0Delivered, d0Dropped := run(0)
+	d40Delivered, d40Dropped := run(40 * sim.Millisecond)
+	if d0Dropped == 0 {
+		t.Fatalf("expected hidden-terminal drops at d=0 (delivered=%d)", d0Delivered)
+	}
+	if d40Dropped >= d0Dropped {
+		t.Fatalf("retry delay did not reduce drops: d0=%d d40=%d", d0Dropped, d40Dropped)
+	}
+	if d40Delivered == 0 {
+		t.Fatal("no delivery at d=40ms")
+	}
+}
+
+func TestIndirectDelivery(t *testing.T) {
+	eng := sim.NewEngine(8)
+	ch := phy.NewChannel(eng, phy.NewUnitDisk(1.0, 1.0))
+	parentR := ch.AddRadio(0, phy.Point{X: 0})
+	childR := ch.AddRadio(1, phy.Point{X: 1})
+	parent := New(eng, parentR, DefaultParams())
+	child := New(eng, childR, DefaultParams())
+	parent.SetChildSleepy(childR.Addr(), true)
+
+	sc := NewSleepController(eng, child, parentR.Addr())
+	sc.SleepInterval = 500 * sim.Millisecond
+	var got []string
+	child.OnReceive = func(f *phy.Frame) {
+		got = append(got, string(f.Payload))
+		sc.FrameDelivered(f.FramePending)
+	}
+	sc.Start()
+
+	// Parent queues two frames for the sleeping child; they must wait in
+	// the indirect queue, then both be delivered in one wakeup window via
+	// the frame-pending bit.
+	parent.Send(childR.Addr(), []byte("first"), nil)
+	parent.Send(childR.Addr(), []byte("second"), nil)
+	if parent.IndirectQueueLen(childR.Addr()) != 2 {
+		t.Fatalf("indirect queue = %d, want 2", parent.IndirectQueueLen(childR.Addr()))
+	}
+	eng.RunUntil(sim.Time(400 * sim.Millisecond))
+	if len(got) != 0 {
+		t.Fatal("frame delivered before child polled")
+	}
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("indirect delivery: %v", got)
+	}
+	if parent.Stats.IndirectSent != 2 {
+		t.Fatalf("indirect sent = %d", parent.Stats.IndirectSent)
+	}
+	// The child's radio must be mostly asleep.
+	if dc := childR.DutyCycle(); dc > 0.25 {
+		t.Fatalf("child duty cycle = %.3f, want well under 25%%", dc)
+	}
+}
+
+func TestSleepyChildUpstreamAnytime(t *testing.T) {
+	eng := sim.NewEngine(9)
+	ch := phy.NewChannel(eng, phy.NewUnitDisk(1.0, 1.0))
+	parentR := ch.AddRadio(0, phy.Point{X: 0})
+	childR := ch.AddRadio(1, phy.Point{X: 1})
+	parent := New(eng, parentR, DefaultParams())
+	child := New(eng, childR, DefaultParams())
+	parent.SetChildSleepy(childR.Addr(), true)
+	sc := NewSleepController(eng, child, parentR.Addr())
+	sc.Start()
+	got := ""
+	parent.OnReceive = func(f *phy.Frame) { got = string(f.Payload) }
+	var status TxStatus = -1
+	eng.Schedule(sim.Second, func() {
+		child.Send(parentR.Addr(), []byte("up"), func(s TxStatus) { status = s })
+	})
+	eng.RunUntil(sim.Time(3 * sim.Second))
+	if got != "up" || status != TxOK {
+		t.Fatalf("upstream from sleepy child failed: %q %v", got, status)
+	}
+	if !childR.Sleeping() {
+		t.Fatal("child radio should return to sleep after sending")
+	}
+}
+
+func TestAdaptiveSleepInterval(t *testing.T) {
+	eng := sim.NewEngine(10)
+	ch := phy.NewChannel(eng, phy.NewUnitDisk(1.0, 1.0))
+	parentR := ch.AddRadio(0, phy.Point{X: 0})
+	childR := ch.AddRadio(1, phy.Point{X: 1})
+	parent := New(eng, parentR, DefaultParams())
+	child := New(eng, childR, DefaultParams())
+	parent.SetChildSleepy(childR.Addr(), true)
+	sc := NewSleepController(eng, child, parentR.Addr())
+	sc.Adaptive = true
+	sc.Min = 20 * sim.Millisecond
+	sc.Max = 5 * sim.Second
+	received := 0
+	child.OnReceive = func(f *phy.Frame) {
+		received++
+		sc.FrameDelivered(f.FramePending)
+	}
+	sc.Start()
+	// With no traffic the interval must back off to Max.
+	eng.RunUntil(sim.Time(60 * sim.Second))
+	if sc.current != sc.Max {
+		t.Fatalf("idle interval = %v, want %v", sc.current, sc.Max)
+	}
+	pollsBefore := sc.Polls
+	// A burst of downstream frames must collapse the interval to Min and
+	// drain quickly.
+	for i := 0; i < 10; i++ {
+		parent.Send(childR.Addr(), []byte{byte(i)}, nil)
+	}
+	start := eng.Now()
+	eng.RunUntil(start.Add(10 * sim.Second))
+	if received != 10 {
+		t.Fatalf("received %d of 10 burst frames", received)
+	}
+	if sc.current != sc.Min && sc.Polls == pollsBefore {
+		t.Fatal("adaptive interval did not react to burst")
+	}
+	// And back off again when idle.
+	eng.RunUntil(eng.Now().Add(60 * sim.Second))
+	if sc.current != sc.Max {
+		t.Fatalf("interval did not back off after burst: %v", sc.current)
+	}
+}
+
+func TestFastPollWhileExpecting(t *testing.T) {
+	eng := sim.NewEngine(11)
+	ch := phy.NewChannel(eng, phy.NewUnitDisk(1.0, 1.0))
+	parentR := ch.AddRadio(0, phy.Point{X: 0})
+	childR := ch.AddRadio(1, phy.Point{X: 1})
+	parent := New(eng, parentR, DefaultParams())
+	child := New(eng, childR, DefaultParams())
+	parent.SetChildSleepy(childR.Addr(), true)
+	sc := NewSleepController(eng, child, parentR.Addr())
+	sc.SleepInterval = 4 * sim.Minute
+	sc.FastInterval = 100 * sim.Millisecond
+	sc.Start()
+	sc.SetExpecting(true)
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	if sc.Polls < 30 {
+		t.Fatalf("fast polling inactive: %d polls in 5s", sc.Polls)
+	}
+	sc.SetExpecting(false)
+	p := sc.Polls
+	eng.RunUntil(sim.Time(30 * sim.Second))
+	if sc.Polls > p+2 {
+		t.Fatalf("polling still fast after SetExpecting(false): %d extra", sc.Polls-p)
+	}
+}
+
+func TestCSMADefersToBusyChannel(t *testing.T) {
+	// Nodes 0 and 2 both in sense range of each other (sense 2.0) sending
+	// to 1: CSMA should avoid almost all collisions.
+	eng := sim.NewEngine(12)
+	ch := phy.NewChannel(eng, phy.NewUnitDisk(1.0, 2.0))
+	r0 := ch.AddRadio(0, phy.Point{X: 0})
+	r1 := ch.AddRadio(1, phy.Point{X: 1})
+	r2 := ch.AddRadio(2, phy.Point{X: 2})
+	m0 := New(eng, r0, DefaultParams())
+	m1 := New(eng, r1, DefaultParams())
+	m2 := New(eng, r2, DefaultParams())
+	count := 0
+	m1.OnReceive = func(*phy.Frame) { count++ }
+	for i := 0; i < 20; i++ {
+		m0.Send(r1.Addr(), make([]byte, 80), nil)
+		m2.Send(r1.Addr(), make([]byte, 80), nil)
+	}
+	eng.Run()
+	if count != 40 {
+		t.Fatalf("delivered %d of 40 with carrier sensing", count)
+	}
+	if m0.Stats.DataDropped+m2.Stats.DataDropped > 0 {
+		t.Fatal("drops despite carrier sensing")
+	}
+}

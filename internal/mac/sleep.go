@@ -1,0 +1,192 @@
+package mac
+
+import (
+	"tcplp/internal/phy"
+	"tcplp/internal/sim"
+)
+
+// SleepController implements the listen-after-send duty cycling of a
+// Thread sleepy end device (§3.2) and the paper's two refinements:
+//
+//   - Fast polling while a transport-layer response is expected (§9.2):
+//     the data-request interval drops to FastInterval when the transport
+//     marks itself "expecting", and returns to SleepInterval otherwise.
+//
+//   - Trickle-style adaptive sleep interval (Appendix C): on receiving a
+//     downstream packet the interval collapses to Min; each poll that
+//     yields nothing doubles it, clamped at Max.
+//
+// The controller owns the leaf radio's idle state: the radio sleeps
+// except while transmitting, polling, or in the post-poll wakeup window.
+type SleepController struct {
+	eng    *sim.Engine
+	mac    *Mac
+	parent phy.Addr
+
+	// SleepInterval is the base data-request period (Thread default: 4
+	// minutes).
+	SleepInterval sim.Duration
+	// FastInterval is the poll period while a response is expected
+	// (paper: 100 ms).
+	FastInterval sim.Duration
+
+	// Adaptive enables the Trickle-controlled interval of Appendix C.
+	Adaptive bool
+	// Min/Max bound the adaptive interval (paper: 20 ms / 5 s).
+	Min, Max sim.Duration
+
+	current   sim.Duration // adaptive interval state
+	expecting int          // >0 while transport expects inbound traffic
+	awake     bool         // inside a wakeup (receive) window
+	pollTimer *sim.Timer
+	waitTimer *sim.Timer
+	started   bool
+
+	// Polls counts data requests issued; Wakeups counts pending-bit
+	// windows entered.
+	Polls, Wakeups uint64
+}
+
+// NewSleepController attaches duty cycling to a leaf MAC. The MAC's idle
+// listen policy is taken over by the controller.
+func NewSleepController(eng *sim.Engine, m *Mac, parent phy.Addr) *SleepController {
+	sc := &SleepController{
+		eng:           eng,
+		mac:           m,
+		parent:        parent,
+		SleepInterval: 4 * sim.Minute,
+		FastInterval:  100 * sim.Millisecond,
+		Min:           20 * sim.Millisecond,
+		Max:           5 * sim.Second,
+	}
+	sc.pollTimer = sim.NewTimer(eng, sc.poll)
+	sc.waitTimer = sim.NewTimer(eng, sc.wakeupTimeout)
+	m.IdleListen = func() bool { return sc.awake }
+	return sc
+}
+
+// Start begins the poll/sleep cycle.
+func (sc *SleepController) Start() {
+	if sc.started {
+		return
+	}
+	sc.started = true
+	sc.current = sc.interval()
+	sc.mac.RefreshIdleState()
+	sc.pollTimer.Reset(sc.current)
+}
+
+// SetExpecting tells the controller whether the transport layer is
+// waiting for a response (unACKed TCP data in flight, outstanding CoAP
+// confirmable, ...). While expecting, polls run at FastInterval.
+func (sc *SleepController) SetExpecting(on bool) {
+	if on {
+		sc.expecting++
+		if sc.expecting == 1 && sc.started {
+			sc.pollTimer.Reset(sc.interval())
+		}
+		return
+	}
+	if sc.expecting > 0 {
+		sc.expecting--
+	}
+}
+
+// Expecting reports whether fast polling is active.
+func (sc *SleepController) Expecting() bool { return sc.expecting > 0 }
+
+// interval returns the next poll delay under the current policy. A
+// FastInterval of zero disables expecting-driven fast polling (Appendix C
+// studies fixed intervals without the §9.2 hint).
+func (sc *SleepController) interval() sim.Duration {
+	if sc.expecting > 0 && sc.FastInterval > 0 {
+		return sc.FastInterval
+	}
+	if sc.Adaptive {
+		if sc.current < sc.Min {
+			sc.current = sc.Min
+		}
+		if sc.current > sc.Max {
+			sc.current = sc.Max
+		}
+		return sc.current
+	}
+	return sc.SleepInterval
+}
+
+// NotifyInbound is called by the MAC owner when a downstream packet
+// arrives; under the adaptive policy it collapses the interval to Min.
+func (sc *SleepController) NotifyInbound() {
+	if !sc.Adaptive {
+		return
+	}
+	sc.current = sc.Min
+	if sc.started && !sc.awake {
+		sc.pollTimer.Reset(sc.interval())
+	}
+}
+
+func (sc *SleepController) poll() {
+	sc.Polls++
+	sc.mac.SendDataRequest(sc.parent, func(status TxStatus, pending bool) {
+		if status != TxOK {
+			// Poll lost; treat as an empty poll.
+			sc.afterEmptyPoll()
+			return
+		}
+		if pending {
+			sc.enterWakeup()
+			return
+		}
+		sc.afterEmptyPoll()
+	})
+}
+
+func (sc *SleepController) afterEmptyPoll() {
+	if sc.Adaptive && sc.expecting == 0 {
+		sc.current = minDur(sc.current*2, sc.Max)
+	}
+	sc.scheduleNext()
+}
+
+func (sc *SleepController) scheduleNext() {
+	sc.awake = false
+	sc.mac.RefreshIdleState()
+	sc.pollTimer.Reset(sc.interval())
+}
+
+func (sc *SleepController) enterWakeup() {
+	sc.Wakeups++
+	sc.awake = true
+	sc.mac.RefreshIdleState()
+	sc.waitTimer.Reset(sc.mac.Params().DataWaitTimeout)
+}
+
+// FrameDelivered is called by the MAC owner for each downstream frame
+// received during a wakeup window; pending indicates the parent has more
+// queued (frame-pending bit), in which case the window extends.
+func (sc *SleepController) FrameDelivered(pending bool) {
+	if sc.Adaptive {
+		sc.current = sc.Min
+	}
+	if !sc.awake {
+		return
+	}
+	if pending {
+		sc.waitTimer.Reset(sc.mac.Params().DataWaitTimeout)
+		return
+	}
+	sc.waitTimer.Stop()
+	sc.scheduleNext()
+}
+
+func (sc *SleepController) wakeupTimeout() {
+	sc.scheduleNext()
+}
+
+func minDur(a, b sim.Duration) sim.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package mesh
+
+import "math/rand"
+
+// REDAction is the verdict for an arriving packet.
+type REDAction int
+
+// RED verdicts.
+const (
+	REDPass REDAction = iota
+	REDMark
+	REDDrop
+)
+
+// RED implements Random Early Detection (Floyd & Jacobson 1993) for relay
+// queues. The paper's Appendix A uses RED together with ECN to restore
+// fairness between competing TCP flows when buffers exceed four segments.
+type RED struct {
+	// MinTh / MaxTh are the average-queue thresholds in packets.
+	MinTh, MaxTh float64
+	// MaxP is the marking probability at MaxTh.
+	MaxP float64
+	// Wq is the EWMA weight for the average queue length.
+	Wq float64
+	// UseECN marks instead of dropping when possible.
+	UseECN bool
+
+	avg   float64
+	count int
+
+	Marks, Drops uint64
+}
+
+// DefaultRED returns parameters sized for the paper's tiny relay queues.
+func DefaultRED(useECN bool) *RED {
+	return &RED{MinTh: 2, MaxTh: 6, MaxP: 0.2, Wq: 0.25, UseECN: useECN}
+}
+
+// OnArrival updates the average queue estimate with the instantaneous
+// queue length qlen and returns the verdict for the arriving packet.
+// canMark reports whether the packet is ECN-capable (ECT set).
+func (r *RED) OnArrival(qlen int, canMark bool, rng *rand.Rand) REDAction {
+	r.avg = (1-r.Wq)*r.avg + r.Wq*float64(qlen)
+	switch {
+	case r.avg < r.MinTh:
+		r.count = 0
+		return REDPass
+	case r.avg >= r.MaxTh:
+		r.count = 0
+		return r.verdict(canMark)
+	default:
+		pb := r.MaxP * (r.avg - r.MinTh) / (r.MaxTh - r.MinTh)
+		pa := pb / (1 - float64(r.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		r.count++
+		if rng.Float64() < pa {
+			r.count = 0
+			return r.verdict(canMark)
+		}
+		return REDPass
+	}
+}
+
+func (r *RED) verdict(canMark bool) REDAction {
+	if r.UseECN && canMark {
+		r.Marks++
+		return REDMark
+	}
+	r.Drops++
+	return REDDrop
+}
+
+// AvgQueue returns the current average queue estimate.
+func (r *RED) AvgQueue() float64 { return r.avg }

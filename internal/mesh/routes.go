@@ -1,0 +1,91 @@
+package mesh
+
+// Routes holds next-hop forwarding state for every (src, dst) pair,
+// computed as shortest paths over the connectivity graph. The paper uses
+// OpenThread's routing but explicitly studies TCP, not routing (§5);
+// static shortest-path routes preserve the data-plane behaviour while
+// keeping experiments reproducible (the paper likewise pins routes "for
+// experimental consistency", §9.5).
+type Routes struct {
+	next [][]int // next[src][dst] = next hop node id, -1 unreachable
+	dist [][]int // dist[src][dst] = hop count, -1 unreachable
+}
+
+// ComputeRoutes runs BFS from every node over adj.
+func ComputeRoutes(adj [][]int) *Routes {
+	n := len(adj)
+	r := &Routes{
+		next: make([][]int, n),
+		dist: make([][]int, n),
+	}
+	for src := 0; src < n; src++ {
+		r.next[src] = make([]int, n)
+		r.dist[src] = make([]int, n)
+		for i := range r.next[src] {
+			r.next[src][i] = -1
+			r.dist[src][i] = -1
+		}
+	}
+	// BFS from each destination, recording predecessor distances, then
+	// derive next hops: next[src][dst] is any neighbor of src one step
+	// closer to dst.
+	for dst := 0; dst < n; dst++ {
+		distTo := bfs(adj, dst)
+		for src := 0; src < n; src++ {
+			if src == dst || distTo[src] < 0 {
+				continue
+			}
+			r.dist[src][dst] = distTo[src]
+			for _, nb := range adj[src] {
+				if distTo[nb] >= 0 && distTo[nb] == distTo[src]-1 {
+					r.next[src][dst] = nb
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+func bfs(adj [][]int, from int) []int {
+	dist := make([]int, len(adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[from] = 0
+	queue := []int{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[v] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[v] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// NextHop returns the next node on the path from src to dst.
+func (r *Routes) NextHop(src, dst int) (int, bool) {
+	if src < 0 || src >= len(r.next) || dst < 0 || dst >= len(r.next) {
+		return 0, false
+	}
+	nh := r.next[src][dst]
+	return nh, nh >= 0
+}
+
+// Hops returns the path length from src to dst (-1 if unreachable).
+func (r *Routes) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return r.dist[src][dst]
+}
+
+// Parent returns a leaf's next hop toward the border router — its Thread
+// parent.
+func (r *Routes) Parent(leaf, border int) (int, bool) {
+	return r.NextHop(leaf, border)
+}

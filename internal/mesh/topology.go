@@ -1,0 +1,89 @@
+// Package mesh provides topologies, shortest-path route computation, and
+// the RED active queue management used in the paper's experiments: chains
+// for the hop-count studies (§7), a 15-node office layout standing in for
+// the Fig. 3 testbed, and Thread-style role assignment (border router,
+// always-on routers, sleepy leaves).
+package mesh
+
+import (
+	"math"
+
+	"tcplp/internal/phy"
+)
+
+// Topology is a set of node positions plus the radio ranges that induce
+// the connectivity graph.
+type Topology struct {
+	Positions  []phy.Point
+	TxRange    float64
+	SenseRange float64
+}
+
+// N returns the number of nodes.
+func (t Topology) N() int { return len(t.Positions) }
+
+// Chain places n nodes on a line with the given spacing; the decode range
+// covers exactly one hop and the sense range likewise, so non-adjacent
+// nodes are hidden terminals — the §7.1 configuration.
+func Chain(n int, spacing float64) Topology {
+	pos := make([]phy.Point, n)
+	for i := range pos {
+		pos[i] = phy.Point{X: float64(i) * spacing}
+	}
+	return Topology{
+		Positions:  pos,
+		TxRange:    spacing * 1.25,
+		SenseRange: spacing * 1.25,
+	}
+}
+
+// Star places n-1 nodes in a circle around node 0.
+func Star(n int, radius float64) Topology {
+	pos := make([]phy.Point, n)
+	for i := 1; i < n; i++ {
+		angle := 2 * math.Pi * float64(i-1) / float64(n-1)
+		pos[i] = phy.Point{X: radius * math.Cos(angle), Y: radius * math.Sin(angle)}
+	}
+	return Topology{Positions: pos, TxRange: radius * 1.2, SenseRange: radius * 1.2}
+}
+
+// Office is a 15-node layout standing in for the paper's office testbed
+// (Fig. 3): node 0 is the border router at one end; nodes 11-14 (the
+// anemometer stand-ins) sit 3-5 hops away at the far end, matching the
+// "-8 dBm transmission power" topology of §9.2. Distances are in meters;
+// the default ranges give uplink routes of 3-5 hops for the far nodes.
+func Office() Topology {
+	pos := []phy.Point{
+		{X: 0, Y: 3},    // 0: border router
+		{X: 5, Y: 1},    // 1
+		{X: 5, Y: 6},    // 2
+		{X: 10, Y: 3},   // 3
+		{X: 14, Y: 7},   // 4
+		{X: 15, Y: 1},   // 5
+		{X: 19, Y: 4},   // 6
+		{X: 23, Y: 8},   // 7
+		{X: 24, Y: 2},   // 8
+		{X: 28, Y: 5},   // 9
+		{X: 32, Y: 1},   // 10
+		{X: 33, Y: 8},   // 11: anemometer
+		{X: 36, Y: 4},   // 12: anemometer
+		{X: 38, Y: 8.5}, // 13: anemometer
+		{X: 39, Y: 1},   // 14: anemometer
+	}
+	return Topology{Positions: pos, TxRange: 10, SenseRange: 13}
+}
+
+// Adjacency returns the connectivity graph under the unit-disk decode
+// range.
+func (t Topology) Adjacency() [][]int {
+	n := t.N()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && t.Positions[i].Dist(t.Positions[j]) <= t.TxRange {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}

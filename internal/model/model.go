@@ -1,0 +1,73 @@
+// Package model implements the analytical results of the paper: the
+// classical Mathis model (Eq. 1), the paper's small-window LLN model
+// (Eq. 2, derived in Appendix B), the single-hop goodput ceiling (§6.4),
+// and the multihop radio-scheduling bound (§7.2).
+package model
+
+import (
+	"math"
+
+	"tcplp/internal/phy"
+	"tcplp/internal/sim"
+)
+
+// MathisGoodput is Eq. 1: B = MSS/RTT · sqrt(3/(2p)), in bits per
+// second. It assumes cwnd is loss-limited — the assumption §8 shows does
+// not hold in LLNs.
+func MathisGoodput(mssBytes int, rtt sim.Duration, p float64) float64 {
+	if p <= 0 || rtt <= 0 {
+		return math.Inf(1)
+	}
+	return float64(mssBytes) * 8 / rtt.Seconds() * math.Sqrt(3/(2*p))
+}
+
+// TCPlpGoodput is Eq. 2: B = MSS/RTT · 1/(1/w + 2p), in bits per second,
+// where w is the window size in segments (sized to the BDP) and p the
+// segment loss rate. The 1/w additive term is what makes LLN TCP robust
+// to small loss rates (§8).
+func TCPlpGoodput(mssBytes int, rtt sim.Duration, w int, p float64) float64 {
+	if rtt <= 0 || w <= 0 {
+		return 0
+	}
+	return float64(mssBytes) * 8 / rtt.Seconds() / (1/float64(w) + 2*p)
+}
+
+// BurstModel exposes the Appendix B intermediate quantities for tests:
+// goodput from the burst formulation B = w·b·MSS / (b·RTT + t_rec) with
+// b = 1/(w·p) and t_rec = 2·RTT. It must agree with TCPlpGoodput.
+func BurstModel(mssBytes int, rtt sim.Duration, w int, p float64) float64 {
+	if p <= 0 {
+		// No loss: the window streams continuously.
+		return float64(w*mssBytes) * 8 / rtt.Seconds()
+	}
+	b := 1 / (float64(w) * p)
+	burstBytes := float64(w) * b * float64(mssBytes)
+	burstTime := b*rtt.Seconds() + 2*rtt.Seconds()
+	return burstBytes * 8 / burstTime
+}
+
+// SingleHopCeiling reproduces the §6.4 upper-bound calculation for a
+// segment of segFrames frames carrying dataBytes of application data:
+// each frame costs its airtime plus SPI overhead, and with delayed ACKs
+// half the segments add one TCP ACK frame. Returns bits per second.
+func SingleHopCeiling(segFrames, dataBytes int) float64 {
+	perFrame := phy.AirTime(phy.MaxPHYPayload) + phy.LoadTime(phy.MaxPHYPayload)
+	segTime := sim.Duration(segFrames) * perFrame
+	// Delayed ACKs: one ACK frame per two segments, ≈ one airtime.
+	ackShare := phy.AirTime(phy.MaxPHYPayload) / 2
+	return float64(dataBytes) * 8 / (segTime + ackShare).Seconds()
+}
+
+// MultihopFactor is the §7.2 radio-scheduling bound: bandwidth over h
+// hops is B/h for h ≤ 3 and B/3 beyond, because any three adjacent hops
+// share the channel but hops four apart can run concurrently.
+func MultihopFactor(hops int) float64 {
+	switch {
+	case hops <= 1:
+		return 1
+	case hops >= 3:
+		return 1.0 / 3
+	default:
+		return 1 / float64(hops)
+	}
+}

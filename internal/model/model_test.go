@@ -1,0 +1,93 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tcplp/internal/sim"
+)
+
+func TestMathisBasics(t *testing.T) {
+	// MSS 440 B, RTT 100 ms, p = 1%: B = 440·8/0.1 · sqrt(150) ≈ 431 kb/s.
+	b := MathisGoodput(440, 100*sim.Millisecond, 0.01)
+	if b < 420_000 || b > 445_000 {
+		t.Fatalf("Mathis = %.0f", b)
+	}
+	if !math.IsInf(MathisGoodput(440, 100*sim.Millisecond, 0), 1) {
+		t.Fatal("zero loss should be unbounded in Eq. 1")
+	}
+}
+
+func TestTCPlpModelBasics(t *testing.T) {
+	// With p = 0: B = w·MSS/RTT.
+	b := TCPlpGoodput(440, 100*sim.Millisecond, 4, 0)
+	want := 4.0 * 440 * 8 / 0.1
+	if math.Abs(b-want) > 1 {
+		t.Fatalf("lossless Eq.2 = %.0f, want %.0f", b, want)
+	}
+	// The paper's headline comparison: at small p, Eq.2 barely moves
+	// while Eq.1 explodes.
+	b1 := TCPlpGoodput(440, 100*sim.Millisecond, 4, 0.01)
+	if b1 < 0.9*b {
+		t.Fatalf("Eq.2 too sensitive to 1%% loss: %.0f vs %.0f", b1, b)
+	}
+}
+
+func TestBurstModelAgreesWithClosedForm(t *testing.T) {
+	for _, p := range []float64{0.005, 0.01, 0.05, 0.1} {
+		closed := TCPlpGoodput(440, 500*sim.Millisecond, 4, p)
+		burst := BurstModel(440, 500*sim.Millisecond, 4, p)
+		if math.Abs(closed-burst)/closed > 1e-9 {
+			t.Fatalf("p=%.3f: closed %.2f vs burst %.2f", p, closed, burst)
+		}
+	}
+}
+
+// Property: Eq. 2 is monotone — decreasing in p and RTT, increasing in w
+// and MSS.
+func TestQuickEq2Monotone(t *testing.T) {
+	f := func(pRaw, rttRaw uint16, w uint8) bool {
+		p := float64(pRaw%200) / 1000 // 0..0.2
+		rtt := sim.Duration(rttRaw%2000+50) * sim.Millisecond
+		win := int(w%7) + 1
+		b := TCPlpGoodput(440, rtt, win, p)
+		if TCPlpGoodput(440, rtt, win, p+0.01) > b {
+			return false
+		}
+		if TCPlpGoodput(440, rtt+50*sim.Millisecond, win, p) > b {
+			return false
+		}
+		if TCPlpGoodput(440, rtt, win+1, p) < b {
+			return false
+		}
+		if TCPlpGoodput(500, rtt, win, p) < b {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleHopCeiling(t *testing.T) {
+	// §6.4: five frames carrying ≈462 B bound at ≈82 kb/s.
+	b := SingleHopCeiling(5, 462)
+	if b < 70_000 || b > 95_000 {
+		t.Fatalf("ceiling = %.0f b/s, want ≈82 kb/s", b)
+	}
+	// Fewer data bytes per segment → lower ceiling.
+	if SingleHopCeiling(5, 300) >= b {
+		t.Fatal("ceiling not increasing in payload")
+	}
+}
+
+func TestMultihopFactor(t *testing.T) {
+	want := map[int]float64{1: 1, 2: 0.5, 3: 1.0 / 3, 4: 1.0 / 3, 7: 1.0 / 3}
+	for h, f := range want {
+		if got := MultihopFactor(h); math.Abs(got-f) > 1e-12 {
+			t.Fatalf("factor(%d) = %v", h, got)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package phy simulates the IEEE 802.15.4 physical and lower-MAC layer:
+// frame encoding, half-duplex radios with sleep/listen/transmit states,
+// and a shared channel with receiver-side collision resolution.
+//
+// Timing follows the paper's measurements on the AT86RF233 (§6.4): a byte
+// takes 32 µs on air at 250 kb/s, and moving a byte over SPI to the radio
+// costs about the same again, so a full 127-byte frame occupies the node
+// for ≈8.2 ms while occupying the channel for only ≈4.3 ms.
+package phy
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is an EUI-64 extended address, the 8-byte long-address format of
+// IEEE 802.15.4. The paper's Table 6 23-byte MAC header corresponds to
+// long addressing, which is what 6LoWPAN mesh networks typically use.
+type Addr [8]byte
+
+// BroadcastAddr is the all-ones broadcast address.
+var BroadcastAddr = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// AddrFromID builds a deterministic address from a small node identifier,
+// convenient for tests and topology construction.
+func AddrFromID(id int) Addr {
+	var a Addr
+	binary.BigEndian.PutUint64(a[:], uint64(id)+1)
+	return a
+}
+
+// ID recovers the node identifier from an address built by AddrFromID.
+func (a Addr) ID() int {
+	return int(binary.BigEndian.Uint64(a[:])) - 1
+}
+
+// IsBroadcast reports whether a is the broadcast address.
+func (a Addr) IsBroadcast() bool { return a == BroadcastAddr }
+
+func (a Addr) String() string {
+	if a.IsBroadcast() {
+		return "ff:*"
+	}
+	return fmt.Sprintf("%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+		a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7])
+}

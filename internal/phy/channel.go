@@ -1,0 +1,134 @@
+package phy
+
+import (
+	"tcplp/internal/sim"
+)
+
+// transmission is a frame in flight on the channel.
+type transmission struct {
+	sender *Radio
+	data   []byte
+	start  sim.Time
+	end    sim.Time
+}
+
+// Channel is the shared medium. It registers radios, tracks on-air
+// transmissions, and resolves receptions with a receiver-side collision
+// model:
+//
+//   - A listening radio locks onto the first decodable frame whose start
+//     it hears; a second overlapping frame from any sensed node corrupts
+//     the reception (no capture effect).
+//   - A radio that is transmitting, sleeping, or mid-frame when a frame
+//     starts does not receive it.
+//   - Independent per-link loss (PER) models fading and checksum failures
+//     beyond collisions.
+type Channel struct {
+	eng    *sim.Engine
+	prop   Propagation
+	radios []*Radio
+	active []*transmission
+
+	// PER returns the probability that a frame from src to dst is
+	// corrupted despite no collision. Nil means a perfect channel.
+	PER func(src, dst *Radio) float64
+}
+
+// NewChannel returns an empty channel using the given propagation model.
+func NewChannel(eng *sim.Engine, prop Propagation) *Channel {
+	return &Channel{eng: eng, prop: prop}
+}
+
+// Engine returns the channel's simulation engine.
+func (c *Channel) Engine() *sim.Engine { return c.eng }
+
+// AddRadio creates and registers a radio at pos. Radios start asleep.
+func (c *Channel) AddRadio(id int, pos Point) *Radio {
+	r := &Radio{
+		eng:  c.eng,
+		ch:   c,
+		id:   id,
+		addr: AddrFromID(id),
+		pos:  pos,
+	}
+	c.radios = append(c.radios, r)
+	return r
+}
+
+// Radios returns all registered radios in registration order.
+func (c *Channel) Radios() []*Radio { return c.radios }
+
+// busyAt reports whether any on-air transmission is sensed at r.
+func (c *Channel) busyAt(r *Radio) bool {
+	for _, t := range c.active {
+		if t.sender == r {
+			continue
+		}
+		if c.prop.Senses(t.sender, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// beginTx is called by a radio when its frame's first bit hits the air.
+func (c *Channel) beginTx(sender *Radio, data []byte, air sim.Duration) {
+	t := &transmission{sender: sender, data: data, start: c.eng.Now(), end: c.eng.Now().Add(air)}
+	c.active = append(c.active, t)
+
+	for _, r := range c.radios {
+		if r == sender {
+			continue
+		}
+		if !c.prop.Senses(sender, r) {
+			continue
+		}
+		switch r.state {
+		case StateRx:
+			// Overlap corrupts whatever r was receiving; the new frame is
+			// also lost to r (it never locked onto it).
+			r.interfered()
+		case StateListen:
+			if !sender.NoiseOnly && c.prop.Connected(sender, r) && !c.otherEnergyAt(r, t) {
+				r.beginRx(t)
+			}
+			// If there is already other energy at r, the new frame is
+			// undecodable noise to r; nothing to corrupt since r was idle.
+		}
+	}
+
+	c.eng.Schedule(air, func() { c.endTx(t) })
+}
+
+// otherEnergyAt reports whether a transmission other than t is currently
+// sensed at r (so r cannot lock onto t).
+func (c *Channel) otherEnergyAt(r *Radio, t *transmission) bool {
+	for _, o := range c.active {
+		if o == t || o.sender == r {
+			continue
+		}
+		if c.prop.Senses(o.sender, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// endTx resolves all receptions of t and removes it from the air.
+func (c *Channel) endTx(t *transmission) {
+	for i, o := range c.active {
+		if o == t {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			break
+		}
+	}
+	for _, r := range c.radios {
+		if r.rx == t {
+			per := 0.0
+			if c.PER != nil {
+				per = c.PER(t.sender, r)
+			}
+			r.endRx(t, per)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package phy
+
+import (
+	"testing"
+
+	"tcplp/internal/sim"
+)
+
+// lineTopo builds n radios on a line with unit spacing, decode range 1,
+// sense range sense. All radios are left asleep.
+func lineTopo(t *testing.T, n int, sense float64) (*sim.Engine, *Channel) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	ch := NewChannel(eng, NewUnitDisk(1.0, sense))
+	for i := 0; i < n; i++ {
+		ch.AddRadio(i, Point{X: float64(i)})
+	}
+	return eng, ch
+}
+
+func TestSimpleDelivery(t *testing.T) {
+	eng, ch := lineTopo(t, 2, 1.0)
+	a, b := ch.Radios()[0], ch.Radios()[1]
+	b.SetListen(true)
+	var got []byte
+	b.OnReceive = func(data []byte) { got = data }
+	a.SetListen(true)
+	frame := (&Frame{Type: FrameData, Dst: b.Addr(), Src: a.Addr(), Payload: []byte("x")}).Encode()
+	a.Transmit(frame)
+	eng.Run()
+	if got == nil {
+		t.Fatal("frame not delivered")
+	}
+	f, err := DecodeFrame(got)
+	if err != nil || string(f.Payload) != "x" {
+		t.Fatalf("bad delivery: %v %v", f, err)
+	}
+	if b.FramesReceived() != 1 || a.FramesSent() != 1 {
+		t.Fatalf("counters: sent=%d recv=%d", a.FramesSent(), b.FramesReceived())
+	}
+}
+
+func TestSleepingRadioMissesFrame(t *testing.T) {
+	eng, ch := lineTopo(t, 2, 1.0)
+	a, b := ch.Radios()[0], ch.Radios()[1]
+	received := false
+	b.OnReceive = func([]byte) { received = true }
+	// b stays asleep
+	a.SetListen(true)
+	a.Transmit((&Frame{Type: FrameData, Dst: b.Addr(), Src: a.Addr()}).Encode())
+	eng.Run()
+	if received {
+		t.Fatal("sleeping radio received a frame")
+	}
+}
+
+func TestOutOfRangeMissesFrame(t *testing.T) {
+	eng, ch := lineTopo(t, 3, 1.0)
+	a, c := ch.Radios()[0], ch.Radios()[2] // distance 2 > range 1
+	received := false
+	c.SetListen(true)
+	c.OnReceive = func([]byte) { received = true }
+	a.Transmit((&Frame{Type: FrameData, Dst: c.Addr(), Src: a.Addr()}).Encode())
+	eng.Run()
+	if received {
+		t.Fatal("out-of-range radio received a frame")
+	}
+}
+
+// Hidden terminal: radios 0 and 2 cannot sense each other (sense range 1)
+// but both reach radio 1. Simultaneous transmissions must collide at 1.
+func TestHiddenTerminalCollision(t *testing.T) {
+	eng, ch := lineTopo(t, 3, 1.0)
+	a, b, c := ch.Radios()[0], ch.Radios()[1], ch.Radios()[2]
+	received := 0
+	b.SetListen(true)
+	b.OnReceive = func([]byte) { received++ }
+	a.SetListen(true)
+	c.SetListen(true)
+	frame := func(src *Radio) []byte {
+		return (&Frame{Type: FrameData, Dst: b.Addr(), Src: src.Addr(), Payload: make([]byte, 50)}).Encode()
+	}
+	// a and c start simultaneously; neither senses the other, and their
+	// equal SPI-load phases mean their airtimes coincide exactly at b.
+	a.Transmit(frame(a))
+	c.Transmit(frame(c))
+	eng.Run()
+	if received != 0 {
+		t.Fatalf("collided frames delivered: %d", received)
+	}
+	if b.ReceptionsDropped() == 0 {
+		t.Fatal("collision not recorded as dropped reception")
+	}
+}
+
+// With a larger sense range, radio 2 defers... but here we test that
+// carrier sensing via ChannelClear sees a neighbor's transmission.
+func TestCCA(t *testing.T) {
+	eng, ch := lineTopo(t, 3, 2.0)
+	a, c := ch.Radios()[0], ch.Radios()[2]
+	a.SetListen(true)
+	c.SetListen(true)
+	if !c.ChannelClear() {
+		t.Fatal("channel should be clear before any transmission")
+	}
+	a.Transmit((&Frame{Type: FrameData, Dst: AddrFromID(1), Src: a.Addr(), Payload: make([]byte, 80)}).Encode())
+	// During SPI load the channel is still clear.
+	eng.RunUntil(eng.Now().Add(LoadTime(103) / 2))
+	if !c.ChannelClear() {
+		t.Fatal("channel busy during SPI load phase")
+	}
+	// During airtime it is busy at sense range 2.
+	eng.RunUntil(eng.Now().Add(LoadTime(103)/2 + AirTime(103)/2))
+	if c.ChannelClear() {
+		t.Fatal("channel clear while neighbor transmitting")
+	}
+	eng.Run()
+	if !c.ChannelClear() {
+		t.Fatal("channel busy after transmission ended")
+	}
+}
+
+func TestHalfDuplex(t *testing.T) {
+	eng, ch := lineTopo(t, 2, 1.0)
+	a, b := ch.Radios()[0], ch.Radios()[1]
+	received := false
+	a.SetListen(true)
+	b.SetListen(true)
+	a.OnReceive = func([]byte) { received = true }
+	big := (&Frame{Type: FrameData, Dst: b.Addr(), Src: a.Addr(), Payload: make([]byte, 100)}).Encode()
+	a.Transmit(big)
+	// b transmits back while a is still mid-transmission: a must miss it.
+	eng.Schedule(sim.Millisecond, func() {
+		b.Transmit((&Frame{Type: FrameData, Dst: a.Addr(), Src: b.Addr()}).Encode())
+	})
+	eng.RunUntil(eng.Now().Add(3 * sim.Millisecond))
+	if received {
+		t.Fatal("transmitting radio received a frame")
+	}
+	eng.Run()
+}
+
+func TestPERLoss(t *testing.T) {
+	eng, ch := lineTopo(t, 2, 1.0)
+	ch.PER = func(src, dst *Radio) float64 { return 1.0 } // always corrupt
+	a, b := ch.Radios()[0], ch.Radios()[1]
+	received := false
+	b.SetListen(true)
+	b.OnReceive = func([]byte) { received = true }
+	a.Transmit((&Frame{Type: FrameData, Dst: b.Addr(), Src: a.Addr()}).Encode())
+	eng.Run()
+	if received {
+		t.Fatal("PER=1 frame delivered")
+	}
+	if b.ReceptionsDropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", b.ReceptionsDropped())
+	}
+}
+
+func TestDutyCycleAccounting(t *testing.T) {
+	eng, ch := lineTopo(t, 1, 1.0)
+	a := ch.Radios()[0]
+	// Sleep 1s, listen 1s, sleep again.
+	eng.Schedule(sim.Second, func() { a.SetListen(true) })
+	eng.Schedule(2*sim.Second, func() { a.SetListen(false) })
+	eng.RunUntil(sim.Time(4 * sim.Second))
+	dc := a.DutyCycle()
+	if dc < 0.24 || dc > 0.26 {
+		t.Fatalf("duty cycle = %.3f, want 0.25", dc)
+	}
+	if a.TimeIn(StateListen) != sim.Second {
+		t.Fatalf("listen time = %v, want 1s", a.TimeIn(StateListen))
+	}
+	a.ResetEnergy()
+	if a.TimeIn(StateListen) != 0 {
+		t.Fatal("ResetEnergy did not clear accumulators")
+	}
+}
+
+func TestNoiseOnlyCorruptsButNeverDelivers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ch := NewChannel(eng, NewUnitDisk(1.0, 1.0))
+	a := ch.AddRadio(0, Point{X: 0})
+	b := ch.AddRadio(1, Point{X: 1})
+	noise := ch.AddRadio(2, Point{X: 1.5})
+	noise.NoiseOnly = true
+	received := 0
+	b.SetListen(true)
+	b.OnReceive = func([]byte) { received++ }
+	a.SetListen(true)
+	noise.SetListen(true)
+
+	// Noise alone is never decoded by b.
+	noise.Transmit(make([]byte, 60))
+	eng.Run()
+	if received != 0 {
+		t.Fatal("noise frame was decoded")
+	}
+
+	// Noise overlapping a real frame corrupts it at b.
+	// The noise burst is scheduled so that, after its own SPI load, its
+	// airtime overlaps a's frame airtime at b.
+	a.Transmit((&Frame{Type: FrameData, Dst: b.Addr(), Src: a.Addr(), Payload: make([]byte, 80)}).Encode())
+	eng.Schedule(LoadTime(103), func() { noise.Transmit(make([]byte, 60)) })
+	eng.Run()
+	if received != 0 {
+		t.Fatal("frame overlapped by noise was delivered")
+	}
+}
+
+func TestGraphPropagation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := NewGraph()
+	ch := NewChannel(eng, g)
+	a := ch.AddRadio(0, Point{})
+	b := ch.AddRadio(1, Point{})
+	c := ch.AddRadio(2, Point{})
+	g.AddBiLink(0, 1)
+	g.AddSense(2, 1) // c is sensed at b but not decodable
+	for _, r := range ch.Radios() {
+		r.SetListen(true)
+	}
+	got := 0
+	b.OnReceive = func([]byte) { got++ }
+	a.Transmit((&Frame{Type: FrameData, Dst: b.Addr(), Src: a.Addr()}).Encode())
+	eng.Run()
+	if got != 1 {
+		t.Fatalf("graph link delivery failed: %d", got)
+	}
+	c.Transmit((&Frame{Type: FrameData, Dst: b.Addr(), Src: c.Addr()}).Encode())
+	eng.Run()
+	if got != 1 {
+		t.Fatal("sense-only link delivered a frame")
+	}
+}
+
+func TestInterfererRaisesLoss(t *testing.T) {
+	eng := sim.NewEngine(3)
+	ch := NewChannel(eng, NewUnitDisk(1.0, 1.5))
+	a := ch.AddRadio(0, Point{X: 0})
+	b := ch.AddRadio(1, Point{X: 1})
+	in := NewInterferer(ch, 99, Point{X: 1.2})
+	in.BurstMean = 4 * sim.Millisecond
+	in.MeanGap = 8 * sim.Millisecond
+	a.SetListen(true)
+	b.SetListen(true)
+	received := 0
+	b.OnReceive = func([]byte) { received++ }
+	in.Start()
+	sent := 0
+	var sendLoop func()
+	sendLoop = func() {
+		if sent >= 200 {
+			in.Stop()
+			return
+		}
+		sent++
+		a.Transmit((&Frame{Type: FrameData, Dst: b.Addr(), Src: a.Addr(), Payload: make([]byte, 80)}).Encode())
+		eng.Schedule(20*sim.Millisecond, sendLoop)
+	}
+	sendLoop()
+	eng.RunUntil(sim.Time(10 * sim.Second))
+	if received == 0 {
+		t.Fatal("interference destroyed every frame (too aggressive)")
+	}
+	if received >= sent {
+		t.Fatalf("interference destroyed nothing: %d/%d", received, sent)
+	}
+}

@@ -1,0 +1,104 @@
+package phy
+
+import (
+	"tcplp/internal/sim"
+)
+
+// Interferer is an external noise source (WiFi, microwave ovens, "regular
+// human activity in an office", §9.5). It occupies the channel in bursts:
+// burst lengths are exponentially distributed around BurstMean, and gaps
+// between bursts are exponential around the reciprocal of the current
+// activity rate. Activity(t) lets callers shape a diurnal profile for the
+// Fig. 10 experiment.
+type Interferer struct {
+	eng   *sim.Engine
+	radio *Radio
+
+	// BurstMean is the mean burst duration.
+	BurstMean sim.Duration
+	// MeanGap is the mean idle gap between bursts at activity 1.0.
+	MeanGap sim.Duration
+	// Activity returns the relative activity level at time t; 0 disables
+	// interference, 1 is nominal. Nil means constant 1.
+	Activity func(t sim.Time) float64
+
+	running bool
+}
+
+// NewInterferer creates a noise source at pos. Its transmissions are
+// sensed within the channel's propagation model but never decoded.
+func NewInterferer(c *Channel, id int, pos Point) *Interferer {
+	r := c.AddRadio(id, pos)
+	r.NoiseOnly = true
+	return &Interferer{
+		eng:       c.eng,
+		radio:     r,
+		BurstMean: 2 * sim.Millisecond,
+		MeanGap:   50 * sim.Millisecond,
+	}
+}
+
+// Radio returns the underlying noise radio (for positioning in tests).
+func (in *Interferer) Radio() *Radio { return in.radio }
+
+// Start begins the burst process.
+func (in *Interferer) Start() {
+	if in.running {
+		return
+	}
+	in.running = true
+	in.scheduleNext()
+}
+
+// Stop halts the burst process after the current burst.
+func (in *Interferer) Stop() { in.running = false }
+
+func (in *Interferer) activity() float64 {
+	if in.Activity == nil {
+		return 1
+	}
+	return in.Activity(in.eng.Now())
+}
+
+func (in *Interferer) scheduleNext() {
+	if !in.running {
+		return
+	}
+	act := in.activity()
+	if act <= 0 {
+		// Quiet period: poll again soon for the activity profile to rise.
+		in.eng.Schedule(sim.Second, in.scheduleNext)
+		return
+	}
+	gap := sim.Duration(in.eng.Rand().ExpFloat64() * float64(in.MeanGap) / act)
+	in.eng.Schedule(gap, in.burst)
+}
+
+func (in *Interferer) burst() {
+	if !in.running {
+		return
+	}
+	if in.radio.Transmitting() {
+		in.eng.Schedule(in.BurstMean, in.scheduleNext)
+		return
+	}
+	d := sim.Duration(in.eng.Rand().ExpFloat64() * float64(in.BurstMean))
+	if d < UnitBackoff {
+		d = UnitBackoff
+	}
+	// Emit noise as back-to-back maximal "frames" covering the burst.
+	n := int(d / AirTime(MaxPHYPayload))
+	if n < 1 {
+		n = 1
+	}
+	var emit func(k int)
+	emit = func(k int) {
+		if k == 0 || !in.running {
+			in.scheduleNext()
+			return
+		}
+		in.radio.OnTxDone = func() { emit(k - 1) }
+		in.radio.Transmit(make([]byte, MaxPHYPayload))
+	}
+	emit(n)
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Event is a scheduled callback. The zero value is not useful; Events are
+// created by Engine.Schedule and Engine.At. An Event may be cancelled
+// before it fires; cancelling a fired or already-cancelled event is a
+// harmless no-op, which lets protocol code unconditionally cancel timers.
+type Event struct {
+	when      Time
+	seq       uint64 // tie-break so equal-time events fire in schedule order
+	index     int    // heap index, -1 once removed
+	fn        func()
+	cancelled bool
+}
+
+// When returns the time the event is (or was) scheduled to fire.
+func (ev *Event) When() Time { return ev.when }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler with a deterministic
+// random source. It is not safe for concurrent use: the entire simulated
+// network runs in one goroutine, which is what makes runs reproducible.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose random
+// source is seeded with seed. Two engines with the same seed and the same
+// schedule of calls produce identical runs.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events fired so far (for diagnostics).
+func (e *Engine) Processed() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arms fn to run after delay d. A negative delay is treated as
+// zero. The returned Event can be cancelled.
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At arms fn to run at absolute time t. Times in the past run "now" (at
+// the current time, after already-queued events for this instant).
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes ev from the queue if it has not fired. Safe to call with
+// nil or with an event that already fired.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Halt stops Run/RunUntil after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the next event, advancing the clock. It returns false when
+// the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// RunUntil processes events with time ≤ deadline, then sets the clock to
+// deadline. Events scheduled during the run are processed if they fall
+// within the deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].when <= deadline {
+		e.Step()
+	}
+	if !e.halted && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Run processes events until the queue is empty or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != Time(30*Millisecond) {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5*Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(Second, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(Duration(i+1)*Millisecond, func() { got = append(got, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i)*Second, func() { count++ })
+	}
+	e.RunUntil(Time(5 * Second))
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != Time(5*Second) {
+		t.Fatalf("clock = %v, want 5s", e.Now())
+	}
+	e.RunFor(5 * Second)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	e.Schedule(Millisecond, func() {
+		got = append(got, e.Now())
+		e.Schedule(Millisecond, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != Time(Millisecond) || got[1] != Time(2*Millisecond) {
+		t.Fatalf("nested scheduling broken: %v", got)
+	}
+}
+
+func TestPastScheduleClamps(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(Second, func() {
+		e.At(0, func() {
+			if e.Now() != Time(Second) {
+				t.Errorf("past event fired at %v, want clamped to 1s", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i), func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after Halt", count)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var out []int64
+		var step func()
+		step = func() {
+			out = append(out, int64(e.Now()))
+			if len(out) < 50 {
+				e.Schedule(Duration(e.Rand().Intn(1000)+1), step)
+			}
+		}
+		e.Schedule(1, step)
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestTimerResetStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	tm.Reset(10 * Millisecond)
+	tm.Reset(20 * Millisecond) // replaces first arming
+	if !tm.Armed() {
+		t.Fatal("timer should be armed")
+	}
+	e.RunUntil(Time(15 * Millisecond))
+	if fired != 0 {
+		t.Fatal("timer fired at replaced deadline")
+	}
+	e.RunUntil(Time(25 * Millisecond))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if tm.Armed() {
+		t.Fatal("timer should auto-disarm after firing")
+	}
+	tm.Reset(10 * Millisecond)
+	tm.Stop()
+	tm.Stop()
+	e.RunFor(Second)
+	if fired != 1 {
+		t.Fatalf("stopped timer fired; count=%d", fired)
+	}
+}
+
+func TestTimerDeadline(t *testing.T) {
+	e := NewEngine(1)
+	tm := NewTimer(e, func() {})
+	if _, ok := tm.Deadline(); ok {
+		t.Fatal("stopped timer reported a deadline")
+	}
+	tm.ResetAt(Time(3 * Second))
+	when, ok := tm.Deadline()
+	if !ok || when != Time(3*Second) {
+		t.Fatalf("deadline = %v,%v", when, ok)
+	}
+}
+
+// Property: events always fire in non-decreasing time order, whatever the
+// set of scheduled delays.
+func TestQuickEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var fireTimes []Time
+		for _, d := range delays {
+			e.Schedule(Duration(d), func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		sorted := sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] })
+		want := make([]Duration, len(delays))
+		for i, d := range delays {
+			want[i] = Duration(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fireTimes[i] != Time(want[i]) {
+				return false
+			}
+		}
+		return sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset never disturbs the remaining
+// events' order or firing.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(delays []uint16, seed int64) bool {
+		e := NewEngine(7)
+		rng := rand.New(rand.NewSource(seed))
+		fired := make(map[int]bool)
+		evs := make([]*Event, len(delays))
+		for i, d := range delays {
+			i := i
+			evs[i] = e.Schedule(Duration(d), func() { fired[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := range evs {
+			if rng.Intn(2) == 0 {
+				e.Cancel(evs[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := range delays {
+			if cancelled[i] == fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := map[Duration]string{
+		5 * Second:                 "5.000s",
+		1500 * Microsecond:         "1.500ms",
+		42 * Microsecond:           "42µs",
+		2*Second + 500*Millisecond: "2.500s",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(d), got, want)
+		}
+	}
+}

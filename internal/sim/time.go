@@ -1,0 +1,57 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated components (radios, MACs, protocol stacks) are driven by a
+// single Engine: they schedule callbacks at future virtual times instead of
+// sleeping. This mirrors the paper's adaptation of the FreeBSD TCP stack to
+// tickless embedded timers (§4.1): protocol code never blocks, it only
+// reacts to events and arms timers.
+package sim
+
+import "fmt"
+
+// Time is an absolute simulation time in microseconds since the start of
+// the run. Microsecond resolution is sufficient: the shortest interval in
+// the system is the 802.15.4 CCA/backoff unit (320 µs).
+type Time int64
+
+// Duration is a span of simulated time in microseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second || d <= -Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond || d <= -Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%dµs", int64(d))
+	}
+}

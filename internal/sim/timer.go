@@ -1,0 +1,54 @@
+package sim
+
+// Timer is a restartable one-shot timer, the shape protocol code wants for
+// retransmission/delayed-ACK/persist timers: Reset rearms, Stop disarms,
+// and the callback is fixed at construction. It wraps Engine events so a
+// stale (already-cancelled) event can never fire the callback.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it fires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d, replacing any pending firing.
+func (t *Timer) Reset(d Duration) {
+	t.Stop()
+	t.ev = t.eng.Schedule(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// ResetAt (re)arms the timer to fire at absolute time when.
+func (t *Timer) ResetAt(when Time) {
+	t.Stop()
+	t.ev = t.eng.At(when, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. Safe to call on a stopped timer.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer is pending.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Deadline returns the pending fire time; ok is false if the timer is
+// stopped.
+func (t *Timer) Deadline() (when Time, ok bool) {
+	if t.ev == nil {
+		return 0, false
+	}
+	return t.ev.When(), true
+}

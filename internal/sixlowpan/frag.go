@@ -1,0 +1,202 @@
+package sixlowpan
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Fragment header lengths (RFC 4944 §5.3). The paper's Table 6 lists the
+// 6LoWPAN fragmentation overhead as 4-5 bytes per frame (plus mesh
+// headers in some stacks, which Thread route-over does not use).
+const (
+	Frag1HeaderLen = 4
+	FragNHeaderLen = 5
+)
+
+// Fragmentation errors.
+var (
+	ErrNotFragment = errors.New("sixlowpan: not a fragment")
+	ErrBadOffset   = errors.New("sixlowpan: fragment offset out of range")
+)
+
+// FragmentKind classifies a link payload.
+type FragmentKind int
+
+// Link payload kinds.
+const (
+	KindUnfragmented FragmentKind = iota
+	KindFrag1
+	KindFragN
+	KindUnknown
+)
+
+// Classify inspects the dispatch byte of a link payload.
+func Classify(b []byte) FragmentKind {
+	if len(b) == 0 {
+		return KindUnknown
+	}
+	switch {
+	case b[0]&0xf8 == dispFRAG1:
+		return KindFrag1
+	case b[0]&0xf8 == dispFRAGN:
+		return KindFragN
+	case b[0]&0xe0 == dispIPHC:
+		return KindUnfragmented
+	}
+	return KindUnknown
+}
+
+// FragInfo is a parsed FRAG1/FRAGN header.
+type FragInfo struct {
+	DatagramSize uint16 // uncompressed IPv6 datagram length
+	Tag          uint16
+	Offset       int // uncompressed-byte offset (0 for FRAG1)
+	HeaderLen    int // bytes consumed by the fragment header
+}
+
+// ParseFragment decodes the fragmentation header of a FRAG1/FRAGN link
+// payload.
+func ParseFragment(b []byte) (FragInfo, error) {
+	var fi FragInfo
+	switch Classify(b) {
+	case KindFrag1:
+		if len(b) < Frag1HeaderLen {
+			return fi, ErrTruncated
+		}
+		fi.DatagramSize = binary.BigEndian.Uint16(b[0:2]) & 0x07ff
+		fi.Tag = binary.BigEndian.Uint16(b[2:4])
+		fi.HeaderLen = Frag1HeaderLen
+		return fi, nil
+	case KindFragN:
+		if len(b) < FragNHeaderLen {
+			return fi, ErrTruncated
+		}
+		fi.DatagramSize = binary.BigEndian.Uint16(b[0:2]) & 0x07ff
+		fi.Tag = binary.BigEndian.Uint16(b[2:4])
+		fi.Offset = int(b[4]) * 8
+		fi.HeaderLen = FragNHeaderLen
+		return fi, nil
+	}
+	return fi, ErrNotFragment
+}
+
+// RewriteTag replaces the datagram tag of a FRAG1/FRAGN link payload in
+// place. Relays forwarding fragments hop-by-hop re-tag them, since tags
+// are scoped to the link-layer sender.
+func RewriteTag(b []byte, tag uint16) error {
+	k := Classify(b)
+	if k != KindFrag1 && k != KindFragN {
+		return ErrNotFragment
+	}
+	if len(b) < 4 {
+		return ErrTruncated
+	}
+	binary.BigEndian.PutUint16(b[2:4], tag)
+	return nil
+}
+
+// Fragmenter splits (compressed-header, payload) pairs into link
+// payloads. It owns the datagram tag counter of one interface.
+type Fragmenter struct {
+	tag uint16
+}
+
+// NextTag returns a fresh datagram tag.
+func (f *Fragmenter) NextTag() uint16 {
+	f.tag++
+	return f.tag
+}
+
+// Fragment builds the link payloads for an IPv6 packet already split
+// into its compressed header chdr and upper-layer payload. maxLink is
+// the largest link payload a frame can carry (phy.MaxMACPayload).
+//
+// Offsets are in uncompressed-datagram bytes: the first fragment covers
+// the 40-byte uncompressed header plus enough payload to end on an
+// 8-octet boundary, as RFC 4944 requires.
+func (f *Fragmenter) Fragment(chdr, payload []byte, maxLink int) [][]byte {
+	if len(chdr)+len(payload) <= maxLink {
+		one := make([]byte, 0, len(chdr)+len(payload))
+		one = append(one, chdr...)
+		one = append(one, payload...)
+		return [][]byte{one}
+	}
+	size := 40 + len(payload)
+	if size >= 1<<11 {
+		panic(fmt.Sprintf("sixlowpan: datagram of %d bytes exceeds the 2047-byte field", size))
+	}
+	tag := f.NextTag()
+
+	// First fragment: FRAG1 + compressed header + leading payload, with
+	// the covered uncompressed prefix (40 + p1) a multiple of 8.
+	p1 := maxLink - Frag1HeaderLen - len(chdr)
+	if p1 > len(payload) {
+		p1 = len(payload)
+	}
+	p1 -= (40 + p1) % 8
+	if p1 < 0 {
+		p1 = 0
+	}
+	frag1 := make([]byte, 0, Frag1HeaderLen+len(chdr)+p1)
+	frag1 = binary.BigEndian.AppendUint16(frag1, uint16(dispFRAG1)<<8|uint16(size))
+	frag1 = binary.BigEndian.AppendUint16(frag1, tag)
+	frag1 = append(frag1, chdr...)
+	frag1 = append(frag1, payload[:p1]...)
+	out := [][]byte{frag1}
+
+	// Subsequent fragments: FRAGN + payload chunks on 8-octet boundaries.
+	chunk := (maxLink - FragNHeaderLen) &^ 7
+	for off := p1; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		fn := make([]byte, 0, FragNHeaderLen+end-off)
+		fn = binary.BigEndian.AppendUint16(fn, uint16(dispFRAGN)<<8|uint16(size))
+		fn = binary.BigEndian.AppendUint16(fn, tag)
+		fn = append(fn, byte((40+off)/8))
+		fn = append(fn, payload[off:end]...)
+		out = append(out, fn)
+	}
+	return out
+}
+
+// FrameCount predicts how many fragments Fragment will produce for a
+// payload of n bytes under a compressed header of h bytes — the inverse
+// of the MSS-in-frames knob of §6.1.
+func FrameCount(h, n, maxLink int) int {
+	if h+n <= maxLink {
+		return 1
+	}
+	p1 := maxLink - Frag1HeaderLen - h
+	if p1 > n {
+		p1 = n
+	}
+	p1 -= (40 + p1) % 8
+	if p1 < 0 {
+		p1 = 0
+	}
+	rest := n - p1
+	chunk := (maxLink - FragNHeaderLen) &^ 7
+	return 1 + (rest+chunk-1)/chunk
+}
+
+// MaxPayloadForFrames returns the largest upper-layer payload (e.g. TCP
+// segment) that fits in the given number of frames, assuming a
+// compressed header of h bytes. It inverts FrameCount.
+func MaxPayloadForFrames(h, frames, maxLink int) int {
+	if frames <= 0 {
+		return 0
+	}
+	if frames == 1 {
+		return maxLink - h
+	}
+	p1 := maxLink - Frag1HeaderLen - h
+	p1 -= (40 + p1) % 8
+	if p1 < 0 {
+		p1 = 0
+	}
+	chunk := (maxLink - FragNHeaderLen) &^ 7
+	return p1 + (frames-1)*chunk
+}

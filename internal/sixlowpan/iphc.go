@@ -1,0 +1,155 @@
+// Package sixlowpan implements the 6LoWPAN adaptation layer (RFC 4944 /
+// RFC 6282 subset) that lets IPv6 packets ride on 127-byte 802.15.4
+// frames: IPHC header compression, FRAG1/FRAGN fragmentation with
+// 8-octet offset units accounted in uncompressed-datagram bytes, and
+// reassembly with timeouts. Loss of any one fragment loses the whole
+// packet — the reliability trade-off behind the paper's MSS study (§6.1).
+package sixlowpan
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"tcplp/internal/ip6"
+)
+
+// Dispatch prefixes.
+const (
+	dispIPHC  = 0x60 // 011xxxxx
+	dispFRAG1 = 0xc0 // 11000xxx
+	dispFRAGN = 0xe0 // 11100xxx
+)
+
+// IPHC flag bits within the two-byte IPHC base.
+const (
+	// byte 0: 011 TF(2) NH(1) HLIM(2)
+	iphcTFElided = 0x18 // TF=11: traffic class and flow label elided
+	iphcTFInline = 0x00 // TF=00: 4 bytes inline
+	// byte 1: CID SAC SAM(2) M DAC DAM(2)
+	iphcSAC   = 0x40
+	iphcSAM16 = 0x20 // SAM=10: 16 bits inline (with SAC: context-based)
+	iphcDAC   = 0x04
+	iphcDAM16 = 0x02
+)
+
+// Compression errors.
+var (
+	ErrNotIPHC    = errors.New("sixlowpan: not an IPHC header")
+	ErrTruncated  = errors.New("sixlowpan: truncated")
+	ErrBadVersion = errors.New("sixlowpan: cannot compress non-IPv6")
+)
+
+// CompressHeader encodes h in IPHC form. The hop limit is always carried
+// inline so that relays can decrement it in place when forwarding
+// fragments without reassembly. Addresses under the mesh context
+// (fd00::/64, short IID) compress to 16 bits; others ride inline in full.
+// Typical result: 8 bytes in place of 40 (Table 6: "IPv6 2 B to 28 B").
+func CompressHeader(h *ip6.Header) []byte {
+	b := make([]byte, 2, 12)
+	b[0] = dispIPHC
+	tfElided := h.TrafficClass == 0 && h.FlowLabel == 0
+	if tfElided {
+		b[0] |= iphcTFElided
+	}
+	// TF=00 carries traffic class and flow label inline in 4 bytes;
+	// NH=0 carries the next header inline; HLIM=00 the hop limit.
+	if !tfElided {
+		b = append(b, h.TrafficClass,
+			byte(h.FlowLabel>>16)&0x0f, byte(h.FlowLabel>>8), byte(h.FlowLabel))
+	}
+	b = append(b, h.NextHeader, h.HopLimit)
+	if iid, ok := h.Src.IID16(); ok {
+		b[1] |= iphcSAC | iphcSAM16
+		b = binary.BigEndian.AppendUint16(b, iid)
+	} else {
+		b = append(b, h.Src[:]...)
+	}
+	if iid, ok := h.Dst.IID16(); ok {
+		b[1] |= iphcDAC | iphcDAM16
+		b = binary.BigEndian.AppendUint16(b, iid)
+	} else {
+		b = append(b, h.Dst[:]...)
+	}
+	return b
+}
+
+// DecompressHeader parses an IPHC-compressed header, returning the header
+// (PayloadLen zero; the caller knows it from framing) and the number of
+// bytes consumed.
+func DecompressHeader(b []byte) (*ip6.Header, int, error) {
+	if len(b) < 2 || b[0]&0xe0 != dispIPHC {
+		return nil, 0, ErrNotIPHC
+	}
+	h := &ip6.Header{}
+	i := 2
+	if b[0]&iphcTFElided == 0 {
+		if len(b) < i+4 {
+			return nil, 0, ErrTruncated
+		}
+		h.TrafficClass = b[i]
+		h.FlowLabel = uint32(b[i+1]&0x0f)<<16 | uint32(b[i+2])<<8 | uint32(b[i+3])
+		i += 4
+	}
+	if len(b) < i+2 {
+		return nil, 0, ErrTruncated
+	}
+	h.NextHeader = b[i]
+	h.HopLimit = b[i+1]
+	i += 2
+	readAddr := func(compressed bool) (ip6.Addr, error) {
+		var a ip6.Addr
+		if compressed {
+			if len(b) < i+2 {
+				return a, ErrTruncated
+			}
+			copy(a[:8], ip6.ULAPrefix[:])
+			a[14] = b[i]
+			a[15] = b[i+1]
+			i += 2
+			return a, nil
+		}
+		if len(b) < i+16 {
+			return a, ErrTruncated
+		}
+		copy(a[:], b[i:i+16])
+		i += 16
+		return a, nil
+	}
+	var err error
+	if h.Src, err = readAddr(b[1]&iphcSAM16 != 0); err != nil {
+		return nil, 0, err
+	}
+	if h.Dst, err = readAddr(b[1]&iphcDAM16 != 0); err != nil {
+		return nil, 0, err
+	}
+	return h, i, nil
+}
+
+// hopLimitIndex returns the byte offset of the inline hop limit within an
+// IPHC header starting at b[0].
+func hopLimitIndex(b []byte) (int, bool) {
+	if len(b) < 2 || b[0]&0xe0 != dispIPHC {
+		return 0, false
+	}
+	i := 2
+	if b[0]&iphcTFElided == 0 {
+		i += 4
+	}
+	i++ // next header
+	if len(b) <= i {
+		return 0, false
+	}
+	return i, true
+}
+
+// DecrementHopLimit decrements the hop limit inside an IPHC-led link
+// payload in place, returning the new value. Used by relays forwarding
+// fragments without reassembly. ok is false if b is not IPHC-led.
+func DecrementHopLimit(b []byte) (uint8, bool) {
+	i, ok := hopLimitIndex(b)
+	if !ok || b[i] == 0 {
+		return 0, ok && false
+	}
+	b[i]--
+	return b[i], true
+}

@@ -1,0 +1,143 @@
+package sixlowpan
+
+import (
+	"tcplp/internal/ip6"
+	"tcplp/internal/phy"
+	"tcplp/internal/sim"
+)
+
+// DefaultReassemblyTimeout bounds how long a partial datagram may wait
+// for its missing fragments.
+const DefaultReassemblyTimeout = 10 * sim.Second
+
+type partialKey struct {
+	src phy.Addr
+	tag uint16
+}
+
+type partial struct {
+	header   *ip6.Header // from FRAG1, nil until it arrives
+	size     int         // uncompressed datagram size
+	payload  []byte      // size-40 bytes
+	have     []bool      // per-byte coverage of payload
+	covered  int
+	deadline sim.Time
+}
+
+// Reassembler rebuilds IPv6 packets from 6LoWPAN link payloads. One
+// instance serves one interface; partial datagrams are keyed by
+// (link-layer source, datagram tag).
+type Reassembler struct {
+	eng      *sim.Engine
+	timeout  sim.Duration
+	inflight map[partialKey]*partial
+
+	// TimedOut counts datagrams dropped for missing fragments.
+	TimedOut uint64
+}
+
+// NewReassembler returns a reassembler with the default timeout.
+func NewReassembler(eng *sim.Engine) *Reassembler {
+	r := &Reassembler{
+		eng:      eng,
+		timeout:  DefaultReassemblyTimeout,
+		inflight: map[partialKey]*partial{},
+	}
+	return r
+}
+
+// SetTimeout overrides the reassembly timeout.
+func (r *Reassembler) SetTimeout(d sim.Duration) { r.timeout = d }
+
+// Pending returns the number of partially reassembled datagrams.
+func (r *Reassembler) Pending() int {
+	r.expire()
+	return len(r.inflight)
+}
+
+func (r *Reassembler) expire() {
+	now := r.eng.Now()
+	for k, p := range r.inflight {
+		if now >= p.deadline {
+			delete(r.inflight, k)
+			r.TimedOut++
+		}
+	}
+}
+
+// Input processes one link payload from src. When a datagram completes,
+// the reassembled packet is returned. A nil packet with nil error means
+// "more fragments needed" (or an unrelated dispatch, which is dropped).
+func (r *Reassembler) Input(src phy.Addr, b []byte) (*ip6.Packet, error) {
+	r.expire()
+	switch Classify(b) {
+	case KindUnfragmented:
+		h, n, err := DecompressHeader(b)
+		if err != nil {
+			return nil, err
+		}
+		pkt := &ip6.Packet{Header: *h, Payload: append([]byte(nil), b[n:]...)}
+		pkt.PayloadLen = uint16(len(pkt.Payload))
+		return pkt, nil
+
+	case KindFrag1:
+		fi, err := ParseFragment(b)
+		if err != nil {
+			return nil, err
+		}
+		h, n, err := DecompressHeader(b[fi.HeaderLen:])
+		if err != nil {
+			return nil, err
+		}
+		p := r.get(src, fi)
+		p.header = h
+		return r.deposit(src, fi, p, 0, b[fi.HeaderLen+n:])
+
+	case KindFragN:
+		fi, err := ParseFragment(b)
+		if err != nil {
+			return nil, err
+		}
+		if fi.Offset < 40 || fi.Offset > int(fi.DatagramSize) {
+			return nil, ErrBadOffset
+		}
+		p := r.get(src, fi)
+		return r.deposit(src, fi, p, fi.Offset-40, b[fi.HeaderLen:])
+	}
+	return nil, nil
+}
+
+func (r *Reassembler) get(src phy.Addr, fi FragInfo) *partial {
+	k := partialKey{src: src, tag: fi.Tag}
+	p := r.inflight[k]
+	if p == nil || p.size != int(fi.DatagramSize) {
+		p = &partial{
+			size:    int(fi.DatagramSize),
+			payload: make([]byte, int(fi.DatagramSize)-40),
+			have:    make([]bool, int(fi.DatagramSize)-40),
+		}
+		r.inflight[k] = p
+	}
+	p.deadline = r.eng.Now().Add(r.timeout)
+	return p
+}
+
+func (r *Reassembler) deposit(src phy.Addr, fi FragInfo, p *partial, off int, data []byte) (*ip6.Packet, error) {
+	if off+len(data) > len(p.payload) {
+		return nil, ErrBadOffset
+	}
+	for i, c := range data {
+		if !p.have[off+i] {
+			p.have[off+i] = true
+			p.covered++
+		}
+		p.payload[off+i] = c
+	}
+	if p.covered < len(p.payload) || p.header == nil {
+		return nil, nil
+	}
+	delete(r.inflight, partialKey{src: src, tag: fi.Tag})
+	pkt := &ip6.Packet{Header: *p.header, Payload: p.payload}
+	pkt.PayloadLen = uint16(len(pkt.Payload))
+	return pkt, nil
+}

@@ -1,0 +1,77 @@
+// Package stats provides the small statistical helpers the experiment
+// harness needs: means, quantiles, and sample collections.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample is a collection of float64 observations.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) by nearest-rank.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	idx := int(q * float64(len(s.xs)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.xs) {
+		idx = len(s.xs) - 1
+	}
+	return s.xs[idx]
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.xs)))
+}

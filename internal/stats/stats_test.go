@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Median() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample not zero")
+	}
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Median() != 3 {
+		t.Fatalf("n=%d mean=%v median=%v", s.N(), s.Mean(), s.Median())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.StdDev()-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.StdDev())
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if q := s.Quantile(0.9); q < 89 || q > 91 {
+		t.Fatalf("p90 = %v", q)
+	}
+	// Adding after sorting must keep results correct.
+	s.Add(1000)
+	if s.Max() != 1000 {
+		t.Fatalf("max after late add = %v", s.Max())
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		for i := 0; i < int(n%50)+2; i++ {
+			s.Add(rng.NormFloat64() * 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := s.Quantile(q)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

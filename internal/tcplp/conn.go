@@ -1,0 +1,409 @@
+package tcplp
+
+import (
+	"errors"
+	"fmt"
+
+	"tcplp/internal/ip6"
+	"tcplp/internal/sim"
+)
+
+// State is a TCP connection state (RFC 793 §3.2).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynReceived
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "CLOSING", "LAST_ACK", "TIME_WAIT",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state%d", int(s))
+}
+
+// Connection errors.
+var (
+	ErrConnReset     = errors.New("tcplp: connection reset by peer")
+	ErrConnTimeout   = errors.New("tcplp: retransmission limit exceeded")
+	ErrConnRefused   = errors.New("tcplp: connection refused")
+	ErrConnClosed    = errors.New("tcplp: connection closed")
+	ErrWriteAfterFin = errors.New("tcplp: write after Close")
+)
+
+// Config holds the per-connection tuning knobs — each Table 1 feature can
+// be switched off for the ablation benches.
+type Config struct {
+	// MSS is the maximum TCP payload per segment we advertise. The §6.1
+	// experiments set it so a segment spans a chosen number of frames.
+	MSS int
+	// SendBufSize / RecvBufSize are the §6.2 window knobs; the receive
+	// buffer size bounds the advertised window.
+	SendBufSize int
+	RecvBufSize int
+
+	UseSACK        bool
+	UseTimestamps  bool
+	UseDelayedAcks bool
+	UseECN         bool
+	NoDelay        bool // disable Nagle
+	// ZeroCopySend selects the §4.3.1 linked-list send buffer.
+	ZeroCopySend bool
+	// ChainRecvQueue selects the mbuf-chain reassembly ablation instead
+	// of the in-place queue.
+	ChainRecvQueue bool
+
+	RTOMin, RTOMax sim.Duration
+	// MaxRetransmits is how many consecutive RTOs abort the connection
+	// (paper §9.4: TCP performs up to 12 retransmissions).
+	MaxRetransmits int
+	DelAckTimeout  sim.Duration
+	// MSL sets TIME_WAIT duration (2·MSL).
+	MSL sim.Duration
+	// InitialCwndSegs is the initial window in segments (RFC 6928: 10).
+	InitialCwndSegs int
+}
+
+// DefaultConfig mirrors the paper's standard configuration: MSS of five
+// frames' worth of payload (≈408-460 B, set by the stack), 4-segment
+// buffers, and every Table 1 feature on.
+func DefaultConfig() Config {
+	return Config{
+		MSS:             408,
+		SendBufSize:     4 * 462,
+		RecvBufSize:     4 * 462,
+		UseSACK:         true,
+		UseTimestamps:   true,
+		UseDelayedAcks:  true,
+		NoDelay:         false,
+		RTOMin:          DefaultRTOMin,
+		RTOMax:          DefaultRTOMax,
+		MaxRetransmits:  12,
+		DelAckTimeout:   100 * sim.Millisecond,
+		MSL:             5 * sim.Second,
+		InitialCwndSegs: 10,
+	}
+}
+
+// ConnStats counts per-connection protocol events; the Fig. 7 and Fig. 9
+// experiments read these.
+type ConnStats struct {
+	SegsSent, SegsRecv     uint64
+	BytesSent, BytesRecv   uint64 // payload bytes, including retransmits
+	Retransmits            uint64 // data segments retransmitted (any cause)
+	Timeouts               uint64 // RTO firings
+	FastRetransmits        uint64
+	SACKRetransmits        uint64
+	DupAcksIn              uint64
+	DelayedAcks            uint64
+	AcksSent               uint64
+	ZeroWindowProbes       uint64
+	ChallengeAcks          uint64
+	PredictedAcks          uint64 // header-prediction fast path (pure ACK)
+	PredictedData          uint64 // header-prediction fast path (in-order data)
+	ECNCongestionResponses uint64
+	OutOfOrderSegs         uint64
+	DupSegs                uint64
+}
+
+// Conn is a TCP connection endpoint ("active socket" in the paper's
+// active/passive split, §4.1). All methods must be called from the
+// simulation goroutine.
+type Conn struct {
+	stack *Stack
+	cfg   Config
+	state State
+
+	localAddr, remoteAddr ip6.Addr
+	localPort, remotePort uint16
+
+	// Send state.
+	sndBuf    SendBuffer
+	iss       Seq
+	sndUna    Seq
+	sndNxt    Seq
+	sndMax    Seq // highest sequence sent + 1
+	queuedEnd Seq // stream position after the last byte queued by the app
+	sndWnd    int
+	maxSndWnd int
+	sndWL1    Seq
+	sndWL2    Seq
+	finQueued bool
+
+	// Congestion control (New Reno).
+	cwnd        int
+	ssthresh    int
+	dupAcks     int
+	inRecovery  bool
+	recover     Seq
+	sb          scoreboard
+	sackRtxNext Seq // scan cursor for SACK hole retransmissions
+	rtxPipe     int // retransmitted bytes counted into the pipe estimate
+
+	// Timers.
+	rexmt        *sim.Timer
+	rexmtShift   int
+	persist      *sim.Timer
+	persistShift int
+	probing      bool // inside onPersist's forced send
+	delAckTimer  *sim.Timer
+	timeWait     *sim.Timer
+
+	// RTT measurement.
+	rtt        *rttEstimator
+	rttPending bool
+	rttSeq     Seq
+	rttTime    sim.Time
+	tsRecent   uint32
+	tsEcho     bool // tsRecent valid
+
+	// Peer capabilities (negotiated on SYN).
+	peerMSS  int
+	peerSACK bool
+	peerTS   bool
+	ecnOn    bool
+
+	// Receive state.
+	rcvQ        ReceiveQueue
+	irs         Seq
+	rcvNxt      Seq
+	finReceived bool
+	finSeq      Seq
+	segsToAck   int // full segments received since last ACK (delack)
+	lastWndAdv  int // window advertised in the last ACK sent
+	lastAckSeq  Seq // rcv.nxt when the last ACK was sent (RFC 7323 Last.ACK.sent)
+
+	// ECN state.
+	eceToSend  bool // receiver side: echo congestion until CWR arrives
+	cwrToSend  bool // sender side: signal cwnd reduction on next data
+	ecnRecover Seq  // one cwnd reduction per window of data
+
+	closeErr error
+
+	// OnReadable fires when new in-sequence data (or the peer's FIN)
+	// becomes available.
+	OnReadable func()
+	// OnWritable fires when send-buffer space frees up.
+	OnWritable func()
+	// OnEstablished fires when the handshake completes.
+	OnEstablished func()
+	// OnClosed fires once, when the connection fully terminates.
+	OnClosed func(err error)
+
+	// TraceCwnd, if set, is invoked whenever cwnd or ssthresh changes
+	// (the Fig. 7a instrument).
+	TraceCwnd func(now sim.Time, cwnd, ssthresh int)
+	// TraceRTT, if set, receives every RTT sample fed to the estimator
+	// (the Fig. 13 instrument).
+	TraceRTT func(sample sim.Duration)
+
+	Stats ConnStats
+}
+
+func newConn(s *Stack, cfg Config) *Conn {
+	c := &Conn{
+		stack: s,
+		cfg:   cfg,
+		state: StateClosed,
+		rtt:   newRTTEstimator(cfg.RTOMin, cfg.RTOMax),
+	}
+	if cfg.ZeroCopySend {
+		c.sndBuf = NewZeroCopySendBuffer(cfg.SendBufSize)
+	} else {
+		c.sndBuf = NewCopySendBuffer(cfg.SendBufSize)
+	}
+	if cfg.ChainRecvQueue {
+		c.rcvQ = NewChainRecvBuffer(cfg.RecvBufSize)
+	} else {
+		c.rcvQ = NewRecvBuffer(cfg.RecvBufSize)
+	}
+	c.rexmt = sim.NewTimer(s.eng, c.onRTO)
+	c.persist = sim.NewTimer(s.eng, c.onPersist)
+	c.delAckTimer = sim.NewTimer(s.eng, c.onDelAck)
+	c.timeWait = sim.NewTimer(s.eng, c.onTimeWaitExpiry)
+	c.peerMSS = 536
+	return c
+}
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// LocalPort returns the local port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// RemoteAddr returns the peer address and port.
+func (c *Conn) RemoteAddr() (ip6.Addr, uint16) { return c.remoteAddr, c.remotePort }
+
+// SRTT exposes the smoothed RTT estimate (cross-layer hint, §10).
+func (c *Conn) SRTT() sim.Duration { return c.rtt.SRTT() }
+
+// RTO exposes the current retransmission timeout.
+func (c *Conn) RTO() sim.Duration { return c.rtt.RTO() }
+
+// Cwnd returns the congestion window in bytes.
+func (c *Conn) Cwnd() int { return c.cwnd }
+
+// Ssthresh returns the slow-start threshold in bytes.
+func (c *Conn) Ssthresh() int { return c.ssthresh }
+
+// BytesInFlight returns snd.max − snd.una.
+func (c *Conn) BytesInFlight() int { return c.sndMax.Diff(c.sndUna) }
+
+// ExpectingAck reports whether unacknowledged data is outstanding — the
+// signal the duty-cycle controller polls fast on (§9.2).
+func (c *Conn) ExpectingAck() bool {
+	return c.state != StateClosed && c.sndMax.Diff(c.sndUna) > 0
+}
+
+// Write queues data for transmission, returning how many bytes fit in
+// the send buffer. It never blocks; watch OnWritable for free space.
+func (c *Conn) Write(p []byte) (int, error) {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynSent, StateSynReceived:
+	default:
+		return 0, ErrConnClosed
+	}
+	if c.finQueued {
+		return 0, ErrWriteAfterFin
+	}
+	n := c.sndBuf.Write(p)
+	c.queuedEnd = c.queuedEnd.Add(n)
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		c.output()
+	}
+	return n, nil
+}
+
+// WriteBufferSpace returns the free bytes in the send buffer.
+func (c *Conn) WriteBufferSpace() int { return c.sndBuf.Free() }
+
+// BufferedBytes returns bytes written but not yet acknowledged end-to-end
+// (still occupying the send buffer).
+func (c *Conn) BufferedBytes() int { return c.sndBuf.Len() }
+
+// Read copies available in-sequence bytes into p. n == 0 with nil error
+// means no data yet; io semantics of EOF are exposed via EOF().
+func (c *Conn) Read(p []byte) int {
+	n := c.rcvQ.Read(p)
+	if n > 0 {
+		c.considerWindowUpdate()
+	}
+	return n
+}
+
+// ReadableBytes returns the bytes available to Read.
+func (c *Conn) ReadableBytes() int { return c.rcvQ.Readable() }
+
+// EOF reports whether the peer's FIN has been received and all data
+// consumed.
+func (c *Conn) EOF() bool { return c.finReceived && c.rcvQ.Readable() == 0 }
+
+// Close queues a FIN after any buffered data (graceful close).
+func (c *Conn) Close() {
+	if c.finQueued {
+		return
+	}
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynReceived:
+		c.finQueued = true
+		c.output()
+	case StateSynSent, StateClosed:
+		c.teardown(nil)
+	}
+}
+
+// Abort sends a RST and tears the connection down immediately.
+func (c *Conn) Abort() {
+	if c.state == StateClosed {
+		return
+	}
+	c.sendRST(c.sndNxt)
+	c.teardown(ErrConnClosed)
+}
+
+// finSeqNum is the sequence number the FIN occupies.
+func (c *Conn) finSeqNum() Seq { return c.queuedEnd }
+
+// finSent reports whether the FIN has been transmitted at least once.
+func (c *Conn) finSent() bool { return c.finQueued && c.sndMax.GT(c.queuedEnd) }
+
+// finAcked reports whether the peer acknowledged our FIN.
+func (c *Conn) finAcked() bool { return c.finQueued && c.sndUna.GT(c.queuedEnd) }
+
+func (c *Conn) setState(s State) {
+	if c.state == s {
+		return
+	}
+	c.state = s
+}
+
+// teardown finalizes the connection and releases stack state.
+func (c *Conn) teardown(err error) {
+	if c.state == StateClosed && c.closeErr != nil {
+		return
+	}
+	c.setState(StateClosed)
+	c.closeErr = err
+	c.rexmt.Stop()
+	c.persist.Stop()
+	c.delAckTimer.Stop()
+	c.timeWait.Stop()
+	c.stack.removeConn(c)
+	c.setExpecting(false)
+	if c.OnClosed != nil {
+		cb := c.OnClosed
+		c.OnClosed = nil
+		cb(err)
+	}
+}
+
+// setExpecting propagates the duty-cycling hint to the stack.
+func (c *Conn) setExpecting(on bool) {
+	c.stack.noteExpecting(c, on)
+}
+
+// checkInvariant panics when stream accounting diverges (debug aid).
+func (c *Conn) checkInvariant(where string) {
+	if c.state == StateEstablished && !c.finQueued {
+		want := c.queuedEnd.Diff(c.sndUna)
+		if want != c.sndBuf.Len() {
+			panic(fmt.Sprintf("invariant broken at %s: queuedEnd-una=%d bufLen=%d una=%d nxt=%d max=%d", where, want, c.sndBuf.Len(), c.sndUna, c.sndNxt, c.sndMax))
+		}
+	}
+}
+
+func (c *Conn) traceCwnd() {
+	if c.TraceCwnd != nil {
+		c.TraceCwnd(c.stack.eng.Now(), c.cwnd, c.ssthresh)
+	}
+}
+
+// considerWindowUpdate sends a window-update ACK when the app's reads
+// reopen at least two segments (or half the buffer) of window that the
+// peer believes closed — the receiver side of silly-window avoidance.
+func (c *Conn) considerWindowUpdate() {
+	if c.state != StateEstablished && c.state != StateFinWait1 && c.state != StateFinWait2 {
+		return
+	}
+	win := c.rcvQ.Window()
+	gain := win - c.lastWndAdv
+	if gain >= 2*c.cfg.MSS || gain*2 >= c.rcvQ.Capacity() {
+		c.sendAck()
+	}
+}

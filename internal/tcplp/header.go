@@ -1,0 +1,274 @@
+package tcplp
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"tcplp/internal/ip6"
+)
+
+// Flags is the TCP flag byte (plus the two ECN flags).
+type Flags uint16
+
+// TCP header flags.
+const (
+	FlagFIN Flags = 1 << 0
+	FlagSYN Flags = 1 << 1
+	FlagRST Flags = 1 << 2
+	FlagPSH Flags = 1 << 3
+	FlagACK Flags = 1 << 4
+	FlagURG Flags = 1 << 5
+	FlagECE Flags = 1 << 6
+	FlagCWR Flags = 1 << 7
+)
+
+// Has reports whether all flags in m are set.
+func (f Flags) Has(m Flags) bool { return f&m == m }
+
+func (f Flags) String() string {
+	names := []struct {
+		bit  Flags
+		name byte
+	}{
+		{FlagFIN, 'F'}, {FlagSYN, 'S'}, {FlagRST, 'R'}, {FlagPSH, 'P'},
+		{FlagACK, 'A'}, {FlagURG, 'U'}, {FlagECE, 'E'}, {FlagCWR, 'C'},
+	}
+	out := make([]byte, 0, 8)
+	for _, n := range names {
+		if f.Has(n.bit) {
+			out = append(out, n.name)
+		}
+	}
+	if len(out) == 0 {
+		return "."
+	}
+	return string(out)
+}
+
+// Option kinds.
+const (
+	optEnd           = 0
+	optNOP           = 1
+	optMSS           = 2
+	optWindowScale   = 3
+	optSACKPermitted = 4
+	optSACK          = 5
+	optTimestamps    = 8
+)
+
+// BaseHeaderLen is the TCP header length without options.
+const BaseHeaderLen = 20
+
+// MaxSACKBlocks is the most SACK blocks a segment can carry alongside
+// timestamps.
+const MaxSACKBlocks = 3
+
+// SACKBlock is one selective-acknowledgment range [Start, End).
+type SACKBlock struct {
+	Start, End Seq
+}
+
+// Segment is a parsed TCP segment. Option presence is explicit so the
+// encoder emits exactly the options requested (Table 1's feature knobs).
+type Segment struct {
+	SrcPort, DstPort uint16
+	SeqNum           Seq
+	AckNum           Seq
+	Flags            Flags
+	Window           uint16
+
+	// Options.
+	MSS           uint16 // SYN only; 0 means absent
+	SACKPermitted bool   // SYN only
+	HasTS         bool
+	TSVal, TSEcr  uint32
+	SACKBlocks    []SACKBlock
+
+	Payload []byte
+}
+
+// Len returns the sequence-space length of the segment (payload plus SYN
+// and FIN).
+func (s *Segment) Len() int {
+	n := len(s.Payload)
+	if s.Flags.Has(FlagSYN) {
+		n++
+	}
+	if s.Flags.Has(FlagFIN) {
+		n++
+	}
+	return n
+}
+
+func (s *Segment) optionLen() int {
+	n := 0
+	if s.MSS != 0 {
+		n += 4
+	}
+	if s.SACKPermitted {
+		n += 2
+	}
+	if s.HasTS {
+		n += 10
+	}
+	if len(s.SACKBlocks) > 0 {
+		n += 2 + 8*len(s.SACKBlocks)
+	}
+	return (n + 3) &^ 3 // pad to 32-bit boundary
+}
+
+// HeaderLen returns the encoded header length including options.
+func (s *Segment) HeaderLen() int { return BaseHeaderLen + s.optionLen() }
+
+// WireLen returns the total encoded segment length.
+func (s *Segment) WireLen() int { return s.HeaderLen() + len(s.Payload) }
+
+// Encode serializes the segment and computes the checksum over the
+// IPv6-style pseudo header for src/dst.
+func (s *Segment) Encode(src, dst ip6.Addr) []byte {
+	hl := s.HeaderLen()
+	b := make([]byte, hl+len(s.Payload))
+	binary.BigEndian.PutUint16(b[0:], s.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], s.DstPort)
+	binary.BigEndian.PutUint32(b[4:], uint32(s.SeqNum))
+	binary.BigEndian.PutUint32(b[8:], uint32(s.AckNum))
+	b[12] = byte(hl/4) << 4
+	b[13] = byte(s.Flags & 0xff)
+	binary.BigEndian.PutUint16(b[14:], s.Window)
+	// Checksum at b[16:18] filled below; urgent pointer stays zero: the
+	// urgent mechanism is deliberately omitted (§4.1, RFC 6093).
+	i := BaseHeaderLen
+	if s.MSS != 0 {
+		b[i], b[i+1] = optMSS, 4
+		binary.BigEndian.PutUint16(b[i+2:], s.MSS)
+		i += 4
+	}
+	if s.SACKPermitted {
+		b[i], b[i+1] = optSACKPermitted, 2
+		i += 2
+	}
+	if s.HasTS {
+		b[i], b[i+1] = optTimestamps, 10
+		binary.BigEndian.PutUint32(b[i+2:], s.TSVal)
+		binary.BigEndian.PutUint32(b[i+6:], s.TSEcr)
+		i += 10
+	}
+	if len(s.SACKBlocks) > 0 {
+		b[i], b[i+1] = optSACK, byte(2+8*len(s.SACKBlocks))
+		i += 2
+		for _, blk := range s.SACKBlocks {
+			binary.BigEndian.PutUint32(b[i:], uint32(blk.Start))
+			binary.BigEndian.PutUint32(b[i+4:], uint32(blk.End))
+			i += 8
+		}
+	}
+	for i < hl {
+		b[i] = optNOP
+		i++
+	}
+	copy(b[hl:], s.Payload)
+	binary.BigEndian.PutUint16(b[16:], Checksum(src, dst, b))
+	return b
+}
+
+// Decode errors.
+var (
+	ErrSegmentTooShort = errors.New("tcplp: segment too short")
+	ErrBadOption       = errors.New("tcplp: malformed TCP option")
+	ErrBadChecksum     = errors.New("tcplp: bad checksum")
+)
+
+// DecodeSegment parses a TCP segment and verifies its checksum against
+// the pseudo header.
+func DecodeSegment(src, dst ip6.Addr, b []byte) (*Segment, error) {
+	if len(b) < BaseHeaderLen {
+		return nil, ErrSegmentTooShort
+	}
+	if Checksum(src, dst, b) != 0 {
+		return nil, ErrBadChecksum
+	}
+	hl := int(b[12]>>4) * 4
+	if hl < BaseHeaderLen || hl > len(b) {
+		return nil, ErrSegmentTooShort
+	}
+	s := &Segment{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		SeqNum:  Seq(binary.BigEndian.Uint32(b[4:])),
+		AckNum:  Seq(binary.BigEndian.Uint32(b[8:])),
+		Flags:   Flags(b[13]),
+		Window:  binary.BigEndian.Uint16(b[14:]),
+	}
+	opts := b[BaseHeaderLen:hl]
+	for len(opts) > 0 {
+		switch opts[0] {
+		case optEnd:
+			opts = nil
+			continue
+		case optNOP:
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
+			return nil, ErrBadOption
+		}
+		l := int(opts[1])
+		switch opts[0] {
+		case optMSS:
+			if l != 4 {
+				return nil, ErrBadOption
+			}
+			s.MSS = binary.BigEndian.Uint16(opts[2:])
+		case optSACKPermitted:
+			if l != 2 {
+				return nil, ErrBadOption
+			}
+			s.SACKPermitted = true
+		case optTimestamps:
+			if l != 10 {
+				return nil, ErrBadOption
+			}
+			s.HasTS = true
+			s.TSVal = binary.BigEndian.Uint32(opts[2:])
+			s.TSEcr = binary.BigEndian.Uint32(opts[6:])
+		case optSACK:
+			if (l-2)%8 != 0 {
+				return nil, ErrBadOption
+			}
+			for j := 2; j < l; j += 8 {
+				s.SACKBlocks = append(s.SACKBlocks, SACKBlock{
+					Start: Seq(binary.BigEndian.Uint32(opts[j:])),
+					End:   Seq(binary.BigEndian.Uint32(opts[j+4:])),
+				})
+			}
+		}
+		opts = opts[l:]
+	}
+	if hl < len(b) {
+		s.Payload = append([]byte(nil), b[hl:]...)
+	}
+	return s, nil
+}
+
+// Checksum computes the RFC 2460 TCP checksum of segment bytes b between
+// src and dst. Encoding writes the sum so that verification yields zero.
+func Checksum(src, dst ip6.Addr, b []byte) uint16 {
+	var sum uint32
+	add16 := func(p []byte) {
+		for i := 0; i+1 < len(p); i += 2 {
+			sum += uint32(p[i])<<8 | uint32(p[i+1])
+		}
+		if len(p)%2 == 1 {
+			sum += uint32(p[len(p)-1]) << 8
+		}
+	}
+	add16(src[:])
+	add16(dst[:])
+	sum += uint32(len(b))
+	sum += ip6.ProtoTCP
+	add16(b)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,521 @@
+package tcplp
+
+import (
+	"fmt"
+
+	"tcplp/internal/ip6"
+	"tcplp/internal/sim"
+)
+
+// effMSS is the MSS we may send: the peer's advertised MSS clamped by our
+// own configuration.
+func (c *Conn) effMSS() int {
+	m := c.cfg.MSS
+	if c.peerMSS > 0 && c.peerMSS < m {
+		m = c.peerMSS
+	}
+	return m
+}
+
+// sendWindow is the current usable window: min(cwnd, peer window).
+func (c *Conn) sendWindow() int {
+	w := c.sndWnd
+	if c.cwnd < w {
+		w = c.cwnd
+	}
+	return w
+}
+
+// connect begins an active open (stack.Connect fills addressing first).
+func (c *Conn) connect() {
+	c.iss = Seq(c.stack.eng.Rand().Uint32())
+	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
+	c.recover, c.ecnRecover = c.iss, c.iss
+	c.queuedEnd = c.iss.Add(1) // stream starts after SYN
+	c.cwnd = c.cfg.InitialCwndSegs * c.cfg.MSS
+	c.ssthresh = 1 << 30
+	c.setState(StateSynSent)
+	c.sendSYN(false)
+	c.armRexmt()
+}
+
+// acceptSyn initializes a passive connection from a received SYN.
+func (c *Conn) acceptSyn(seg *Segment) {
+	c.irs = seg.SeqNum
+	c.rcvNxt = seg.SeqNum.Add(1)
+	c.lastAckSeq = c.rcvNxt
+	c.iss = Seq(c.stack.eng.Rand().Uint32())
+	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
+	c.recover, c.ecnRecover = c.iss, c.iss
+	c.queuedEnd = c.iss.Add(1)
+	c.cwnd = c.cfg.InitialCwndSegs * c.cfg.MSS
+	c.ssthresh = 1 << 30
+	c.applySynOptions(seg)
+	if c.cfg.UseECN && seg.Flags.Has(FlagECE|FlagCWR) {
+		c.ecnOn = true
+	}
+	c.setState(StateSynReceived)
+	c.sendSYN(true)
+	c.armRexmt()
+}
+
+// applySynOptions records the peer's negotiated capabilities.
+func (c *Conn) applySynOptions(seg *Segment) {
+	if seg.MSS != 0 {
+		c.peerMSS = int(seg.MSS)
+	}
+	c.peerSACK = c.cfg.UseSACK && seg.SACKPermitted
+	c.peerTS = c.cfg.UseTimestamps && seg.HasTS
+	if c.peerTS {
+		c.tsRecent = seg.TSVal
+		c.tsEcho = true
+	}
+}
+
+// sendSYN emits a SYN (active) or SYN/ACK (passive) with our options.
+func (c *Conn) sendSYN(withAck bool) {
+	seg := &Segment{
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		SeqNum:  c.iss,
+		Flags:   FlagSYN,
+		Window:  uint16(clampInt(c.rcvQ.Window(), 0, 0xffff)),
+		MSS:     uint16(c.cfg.MSS),
+	}
+	if c.cfg.UseSACK {
+		seg.SACKPermitted = true
+	}
+	if c.cfg.UseTimestamps {
+		seg.HasTS = true
+		seg.TSVal = c.stack.tsNow()
+		if withAck && c.tsEcho {
+			seg.TSEcr = c.tsRecent
+		}
+	}
+	if withAck {
+		seg.Flags |= FlagACK
+		seg.AckNum = c.rcvNxt
+		if c.ecnOn {
+			seg.Flags |= FlagECE
+		}
+	} else if c.cfg.UseECN {
+		seg.Flags |= FlagECE | FlagCWR
+	}
+	c.lastWndAdv = int(seg.Window)
+	if c.sndNxt == c.iss {
+		c.sndNxt = c.iss.Add(1)
+	}
+	c.sndMax = maxSeq(c.sndMax, c.sndNxt)
+	c.startRTTSample(c.iss)
+	// The handshake expects a response too: a duty-cycled leaf must poll
+	// fast for the SYN/ACK held in its parent's indirect queue (§9.2).
+	c.setExpecting(true)
+	c.transmit(seg, false)
+}
+
+// output is the tcp_output engine: it sends as much as the usable window,
+// the send buffer, Nagle, and recovery state allow.
+func (c *Conn) output() {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateFinWait1, StateClosing, StateLastAck:
+	default:
+		return
+	}
+	mss := c.effMSS()
+	spin := 0
+	for {
+		spin++
+		if spin > 100000 {
+			panic(fmt.Sprintf("output spin: state=%v una=%d nxt=%d max=%d queuedEnd=%d bufLen=%d wnd=%d cwnd=%d recovery=%v finQ=%v sacked=%d rtxPipe=%d sackNext=%d recover=%d",
+				c.state, c.sndUna, c.sndNxt, c.sndMax, c.queuedEnd, c.sndBuf.Len(), c.sndWnd, c.cwnd, c.inRecovery, c.finQueued, c.sb.SackedBytes(), c.rtxPipe, c.sackRtxNext, c.recover))
+		}
+		if c.inRecovery && c.peerSACK {
+			if c.sackRetransmit() {
+				continue
+			}
+		}
+		win := c.sendWindow()
+		offset := c.sndNxt.Diff(c.sndUna)
+		if offset < 0 {
+			offset = 0
+		}
+		dataEnd := c.queuedEnd
+		avail := dataEnd.Diff(c.sndNxt)
+		if avail < 0 {
+			avail = 0
+		}
+		// Usable window beyond what is already in flight.
+		usable := win - offset
+		segLen := minInt(avail, minInt(usable, mss))
+
+		// The FIN is due whenever snd.nxt sits exactly at the end of the
+		// data stream — true both for the first transmission and after an
+		// RTO pulled snd.nxt back (retransmission).
+		sendFin := c.finQueued && !c.finAcked() && c.sndNxt == dataEnd &&
+			(usable > 0 || offset == 0)
+
+		// Sender-side silly window avoidance (RFC 1122 §4.2.3.4) with
+		// Nagle folded in: send a full segment; or everything we have if
+		// idle (or Nagle is off); or at least half the peer's largest
+		// window; or a FIN.
+		sendNow := sendFin
+		switch {
+		case segLen >= mss:
+			sendNow = true
+		case segLen > 0 && c.sndNxt.LT(c.sndMax):
+			// Retransmission (snd.nxt was pulled back): never blocked by
+			// silly-window rules, or an RTO could loop without sending.
+			sendNow = true
+		case segLen > 0 && segLen == avail && (c.cfg.NoDelay || c.sndNxt == c.sndUna):
+			sendNow = true
+		case segLen > 0 && c.maxSndWnd > 0 && segLen >= c.maxSndWnd/2:
+			sendNow = true
+		}
+		if !sendNow {
+			// If data is stuck behind a closed or silly window with
+			// nothing deliverable in flight, the persist timer is the
+			// only thing that can make progress. With a closed window it
+			// replaces the retransmission timer outright (BSD-style
+			// rexmt/persist exclusivity): retransmitting into a zero
+			// window is pointless and would loop the RTO to abort.
+			pending := avail > 0 || (c.finQueued && !c.finAcked())
+			if pending && c.sndNxt == c.sndUna && !c.persist.Armed() {
+				if c.sndWnd == 0 {
+					c.rexmt.Stop()
+					c.schedulePersist()
+				} else if !c.rexmt.Armed() {
+					c.schedulePersist()
+				}
+			}
+			return
+		}
+		c.sendData(c.sndNxt, segLen, sendFin, false)
+		// sendData advanced snd.nxt (by segLen and/or the FIN), so each
+		// iteration makes progress until the window or buffer is spent.
+	}
+}
+
+// sackRetransmit fills the next SACK hole during loss recovery; it
+// returns true if a retransmission was sent. sackRtxNext is the scan
+// cursor guaranteeing forward progress within one recovery episode, and
+// rtxPipe accounts the retransmitted-but-unacknowledged bytes in the
+// pipe estimate (packet conservation).
+func (c *Conn) sackRetransmit() bool {
+	if c.sb.Empty() {
+		return false
+	}
+	pipe := c.sndMax.Diff(c.sndUna) - c.sb.SackedBytes() + c.rtxPipe
+	if pipe >= c.cwnd {
+		return false
+	}
+	from := maxSeq(c.sndUna, c.sackRtxNext)
+	hole, ok := c.sb.NextHole(from, minSeq(c.recover, c.sndMax))
+	if !ok {
+		return false
+	}
+	n := minInt(hole.End.Diff(hole.Start), c.effMSS())
+	if n <= 0 {
+		return false
+	}
+	c.Stats.SACKRetransmits++
+	c.sackRtxNext = hole.Start.Add(n)
+	c.rtxPipe += n
+	c.sendData(hole.Start, n, false, true)
+	return true
+}
+
+// sendData transmits one segment of segLen payload bytes starting at seq,
+// optionally carrying FIN. rtx marks retransmissions (they do not move
+// snd.nxt forward past snd.max bookkeeping).
+func (c *Conn) sendData(seq Seq, segLen int, fin bool, rtx bool) {
+	seg := &Segment{
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		SeqNum:  seq,
+		AckNum:  c.rcvNxt,
+		Flags:   FlagACK,
+		Window:  uint16(clampInt(c.rcvQ.Window(), 0, 0xffff)),
+	}
+	if segLen > 0 {
+		seg.Payload = make([]byte, segLen)
+		got := c.sndBuf.ReadAt(seg.Payload, seq.Diff(c.sndUna))
+		if got < segLen {
+			seg.Payload = seg.Payload[:got]
+			segLen = got
+			if segLen == 0 && !fin {
+				return
+			}
+		}
+		if seq.Add(segLen) == c.queuedEnd {
+			seg.Flags |= FlagPSH
+		}
+	}
+	if fin {
+		seg.Flags |= FlagFIN
+	}
+	c.attachCommonOptions(seg)
+	if c.ecnOn && c.cwrToSend && segLen > 0 {
+		seg.Flags |= FlagCWR
+		c.cwrToSend = false
+	}
+
+	end := seq.Add(segLen + boolInt(fin))
+	if !rtx || seq == c.sndNxt {
+		c.sndNxt = maxSeq(c.sndNxt, end)
+	}
+	newData := end.GT(c.sndMax)
+	c.sndMax = maxSeq(c.sndMax, end)
+	if newData {
+		c.startRTTSample(seq)
+	} else if segLen > 0 {
+		c.Stats.Retransmits++
+	}
+	if fin && !rtx {
+		switch c.state {
+		case StateEstablished:
+			c.setState(StateFinWait1)
+		case StateCloseWait:
+			c.setState(StateLastAck)
+		}
+	}
+	if c.probing {
+		// Zero-window probes retransmit under the persist timer, never
+		// the retransmission timer (the two are mutually exclusive, as
+		// in BSD tcp_output).
+		c.rexmt.Stop()
+	} else {
+		c.armRexmt()
+	}
+	c.setExpecting(true)
+	c.transmit(seg, segLen > 0)
+	c.Stats.BytesSent += uint64(segLen)
+	// Data segments carry an implicit ACK of everything received.
+	c.ackSent()
+}
+
+// sendAck emits a pure ACK reflecting rcv.nxt, the window, SACK state,
+// and ECN echo.
+func (c *Conn) sendAck() {
+	if c.state == StateClosed || c.state == StateListen {
+		return
+	}
+	seg := &Segment{
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		SeqNum:  c.sndNxt,
+		AckNum:  c.rcvNxt,
+		Flags:   FlagACK,
+		Window:  uint16(clampInt(c.rcvQ.Window(), 0, 0xffff)),
+	}
+	c.attachCommonOptions(seg)
+	c.Stats.AcksSent++
+	c.transmit(seg, false)
+	c.ackSent()
+}
+
+// ackSent resets delayed-ACK state after any segment carrying an ACK.
+func (c *Conn) ackSent() {
+	c.segsToAck = 0
+	c.delAckTimer.Stop()
+	c.lastAckSeq = c.rcvNxt
+	c.lastWndAdv = c.rcvQ.Window()
+	if c.lastWndAdv > 0xffff {
+		c.lastWndAdv = 0xffff
+	}
+}
+
+// attachCommonOptions adds timestamps, SACK blocks, and ECN echo to an
+// outgoing segment.
+func (c *Conn) attachCommonOptions(seg *Segment) {
+	if c.peerTS {
+		seg.HasTS = true
+		seg.TSVal = c.stack.tsNow()
+		if c.tsEcho {
+			seg.TSEcr = c.tsRecent
+		}
+	}
+	if c.peerSACK {
+		for _, r := range c.rcvQ.SACKRanges(MaxSACKBlocks) {
+			seg.SACKBlocks = append(seg.SACKBlocks, SACKBlock{
+				Start: c.rcvNxt.Add(r[0]),
+				End:   c.rcvNxt.Add(r[1]),
+			})
+		}
+	}
+	if c.ecnOn && c.eceToSend {
+		seg.Flags |= FlagECE
+	}
+}
+
+// sendRST emits a reset carrying the given sequence number.
+func (c *Conn) sendRST(seq Seq) {
+	seg := &Segment{
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		SeqNum:  seq,
+		AckNum:  c.rcvNxt,
+		Flags:   FlagRST | FlagACK,
+	}
+	c.transmit(seg, false)
+}
+
+// transmit hands a segment to the stack's IP output. Data segments are
+// marked ECT(0) when ECN is negotiated.
+func (c *Conn) transmit(seg *Segment, isData bool) {
+	c.Stats.SegsSent++
+	var ecn ip6.ECN
+	if c.ecnOn && isData {
+		ecn = ip6.ECT0
+	}
+	c.stack.sendSegment(c.localAddr, c.remoteAddr, seg, ecn)
+}
+
+// startRTTSample begins timing seq's round trip if no sample is pending
+// (Karn's rule; with timestamps every ACK provides a sample instead).
+func (c *Conn) startRTTSample(seq Seq) {
+	if c.peerTS || c.rttPending {
+		return
+	}
+	c.rttPending = true
+	c.rttSeq = seq
+	c.rttTime = c.stack.eng.Now()
+}
+
+// ----- timers -----
+
+func (c *Conn) armRexmt() {
+	if c.sndMax.Diff(c.sndUna) <= 0 && !c.finQueued {
+		return
+	}
+	if !c.rexmt.Armed() {
+		c.rexmt.Reset(c.rtt.Backoff(c.rexmtShift))
+	}
+}
+
+// rearmRexmt restarts the timer after forward progress.
+func (c *Conn) rearmRexmt() {
+	c.rexmt.Stop()
+	if c.sndMax.Diff(c.sndUna) > 0 || (c.finQueued && !c.finAcked()) {
+		c.rexmt.Reset(c.rtt.Backoff(c.rexmtShift))
+	}
+}
+
+// onRTO handles retransmission timeout: multiplicative decrease to one
+// segment, slow-start restart, exponential backoff, and eventual abort.
+func (c *Conn) onRTO() {
+	if c.sndMax.Diff(c.sndUna) <= 0 && !(c.finQueued && !c.finAcked()) &&
+		c.state != StateSynSent && c.state != StateSynReceived {
+		// Stale timer: nothing outstanding to retransmit.
+		c.rexmtShift = 0
+		return
+	}
+	c.Stats.Timeouts++
+	c.rexmtShift++
+	if c.rexmtShift > c.cfg.MaxRetransmits {
+		c.teardown(ErrConnTimeout)
+		return
+	}
+	switch c.state {
+	case StateSynSent, StateSynReceived:
+		c.sendSYN(c.state == StateSynReceived)
+		c.rexmt.Reset(c.rtt.Backoff(c.rexmtShift))
+		return
+	}
+	mss := c.effMSS()
+	flight := minInt(c.sndMax.Diff(c.sndUna), c.sendWindow())
+	c.ssthresh = maxInt(flight/2, 2*mss)
+	c.cwnd = mss
+	c.traceCwnd()
+	c.inRecovery = false
+	// RFC 6582: remember the highest sequence sent so later duplicate
+	// ACKs for this same window do not re-enter fast recovery.
+	c.recover = c.sndMax
+	c.dupAcks = 0
+	c.sb.Reset()
+	c.rttPending = false // Karn: do not sample retransmitted segments
+	c.rtxPipe = 0
+	c.sndNxt = c.sndUna
+	c.rexmt.Reset(c.rtt.Backoff(c.rexmtShift))
+	c.output()
+}
+
+// schedulePersist arms the zero-window probe timer.
+func (c *Conn) schedulePersist() {
+	d := clampDur(c.rtt.Backoff(c.persistShift), 5*sim.Second/10, 60*sim.Second)
+	c.persist.Reset(d)
+}
+
+// onPersist forces progress through a closed (or silly) window: it sends
+// one byte of data — or the FIN — regardless of window checks.
+func (c *Conn) onPersist() {
+	if c.state == StateClosed {
+		return
+	}
+	avail := c.queuedEnd.Diff(c.sndNxt)
+	if avail <= 0 && !(c.finQueued && !c.finAcked()) {
+		return
+	}
+	if c.sndNxt.Diff(c.sndUna) > 1 {
+		// Real data beyond a probe is in flight; its ACK or RTO drives us.
+		return
+	}
+	c.Stats.ZeroWindowProbes++
+	c.probing = true
+	if avail > 0 {
+		c.sndNxt = c.sndUna // re-probe with the same byte
+		c.sendData(c.sndNxt, 1, false, false)
+	} else {
+		c.sendData(c.sndNxt, 0, true, false)
+	}
+	c.probing = false
+	c.persistShift++
+	c.schedulePersist()
+}
+
+// onDelAck flushes a pending delayed acknowledgment.
+func (c *Conn) onDelAck() {
+	c.Stats.DelayedAcks++
+	c.sendAck()
+}
+
+func (c *Conn) enterTimeWait() {
+	c.setState(StateTimeWait)
+	c.rexmt.Stop()
+	c.persist.Stop()
+	c.timeWait.Reset(2 * c.cfg.MSL)
+}
+
+func (c *Conn) onTimeWaitExpiry() {
+	c.teardown(nil)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

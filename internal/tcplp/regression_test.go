@@ -1,0 +1,70 @@
+package tcplp
+
+import (
+	"testing"
+
+	"tcplp/internal/ip6"
+	"tcplp/internal/sim"
+)
+
+// Regression: a passively opened, receive-only connection must survive
+// arbitrarily long idle periods. The SYN/ACK's retransmission timer once
+// leaked past establishment and silently backed off until the server
+// aborted the connection after ~8 idle minutes and RST the peer.
+func TestIdleServerConnectionSurvives(t *testing.T) {
+	l := newTestLink(30, 10*sim.Millisecond, testCfg())
+	var server *Conn
+	var serverErr, clientErr error
+	l.b.Listen(80, func(c *Conn) {
+		server = c
+		c.OnClosed = func(err error) { serverErr = err }
+	})
+	client := l.a.Connect(ip6.AddrFromID(1), 80)
+	client.OnClosed = func(err error) { clientErr = err }
+	l.eng.RunUntil(sim.Time(2 * sim.Second))
+	if server == nil || server.State() != StateEstablished {
+		t.Fatalf("handshake failed: %v", stateOf(server))
+	}
+	// 30 idle minutes: nothing may fire, nothing may close.
+	l.eng.RunUntil(sim.Time(30 * sim.Minute))
+	if server.State() != StateEstablished || client.State() != StateEstablished {
+		t.Fatalf("idle connection died: server=%v(%v) client=%v(%v)",
+			server.State(), serverErr, client.State(), clientErr)
+	}
+	if server.Stats.Timeouts != 0 {
+		t.Fatalf("idle server fired %d RTOs", server.Stats.Timeouts)
+	}
+	// And it still works afterwards.
+	received := 0
+	server.OnReadable = func() {
+		buf := make([]byte, 256)
+		for {
+			n := server.Read(buf)
+			if n == 0 {
+				break
+			}
+			received += n
+		}
+	}
+	client.Write(make([]byte, 100))
+	l.eng.RunFor(5 * sim.Second)
+	if received != 100 {
+		t.Fatalf("post-idle transfer delivered %d", received)
+	}
+}
+
+// Regression: delayed ACKs must not halve the peer's RTT samples. With
+// RFC 7323 Last.ACK.sent echo semantics the timestamp a delayed ACK
+// echoes belongs to the FIRST of the two segments it covers, so the
+// sender's RTT sample includes the coalescing wait.
+func TestTimestampEchoCoversDelayedAck(t *testing.T) {
+	l := newTestLink(31, 50*sim.Millisecond, testCfg())
+	_, client := l.transfer(t, 30_000, 5*sim.Minute)
+	// One-way delay 50 ms → physical RTT 100 ms. In steady state with a
+	// 4-segment window the pipe adds queueing; SRTT must be comfortably
+	// above the bare 100 ms (the buggy echo reported less than 100 ms
+	// because it echoed the newest segment's timestamp).
+	if client.SRTT() < 100*sim.Millisecond {
+		t.Fatalf("srtt = %v, must include pipeline + delack wait", client.SRTT())
+	}
+}

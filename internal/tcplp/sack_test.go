@@ -1,0 +1,177 @@
+package tcplp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcplp/internal/sim"
+)
+
+func TestScoreboardAddMerge(t *testing.T) {
+	var sb scoreboard
+	sb.Add(SACKBlock{100, 200}, 0)
+	sb.Add(SACKBlock{300, 400}, 0)
+	sb.Add(SACKBlock{150, 350}, 0) // bridges the two
+	if len(sb.ranges) != 1 || sb.ranges[0] != (SACKBlock{100, 400}) {
+		t.Fatalf("merge: %v", sb.ranges)
+	}
+	if sb.SackedBytes() != 300 {
+		t.Fatalf("sacked = %d", sb.SackedBytes())
+	}
+}
+
+func TestScoreboardStaleBlocks(t *testing.T) {
+	var sb scoreboard
+	sb.Add(SACKBlock{100, 200}, 250) // entirely below una
+	if !sb.Empty() {
+		t.Fatalf("stale block recorded: %v", sb.ranges)
+	}
+	sb.Add(SACKBlock{200, 300}, 250) // straddles una
+	if len(sb.ranges) != 1 || sb.ranges[0] != (SACKBlock{250, 300}) {
+		t.Fatalf("straddling block: %v", sb.ranges)
+	}
+}
+
+func TestScoreboardNextHole(t *testing.T) {
+	var sb scoreboard
+	sb.Add(SACKBlock{100, 200}, 0)
+	sb.Add(SACKBlock{300, 400}, 0)
+	h, ok := sb.NextHole(0, 500)
+	if !ok || h != (SACKBlock{0, 100}) {
+		t.Fatalf("first hole: %v %v", h, ok)
+	}
+	h, ok = sb.NextHole(100, 500)
+	if !ok || h != (SACKBlock{200, 300}) {
+		t.Fatalf("middle hole: %v %v", h, ok)
+	}
+	h, ok = sb.NextHole(300, 500)
+	if !ok || h != (SACKBlock{400, 500}) {
+		t.Fatalf("tail hole: %v %v", h, ok)
+	}
+	if _, ok := sb.NextHole(100, 200); ok {
+		t.Fatal("hole reported inside a SACKed range")
+	}
+}
+
+func TestScoreboardAdvanceUna(t *testing.T) {
+	var sb scoreboard
+	sb.Add(SACKBlock{100, 200}, 0)
+	sb.Add(SACKBlock{300, 400}, 0)
+	sb.AdvanceUna(150)
+	if len(sb.ranges) != 2 || sb.ranges[0] != (SACKBlock{150, 200}) {
+		t.Fatalf("advance: %v", sb.ranges)
+	}
+	sb.AdvanceUna(450)
+	if !sb.Empty() {
+		t.Fatalf("advance past all: %v", sb.ranges)
+	}
+}
+
+func TestScoreboardCovers(t *testing.T) {
+	var sb scoreboard
+	sb.Add(SACKBlock{100, 200}, 0)
+	if !sb.Covers(120, 180) || !sb.Covers(100, 200) {
+		t.Fatal("covers inside range")
+	}
+	if sb.Covers(90, 110) || sb.Covers(150, 250) {
+		t.Fatal("covers over boundary")
+	}
+}
+
+// Property: the scoreboard stays sorted, non-overlapping, above una, and
+// agrees with a reference set of SACKed bytes.
+func TestQuickScoreboardInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sb scoreboard
+		ref := map[uint32]bool{}
+		una := Seq(0)
+		for op := 0; op < 150; op++ {
+			if rng.Intn(4) != 0 {
+				start := Seq(rng.Intn(900))
+				ln := rng.Intn(80) + 1
+				blk := SACKBlock{start, start.Add(ln)}
+				sb.Add(blk, una)
+				for s := start; s.LT(blk.End); s = s.Add(1) {
+					if s.GEQ(una) {
+						ref[uint32(s)] = true
+					}
+				}
+			} else {
+				una = una.Add(rng.Intn(60))
+				sb.AdvanceUna(una)
+				for k := range ref {
+					if Seq(k).LT(una) {
+						delete(ref, k)
+					}
+				}
+			}
+			// Invariants.
+			total := 0
+			var prev *SACKBlock
+			for i := range sb.ranges {
+				r := sb.ranges[i]
+				if r.End.LEQ(r.Start) || r.Start.LT(una) {
+					return false
+				}
+				if prev != nil && r.Start.LT(prev.End) {
+					return false
+				}
+				total += r.End.Diff(r.Start)
+				prev = &sb.ranges[i]
+			}
+			if total != len(ref) || total != sb.SackedBytes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTTEstimatorConvergence(t *testing.T) {
+	e := newRTTEstimator(0, 0)
+	if e.RTO() != InitialRTO {
+		t.Fatalf("initial RTO = %v", e.RTO())
+	}
+	for i := 0; i < 50; i++ {
+		e.Sample(100 * sim.Millisecond)
+	}
+	if e.SRTT() < 95*sim.Millisecond || e.SRTT() > 105*sim.Millisecond {
+		t.Fatalf("srtt = %v after constant samples", e.SRTT())
+	}
+	// RTO floors at RTOMin.
+	if e.RTO() != DefaultRTOMin {
+		t.Fatalf("rto = %v, want floor %v", e.RTO(), DefaultRTOMin)
+	}
+}
+
+func TestRTTEstimatorVariance(t *testing.T) {
+	e := newRTTEstimator(0, 0)
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			e.Sample(100 * sim.Millisecond)
+		} else {
+			e.Sample(900 * sim.Millisecond)
+		}
+	}
+	// High variance must push RTO well above the mean.
+	if e.RTO() < 900*sim.Millisecond {
+		t.Fatalf("rto = %v with oscillating RTT", e.RTO())
+	}
+}
+
+func TestRTTBackoff(t *testing.T) {
+	e := newRTTEstimator(0, 0)
+	e.Sample(500 * sim.Millisecond)
+	base := e.RTO()
+	if e.Backoff(1) != 2*base || e.Backoff(2) != 4*base {
+		t.Fatalf("backoff: %v %v base %v", e.Backoff(1), e.Backoff(2), base)
+	}
+	if e.Backoff(30) != DefaultRTOMax {
+		t.Fatalf("backoff clamp: %v", e.Backoff(30))
+	}
+}

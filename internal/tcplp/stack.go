@@ -1,0 +1,238 @@
+package tcplp
+
+import (
+	"tcplp/internal/ip6"
+	"tcplp/internal/sim"
+)
+
+// StackStats counts stack-level events.
+type StackStats struct {
+	SegsIn        uint64
+	BadChecksum   uint64
+	NoSocket      uint64
+	RSTsSent      uint64
+	ConnsAccepted uint64
+	ConnsOpened   uint64
+}
+
+type connKey struct {
+	remote       ip6.Addr
+	rport, lport uint16
+}
+
+// Listener is a passive socket (§4.1): it holds only a port and a
+// callback — far smaller than an active socket, which is why the paper
+// distinguishes the two at the protocol level.
+type Listener struct {
+	stack *Stack
+	port  uint16
+	// OnAccept is invoked when a connection completes its handshake.
+	OnAccept func(c *Conn)
+	// ConfigFor, if set, customizes the Config for an incoming
+	// connection; nil uses the stack default.
+	ConfigFor func() Config
+}
+
+// Close stops accepting new connections on the port.
+func (l *Listener) Close() { delete(l.stack.listeners, l.port) }
+
+// Stack is one node's TCP protocol instance.
+type Stack struct {
+	eng  *sim.Engine
+	addr ip6.Addr
+	cfg  Config
+
+	// Output transmits an IPv6 packet toward its destination; the node
+	// wiring (internal/stack) supplies it.
+	Output func(pkt *ip6.Packet)
+
+	// OnExpectingChange fires when the stack starts/stops having any
+	// connection with unacknowledged data — the duty-cycling hint wire
+	// (§9.2).
+	OnExpectingChange func(expecting bool)
+
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Listener
+	expecting map[*Conn]bool
+	nextPort  uint16
+
+	Stats StackStats
+}
+
+// NewStack creates a TCP instance bound to addr.
+func NewStack(eng *sim.Engine, addr ip6.Addr, cfg Config) *Stack {
+	return &Stack{
+		eng:       eng,
+		addr:      addr,
+		cfg:       cfg,
+		conns:     map[connKey]*Conn{},
+		listeners: map[uint16]*Listener{},
+		expecting: map[*Conn]bool{},
+		nextPort:  49152,
+	}
+}
+
+// Engine returns the stack's simulation engine.
+func (s *Stack) Engine() *sim.Engine { return s.eng }
+
+// Addr returns the stack's IPv6 address.
+func (s *Stack) Addr() ip6.Addr { return s.addr }
+
+// Config returns the stack's default connection configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// tsNow is the RFC 7323 timestamp clock (1 ms granularity).
+func (s *Stack) tsNow() uint32 {
+	return uint32(int64(s.eng.Now())/int64(sim.Millisecond)) + 1
+}
+
+// Listen opens a passive socket on port.
+func (s *Stack) Listen(port uint16, onAccept func(*Conn)) *Listener {
+	l := &Listener{stack: s, port: port, OnAccept: onAccept}
+	s.listeners[port] = l
+	return l
+}
+
+// Connect opens an active connection to raddr:rport with the stack's
+// default configuration.
+func (s *Stack) Connect(raddr ip6.Addr, rport uint16) *Conn {
+	return s.ConnectConfig(raddr, rport, s.cfg)
+}
+
+// ConnectConfig opens an active connection with an explicit Config.
+func (s *Stack) ConnectConfig(raddr ip6.Addr, rport uint16, cfg Config) *Conn {
+	c := newConn(s, cfg)
+	c.localAddr = s.addr
+	c.remoteAddr = raddr
+	c.localPort = s.allocPort()
+	c.remotePort = rport
+	s.conns[connKey{raddr, rport, c.localPort}] = c
+	s.Stats.ConnsOpened++
+	c.connect()
+	return c
+}
+
+func (s *Stack) allocPort() uint16 {
+	for {
+		s.nextPort++
+		if s.nextPort < 49152 {
+			s.nextPort = 49152
+		}
+		free := true
+		for k := range s.conns {
+			if k.lport == s.nextPort {
+				free = false
+				break
+			}
+		}
+		if free {
+			return s.nextPort
+		}
+	}
+}
+
+// Input feeds a received IPv6 packet into the TCP layer.
+func (s *Stack) Input(pkt *ip6.Packet) {
+	if pkt.NextHeader != ip6.ProtoTCP || pkt.Dst != s.addr {
+		return
+	}
+	s.Stats.SegsIn++
+	seg, err := DecodeSegment(pkt.Src, pkt.Dst, pkt.Payload)
+	if err != nil {
+		s.Stats.BadChecksum++
+		return
+	}
+	ce := pkt.ECN() == ip6.CE
+	key := connKey{pkt.Src, seg.SrcPort, seg.DstPort}
+	if c, ok := s.conns[key]; ok {
+		c.input(seg, ce)
+		return
+	}
+	// No connection: a SYN to a listening port spawns one.
+	if l, ok := s.listeners[seg.DstPort]; ok &&
+		seg.Flags.Has(FlagSYN) && !seg.Flags.Has(FlagACK) && !seg.Flags.Has(FlagRST) {
+		cfg := s.cfg
+		if l.ConfigFor != nil {
+			cfg = l.ConfigFor()
+		}
+		c := newConn(s, cfg)
+		c.localAddr = s.addr
+		c.remoteAddr = pkt.Src
+		c.localPort = seg.DstPort
+		c.remotePort = seg.SrcPort
+		s.conns[key] = c
+		c.acceptSyn(seg)
+		return
+	}
+	s.Stats.NoSocket++
+	if !seg.Flags.Has(FlagRST) {
+		s.sendRSTFor(pkt.Src, seg)
+	}
+}
+
+// sendRSTFor answers a segment for which no socket exists (RFC 793).
+func (s *Stack) sendRSTFor(src ip6.Addr, seg *Segment) {
+	s.Stats.RSTsSent++
+	rst := &Segment{
+		SrcPort: seg.DstPort,
+		DstPort: seg.SrcPort,
+		Flags:   FlagRST,
+	}
+	if seg.Flags.Has(FlagACK) {
+		rst.SeqNum = seg.AckNum
+	} else {
+		rst.Flags |= FlagACK
+		rst.AckNum = seg.SeqNum.Add(seg.Len())
+	}
+	s.sendSegment(s.addr, src, rst, ip6.NotECT)
+}
+
+// sendSegment wraps a TCP segment in an IPv6 packet and transmits it.
+func (s *Stack) sendSegment(src, dst ip6.Addr, seg *Segment, ecn ip6.ECN) {
+	pkt := &ip6.Packet{
+		Header: ip6.Header{
+			NextHeader: ip6.ProtoTCP,
+			HopLimit:   ip6.DefaultHopLimit,
+			Src:        src,
+			Dst:        dst,
+		},
+		Payload: seg.Encode(src, dst),
+	}
+	pkt.SetECN(ecn)
+	pkt.PayloadLen = uint16(len(pkt.Payload))
+	if s.Output != nil {
+		s.Output(pkt)
+	}
+}
+
+// removeConn drops a closed connection's demux entry.
+func (s *Stack) removeConn(c *Conn) {
+	delete(s.conns, connKey{c.remoteAddr, c.remotePort, c.localPort})
+}
+
+// notifyAccept fires the listener callback for a freshly established
+// passive connection.
+func (s *Stack) notifyAccept(c *Conn) {
+	if l, ok := s.listeners[c.localPort]; ok && l.OnAccept != nil {
+		s.Stats.ConnsAccepted++
+		l.OnAccept(c)
+	}
+}
+
+// noteExpecting tracks which connections have unACKed data and fires
+// OnExpectingChange on 0↔1 transitions of that set.
+func (s *Stack) noteExpecting(c *Conn, on bool) {
+	before := len(s.expecting) > 0
+	if on {
+		s.expecting[c] = true
+	} else {
+		delete(s.expecting, c)
+	}
+	after := len(s.expecting) > 0
+	if before != after && s.OnExpectingChange != nil {
+		s.OnExpectingChange(after)
+	}
+}
+
+// Conns returns the number of active connections (diagnostics).
+func (s *Stack) Conns() int { return len(s.conns) }

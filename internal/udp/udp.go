@@ -1,0 +1,120 @@
+// Package udp is the minimal UDP layer CoAP rides on: the 8-byte header
+// codec and a port-demultiplexing endpoint.
+package udp
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"tcplp/internal/ip6"
+)
+
+// HeaderLen is the UDP header length.
+const HeaderLen = 8
+
+// Datagram is a parsed UDP datagram.
+type Datagram struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// Encode serializes the datagram (checksum left zero: corruption is
+// modelled at the PHY).
+func (d *Datagram) Encode() []byte {
+	b := make([]byte, HeaderLen+len(d.Payload))
+	binary.BigEndian.PutUint16(b[0:], d.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], d.DstPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(len(b)))
+	copy(b[HeaderLen:], d.Payload)
+	return b
+}
+
+// ErrTruncated reports a datagram shorter than its header or length field.
+var ErrTruncated = errors.New("udp: truncated datagram")
+
+// Decode parses a UDP datagram.
+func Decode(b []byte) (*Datagram, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	ln := int(binary.BigEndian.Uint16(b[4:]))
+	if ln < HeaderLen || ln > len(b) {
+		return nil, ErrTruncated
+	}
+	d := &Datagram{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+	}
+	if ln > HeaderLen {
+		d.Payload = append([]byte(nil), b[HeaderLen:ln]...)
+	}
+	return d, nil
+}
+
+// Handler receives datagrams for a bound port.
+type Handler func(src ip6.Addr, srcPort uint16, payload []byte)
+
+// Stack is one node's UDP endpoint.
+type Stack struct {
+	addr ip6.Addr
+	// Output transmits an IPv6 packet (wired up by the node).
+	Output   func(pkt *ip6.Packet)
+	handlers map[uint16]Handler
+	nextPort uint16
+}
+
+// NewStack returns a UDP endpoint bound to addr.
+func NewStack(addr ip6.Addr) *Stack {
+	return &Stack{addr: addr, handlers: map[uint16]Handler{}, nextPort: 40000}
+}
+
+// Bind registers a handler for a port, returning the port (0 picks an
+// ephemeral one).
+func (s *Stack) Bind(port uint16, h Handler) uint16 {
+	if port == 0 {
+		for {
+			s.nextPort++
+			if _, used := s.handlers[s.nextPort]; !used {
+				port = s.nextPort
+				break
+			}
+		}
+	}
+	s.handlers[port] = h
+	return port
+}
+
+// Unbind removes a port binding.
+func (s *Stack) Unbind(port uint16) { delete(s.handlers, port) }
+
+// Send transmits payload to dst:dstPort from srcPort.
+func (s *Stack) Send(dst ip6.Addr, dstPort, srcPort uint16, payload []byte) {
+	d := &Datagram{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	pkt := &ip6.Packet{
+		Header: ip6.Header{
+			NextHeader: ip6.ProtoUDP,
+			HopLimit:   ip6.DefaultHopLimit,
+			Src:        s.addr,
+			Dst:        dst,
+		},
+		Payload: d.Encode(),
+	}
+	pkt.PayloadLen = uint16(len(pkt.Payload))
+	if s.Output != nil {
+		s.Output(pkt)
+	}
+}
+
+// Input feeds a received IPv6 packet into the UDP layer.
+func (s *Stack) Input(pkt *ip6.Packet) {
+	if pkt.NextHeader != ip6.ProtoUDP || pkt.Dst != s.addr {
+		return
+	}
+	d, err := Decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	if h, ok := s.handlers[d.DstPort]; ok {
+		h(pkt.Src, d.SrcPort, d.Payload)
+	}
+}

@@ -1,0 +1,96 @@
+package udp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"tcplp/internal/ip6"
+)
+
+func TestDatagramRoundTrip(t *testing.T) {
+	d := &Datagram{SrcPort: 40001, DstPort: 5683, Payload: []byte("coap bytes")}
+	g, err := Decode(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SrcPort != d.SrcPort || g.DstPort != d.DstPort || !bytes.Equal(g.Payload, d.Payload) {
+		t.Fatalf("round trip: %+v", g)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	d := (&Datagram{Payload: []byte("xy")}).Encode()
+	if _, err := Decode(d[:len(d)-1]); err != ErrTruncated {
+		t.Fatalf("bad length: %v", err)
+	}
+}
+
+func TestStackDemux(t *testing.T) {
+	s := NewStack(ip6.AddrFromID(1))
+	var sent *ip6.Packet
+	s.Output = func(pkt *ip6.Packet) { sent = pkt }
+	var gotA, gotB []byte
+	s.Bind(100, func(src ip6.Addr, sp uint16, p []byte) { gotA = p })
+	portB := s.Bind(0, func(src ip6.Addr, sp uint16, p []byte) { gotB = p })
+	if portB < 40000 {
+		t.Fatalf("ephemeral port = %d", portB)
+	}
+
+	s.Send(ip6.AddrFromID(2), 200, 100, []byte("outbound"))
+	if sent == nil || sent.NextHeader != ip6.ProtoUDP {
+		t.Fatal("send did not produce a UDP packet")
+	}
+
+	mk := func(dst uint16, payload string) *ip6.Packet {
+		d := &Datagram{SrcPort: 9, DstPort: dst, Payload: []byte(payload)}
+		return &ip6.Packet{
+			Header: ip6.Header{
+				NextHeader: ip6.ProtoUDP, HopLimit: 64,
+				Src: ip6.AddrFromID(2), Dst: ip6.AddrFromID(1),
+			},
+			Payload: d.Encode(),
+		}
+	}
+	s.Input(mk(100, "for A"))
+	s.Input(mk(portB, "for B"))
+	s.Input(mk(999, "nobody"))
+	if string(gotA) != "for A" || string(gotB) != "for B" {
+		t.Fatalf("demux: %q %q", gotA, gotB)
+	}
+
+	// Wrong destination address or protocol is ignored.
+	pkt := mk(100, "misaddressed")
+	pkt.Dst = ip6.AddrFromID(5)
+	s.Input(pkt)
+	if string(gotA) != "for A" {
+		t.Fatal("misaddressed packet delivered")
+	}
+
+	s.Unbind(100)
+	s.Input(mk(100, "after unbind"))
+	if string(gotA) != "for A" {
+		t.Fatal("unbound port delivered")
+	}
+}
+
+// Property: datagrams round-trip for arbitrary ports and payloads.
+func TestQuickDatagramRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		g, err := Decode((&Datagram{SrcPort: sp, DstPort: dp, Payload: payload}).Encode())
+		if err != nil {
+			return false
+		}
+		return g.SrcPort == sp && g.DstPort == dp &&
+			(bytes.Equal(g.Payload, payload) || (len(payload) == 0 && len(g.Payload) == 0))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
