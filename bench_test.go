@@ -22,6 +22,7 @@ import (
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
 	"tcplp/internal/tcplp"
+	"tcplp/internal/tcplp/cc"
 )
 
 // benchScale keeps per-iteration simulated time modest; the cmd runs the
@@ -172,6 +173,19 @@ func BenchmarkFig13RTTDistribution(b *testing.B) {
 	}
 }
 
+func BenchmarkCCVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.CCVariants(experiments.Scale(0.05))
+		// Rows: 4 loss rates × {newreno, cubic, westwood}; report the
+		// clean channel and the 6% frame-loss point per variant.
+		last := len(tab.Rows) - 3
+		b.ReportMetric(cellF(tab, 0, 2), "kbps_newreno_clean")
+		b.ReportMetric(cellF(tab, last, 2), "kbps_newreno_6loss")
+		b.ReportMetric(cellF(tab, last+1, 2), "kbps_cubic_6loss")
+		b.ReportMetric(cellF(tab, last+2, 2), "kbps_westwood_6loss")
+	}
+}
+
 func BenchmarkFig14Adaptive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := experiments.Fig14(experiments.Scale(0.2))
@@ -214,6 +228,8 @@ func BenchmarkAblationFeatures(b *testing.B) {
 			c.SendBufSize = c.MSS
 			c.RecvBufSize = c.MSS
 		}},
+		{"cc-cubic", func(c *tcplp.Config) { c.Variant = cc.Cubic }},
+		{"cc-westwood", func(c *tcplp.Config) { c.Variant = cc.Westwood }},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {

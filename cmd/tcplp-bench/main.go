@@ -19,6 +19,8 @@ import (
 	"os"
 
 	"tcplp/internal/experiments"
+	"tcplp/internal/stack"
+	"tcplp/internal/tcplp/cc"
 )
 
 func main() {
@@ -27,8 +29,19 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "duration scale factor (1.0 = full runs)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 		list     = flag.Bool("list", false, "list experiment ids")
+		variant  = flag.String("variant", "", "congestion-control variant for all experiments (newreno|cubic|westwood)")
 	)
 	flag.Parse()
+
+	if *variant != "" {
+		v, err := cc.Parse(*variant)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stack.DefaultVariant = v
+		fmt.Fprintf(os.Stderr, "congestion control: %s\n", v)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -43,6 +56,9 @@ func main() {
 
 	run := func(e experiments.Experiment) {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Desc)
+		if e.SweepsVariants && *variant != "" {
+			fmt.Fprintf(os.Stderr, "note: %s sweeps all variants; -variant is ignored for it\n", e.ID)
+		}
 		for _, tab := range e.Run(experiments.Scale(*scale)) {
 			if *markdown {
 				fmt.Println(tab.Markdown())

@@ -1,0 +1,3 @@
+module tcplp
+
+go 1.21

@@ -210,10 +210,39 @@ func TestFig14Shape(t *testing.T) {
 	}
 }
 
+func TestCCVariantsShape(t *testing.T) {
+	tab := CCVariants(quick)
+	// 4 loss rates × 3 variants.
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	variants := map[string]bool{}
+	for i, row := range tab.Rows {
+		variants[row[1]] = true
+		if g := cell(t, tab, i, 2); g <= 0 {
+			t.Fatalf("row %d (%s @ %s): goodput %.1f", i, row[1], row[0], g)
+		}
+	}
+	if len(variants) != 3 {
+		t.Fatalf("variants covered: %v", variants)
+	}
+	// Loss hurts: every variant's goodput at 6%% frame loss is below its
+	// clean-channel goodput.
+	for v := 0; v < 3; v++ {
+		clean := cell(t, tab, v, 2)
+		lossy := cell(t, tab, 9+v, 2)
+		if lossy >= clean {
+			t.Fatalf("%s: goodput did not drop under loss (%.1f → %.1f)",
+				tab.Rows[v][1], clean, lossy)
+		}
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table34", "table5", "table6",
 		"fig4", "fig5", "table7", "fig6", "fig7a", "hopsweep", "model",
-		"table9", "fig8", "fig9", "fig10", "table8", "fig12", "fig13", "fig14"}
+		"table9", "fig8", "fig9", "fig10", "table8", "fig12", "fig13", "fig14",
+		"ccvariants"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Fatalf("experiment %q missing from registry", id)

@@ -41,6 +41,9 @@ type Experiment struct {
 	ID   string
 	Desc string
 	Run  Runner
+	// SweepsVariants marks runners that compare congestion-control
+	// variants internally and therefore ignore the process-wide default.
+	SweepsVariants bool
 }
 
 func one(f func(Scale) *Table) Runner {
@@ -53,29 +56,31 @@ func static(f func() *Table) Runner {
 
 // Registry lists every reproducible table and figure.
 var Registry = []Experiment{
-	{"table1", "Feature comparison (Table 1)", static(Table1)},
-	{"table2", "Platform comparison (Table 2)", static(Table2)},
-	{"table34", "Memory footprint (Tables 3-4)", static(Table34)},
-	{"table5", "Link comparison (Table 5)", static(Table5)},
-	{"table6", "Header overhead (Table 6)", static(Table6)},
-	{"fig4", "Goodput vs MSS (Fig. 4)", one(Fig4)},
-	{"fig5", "Goodput/RTT vs window (Fig. 5)", one(Fig5)},
-	{"table7", "Baseline stack comparison (Table 7)", one(Table7)},
-	{"fig6", "Link-retry delay sweep incl. Fig. 7b (Fig. 6)", Fig6},
-	{"fig7a", "cwnd behaviour summary (Fig. 7a)", func(s Scale) []*Table {
+	{ID: "table1", Desc: "Feature comparison (Table 1)", Run: static(Table1)},
+	{ID: "table2", Desc: "Platform comparison (Table 2)", Run: static(Table2)},
+	{ID: "table34", Desc: "Memory footprint (Tables 3-4)", Run: static(Table34)},
+	{ID: "table5", Desc: "Link comparison (Table 5)", Run: static(Table5)},
+	{ID: "table6", Desc: "Header overhead (Table 6)", Run: static(Table6)},
+	{ID: "fig4", Desc: "Goodput vs MSS (Fig. 4)", Run: one(Fig4)},
+	{ID: "fig5", Desc: "Goodput/RTT vs window (Fig. 5)", Run: one(Fig5)},
+	{ID: "table7", Desc: "Baseline stack comparison (Table 7)", Run: one(Table7)},
+	{ID: "fig6", Desc: "Link-retry delay sweep incl. Fig. 7b (Fig. 6)", Run: Fig6},
+	{ID: "fig7a", Desc: "cwnd behaviour summary (Fig. 7a)", Run: func(s Scale) []*Table {
 		_, t := CwndTrace(s)
 		return []*Table{t}
 	}},
-	{"hopsweep", "Goodput vs hops (§7.2)", one(HopSweep)},
-	{"model", "Eq.1 vs Eq.2 (§8)", static(ModelComparison)},
-	{"table9", "Two-flow fairness (Table 9 / Appendix A)", one(Table9)},
-	{"fig8", "Batching vs power (Fig. 8)", one(Fig8)},
-	{"fig9", "Injected loss sweep (Fig. 9)", Fig9},
-	{"fig10", "Diurnal day run (Fig. 10)", one(Fig10)},
-	{"table8", "Full-day summary (Table 8)", one(Table8)},
-	{"fig12", "Fixed sleep interval sweep (Fig. 12 / Appendix C)", one(Fig12)},
-	{"fig13", "RTT distribution at 2 s sleep (Fig. 13)", one(Fig13)},
-	{"fig14", "Adaptive sleep interval (Fig. 14 / §C.2)", one(Fig14)},
+	{ID: "hopsweep", Desc: "Goodput vs hops (§7.2)", Run: one(HopSweep)},
+	{ID: "model", Desc: "Eq.1 vs Eq.2 (§8)", Run: static(ModelComparison)},
+	{ID: "table9", Desc: "Two-flow fairness (Table 9 / Appendix A)", Run: one(Table9)},
+	{ID: "fig8", Desc: "Batching vs power (Fig. 8)", Run: one(Fig8)},
+	{ID: "fig9", Desc: "Injected loss sweep (Fig. 9)", Run: Fig9},
+	{ID: "fig10", Desc: "Diurnal day run (Fig. 10)", Run: one(Fig10)},
+	{ID: "table8", Desc: "Full-day summary (Table 8)", Run: one(Table8)},
+	{ID: "fig12", Desc: "Fixed sleep interval sweep (Fig. 12 / Appendix C)", Run: one(Fig12)},
+	{ID: "fig13", Desc: "RTT distribution at 2 s sleep (Fig. 13)", Run: one(Fig13)},
+	{ID: "fig14", Desc: "Adaptive sleep interval (Fig. 14 / §C.2)", Run: one(Fig14)},
+	{ID: "ccvariants", Desc: "Congestion-control head-to-head (NewReno/CUBIC/Westwood+)",
+		Run: one(CCVariants), SweepsVariants: true},
 }
 
 // Find returns the experiment with the given id.

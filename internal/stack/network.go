@@ -9,11 +9,18 @@ import (
 	"tcplp/internal/sim"
 	"tcplp/internal/sixlowpan"
 	"tcplp/internal/tcplp"
+	"tcplp/internal/tcplp/cc"
 	"tcplp/internal/udp"
 )
 
 // HostID is the node identifier of the wired cloud host.
 const HostID = 999
+
+// DefaultVariant is the congestion-control algorithm DefaultOptions
+// seeds into the TCP configuration. cmd/tcplp-bench's -variant flag
+// overrides it process-wide, turning every registered experiment into a
+// run under the chosen variant.
+var DefaultVariant = cc.NewReno
 
 // Options configures a simulated network.
 type Options struct {
@@ -54,9 +61,11 @@ type Options struct {
 // so a full TCP window's worth of fragments (4 segments × 6 frames) can
 // sit at a relay without tail drops, like OpenThread's message buffers.
 func DefaultOptions() Options {
+	tcp := tcplp.DefaultConfig()
+	tcp.Variant = DefaultVariant
 	return Options{
 		MAC:        mac.DefaultParams(),
-		TCP:        tcplp.DefaultConfig(),
+		TCP:        tcp,
 		SegFrames:  5,
 		WindowSegs: 4,
 		QueueCap:   32,

@@ -6,6 +6,7 @@ import (
 
 	"tcplp/internal/ip6"
 	"tcplp/internal/sim"
+	"tcplp/internal/tcplp/cc"
 )
 
 // State is a TCP connection state (RFC 793 §3.2).
@@ -78,6 +79,9 @@ type Config struct {
 	MSL sim.Duration
 	// InitialCwndSegs is the initial window in segments (RFC 6928: 10).
 	InitialCwndSegs int
+	// Variant selects the congestion-control algorithm
+	// (internal/tcplp/cc); empty selects NewReno.
+	Variant cc.Variant
 }
 
 // DefaultConfig mirrors the paper's standard configuration: MSS of five
@@ -98,6 +102,7 @@ func DefaultConfig() Config {
 		DelAckTimeout:   100 * sim.Millisecond,
 		MSL:             5 * sim.Second,
 		InitialCwndSegs: 10,
+		Variant:         cc.NewReno,
 	}
 }
 
@@ -146,9 +151,9 @@ type Conn struct {
 	sndWL2    Seq
 	finQueued bool
 
-	// Congestion control (New Reno).
-	cwnd        int
-	ssthresh    int
+	// Congestion control: cong owns cwnd/ssthresh (internal/tcplp/cc);
+	// the fields below are the recovery machinery shared by all variants.
+	cong        cc.Algorithm
 	dupAcks     int
 	inRecovery  bool
 	recover     Seq
@@ -217,9 +222,16 @@ type Conn struct {
 }
 
 func newConn(s *Stack, cfg Config) *Conn {
+	alg, err := cc.New(cfg.Variant, cc.Params{
+		InitialWindow: cfg.InitialCwndSegs * cfg.MSS,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("tcplp: %v", err))
+	}
 	c := &Conn{
 		stack: s,
 		cfg:   cfg,
+		cong:  alg,
 		state: StateClosed,
 		rtt:   newRTTEstimator(cfg.RTOMin, cfg.RTOMax),
 	}
@@ -257,10 +269,13 @@ func (c *Conn) SRTT() sim.Duration { return c.rtt.SRTT() }
 func (c *Conn) RTO() sim.Duration { return c.rtt.RTO() }
 
 // Cwnd returns the congestion window in bytes.
-func (c *Conn) Cwnd() int { return c.cwnd }
+func (c *Conn) Cwnd() int { return c.cong.Cwnd() }
 
 // Ssthresh returns the slow-start threshold in bytes.
-func (c *Conn) Ssthresh() int { return c.ssthresh }
+func (c *Conn) Ssthresh() int { return c.cong.Ssthresh() }
+
+// Variant returns the congestion-control algorithm in use.
+func (c *Conn) Variant() cc.Variant { return c.cong.Name() }
 
 // BytesInFlight returns snd.max − snd.una.
 func (c *Conn) BytesInFlight() int { return c.sndMax.Diff(c.sndUna) }
@@ -390,9 +405,12 @@ func (c *Conn) checkInvariant(where string) {
 
 func (c *Conn) traceCwnd() {
 	if c.TraceCwnd != nil {
-		c.TraceCwnd(c.stack.eng.Now(), c.cwnd, c.ssthresh)
+		c.TraceCwnd(c.stack.eng.Now(), c.cong.Cwnd(), c.cong.Ssthresh())
 	}
 }
+
+// now is the current simulation time (congestion-control hook argument).
+func (c *Conn) now() sim.Time { return c.stack.eng.Now() }
 
 // considerWindowUpdate sends a window-update ACK when the app's reads
 // reopen at least two segments (or half the buffer) of window that the

@@ -276,8 +276,8 @@ func (c *Conn) processAck(seg *Segment) bool {
 	return true
 }
 
-// onDupAck implements the New Reno fast retransmit / fast recovery entry
-// and window inflation.
+// onDupAck implements the fast retransmit / fast recovery entry (the
+// variant sets the post-decrease window) and window inflation.
 func (c *Conn) onDupAck() {
 	mss := c.effMSS()
 	switch {
@@ -288,7 +288,7 @@ func (c *Conn) onDupAck() {
 			return
 		}
 		flight := minInt(c.sndMax.Diff(c.sndUna), c.sendWindow())
-		c.ssthresh = maxInt(flight/2, 2*mss)
+		c.cong.OnDupAck(c.now(), mss, flight)
 		c.inRecovery = true
 		c.recover = c.sndMax
 		c.sackRtxNext = c.sndUna
@@ -300,11 +300,10 @@ func (c *Conn) onDupAck() {
 		} else if c.finQueued {
 			c.sendData(c.sndUna, 0, true, true)
 		}
-		c.cwnd = c.ssthresh + 3*mss
 		c.traceCwnd()
 		c.output()
 	case c.inRecovery && c.dupAcks > 3:
-		c.cwnd += mss
+		c.cong.OnDupAckInflate(mss)
 		c.traceCwnd()
 		c.output()
 	}
@@ -319,9 +318,8 @@ func (c *Conn) handleNewAck(seg *Segment, ack Seq) {
 
 	if c.inRecovery {
 		if ack.GEQ(c.recover) {
-			// Full acknowledgment: deflate to ssthresh (RFC 6582).
-			c.cwnd = minInt(c.ssthresh, c.sndMax.Diff(ack)+mss)
-			c.cwnd = maxInt(c.cwnd, mss)
+			// Full acknowledgment: recovery ends (RFC 6582).
+			c.cong.OnExitRecovery(c.now(), mss, acked, c.sndMax.Diff(ack), c.rtt.SRTT())
 			c.inRecovery = false
 			c.dupAcks = 0
 			c.rtxPipe = 0
@@ -333,21 +331,14 @@ func (c *Conn) handleNewAck(seg *Segment, ack Seq) {
 			if n > 0 && !c.peerSACK {
 				c.sendDataAt(ack, n)
 			}
-			c.cwnd = maxInt(c.cwnd-acked+mss, mss)
+			c.cong.OnPartialAck(c.now(), mss, acked, c.rtt.SRTT())
 			c.sackRtxNext = ack
 		}
 		c.traceCwnd()
 	} else {
 		c.dupAcks = 0
-		// Congestion avoidance / slow start growth (RFC 5681).
-		if c.cwnd < c.ssthresh {
-			c.cwnd += minInt(acked, mss)
-		} else {
-			c.cwnd += maxInt(mss*mss/c.cwnd, 1)
-		}
-		if c.cwnd > 1<<22 {
-			c.cwnd = 1 << 22
-		}
+		// Congestion avoidance / slow start growth is the variant's call.
+		c.cong.OnAck(c.now(), mss, acked, c.rtt.SRTT())
 		c.traceCwnd()
 	}
 
@@ -417,7 +408,7 @@ func (c *Conn) updateSendWindow(seg *Segment) {
 	}
 }
 
-// ecnCongestionResponse halves the window once per window of data in
+// ecnCongestionResponse reduces the window once per window of data in
 // response to an ECN echo (RFC 3168 §6.1.2).
 func (c *Conn) ecnCongestionResponse() {
 	if c.sndUna.LT(c.ecnRecover) && c.ecnRecover.GT(c.iss) {
@@ -425,8 +416,7 @@ func (c *Conn) ecnCongestionResponse() {
 	}
 	mss := c.effMSS()
 	flight := minInt(c.sndMax.Diff(c.sndUna), c.sendWindow())
-	c.ssthresh = maxInt(flight/2, 2*mss)
-	c.cwnd = c.ssthresh
+	c.cong.OnECN(c.now(), mss, flight)
 	c.ecnRecover = c.sndMax
 	c.cwrToSend = true
 	c.Stats.ECNCongestionResponses++

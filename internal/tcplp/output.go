@@ -20,8 +20,8 @@ func (c *Conn) effMSS() int {
 // sendWindow is the current usable window: min(cwnd, peer window).
 func (c *Conn) sendWindow() int {
 	w := c.sndWnd
-	if c.cwnd < w {
-		w = c.cwnd
+	if cwnd := c.cong.Cwnd(); cwnd < w {
+		w = cwnd
 	}
 	return w
 }
@@ -32,8 +32,7 @@ func (c *Conn) connect() {
 	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
 	c.recover, c.ecnRecover = c.iss, c.iss
 	c.queuedEnd = c.iss.Add(1) // stream starts after SYN
-	c.cwnd = c.cfg.InitialCwndSegs * c.cfg.MSS
-	c.ssthresh = 1 << 30
+	c.cong.Init(c.now())
 	c.setState(StateSynSent)
 	c.sendSYN(false)
 	c.armRexmt()
@@ -48,8 +47,7 @@ func (c *Conn) acceptSyn(seg *Segment) {
 	c.sndUna, c.sndNxt, c.sndMax = c.iss, c.iss, c.iss
 	c.recover, c.ecnRecover = c.iss, c.iss
 	c.queuedEnd = c.iss.Add(1)
-	c.cwnd = c.cfg.InitialCwndSegs * c.cfg.MSS
-	c.ssthresh = 1 << 30
+	c.cong.Init(c.now())
 	c.applySynOptions(seg)
 	if c.cfg.UseECN && seg.Flags.Has(FlagECE|FlagCWR) {
 		c.ecnOn = true
@@ -127,7 +125,7 @@ func (c *Conn) output() {
 		spin++
 		if spin > 100000 {
 			panic(fmt.Sprintf("output spin: state=%v una=%d nxt=%d max=%d queuedEnd=%d bufLen=%d wnd=%d cwnd=%d recovery=%v finQ=%v sacked=%d rtxPipe=%d sackNext=%d recover=%d",
-				c.state, c.sndUna, c.sndNxt, c.sndMax, c.queuedEnd, c.sndBuf.Len(), c.sndWnd, c.cwnd, c.inRecovery, c.finQueued, c.sb.SackedBytes(), c.rtxPipe, c.sackRtxNext, c.recover))
+				c.state, c.sndUna, c.sndNxt, c.sndMax, c.queuedEnd, c.sndBuf.Len(), c.sndWnd, c.cong.Cwnd(), c.inRecovery, c.finQueued, c.sb.SackedBytes(), c.rtxPipe, c.sackRtxNext, c.recover))
 		}
 		if c.inRecovery && c.peerSACK {
 			if c.sackRetransmit() {
@@ -205,7 +203,7 @@ func (c *Conn) sackRetransmit() bool {
 		return false
 	}
 	pipe := c.sndMax.Diff(c.sndUna) - c.sb.SackedBytes() + c.rtxPipe
-	if pipe >= c.cwnd {
+	if pipe >= c.cong.Cwnd() {
 		return false
 	}
 	from := maxSeq(c.sndUna, c.sackRtxNext)
@@ -423,8 +421,7 @@ func (c *Conn) onRTO() {
 	}
 	mss := c.effMSS()
 	flight := minInt(c.sndMax.Diff(c.sndUna), c.sendWindow())
-	c.ssthresh = maxInt(flight/2, 2*mss)
-	c.cwnd = mss
+	c.cong.OnRTO(c.now(), mss, flight)
 	c.traceCwnd()
 	c.inRecovery = false
 	// RFC 6582: remember the highest sequence sent so later duplicate

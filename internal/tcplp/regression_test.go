@@ -1,11 +1,130 @@
 package tcplp
 
 import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"tcplp/internal/ip6"
 	"tcplp/internal/sim"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// recordCwndScenario runs the recorded congestion-control scenario: a
+// bulk transfer over a deterministic lossy fixed-delay link with a
+// mid-stream blackout, exercising slow start, fast retransmit/recovery
+// (partial and full ACKs), and RTO collapse. It returns one line per
+// TraceCwnd event ("t_us,cwnd,ssthresh").
+func recordCwndScenario(t *testing.T) []string {
+	cfg := testCfg()
+	cfg.SendBufSize = 8 * 408
+	cfg.RecvBufSize = 8 * 408
+	l := newTestLink(42, 20*sim.Millisecond, cfg)
+	drops := newDetDrop(43, 0.05)
+	blackout := false
+	l.Drop = func(pkt *ip6.Packet) bool {
+		if blackout {
+			return true
+		}
+		return drops(pkt)
+	}
+	l.eng.Schedule(4*sim.Second, func() { blackout = true })
+	l.eng.Schedule(7*sim.Second, func() { blackout = false })
+
+	var lines []string
+	var received int
+	l.b.Listen(80, func(c *Conn) {
+		c.OnReadable = func() {
+			buf := make([]byte, 2048)
+			for {
+				n := c.Read(buf)
+				if n == 0 {
+					break
+				}
+				received += n
+			}
+		}
+	})
+	client := l.a.Connect(ip6.AddrFromID(1), 80)
+	client.TraceCwnd = func(now sim.Time, cwnd, ssthresh int) {
+		lines = append(lines, fmt.Sprintf("%d,%d,%d", int64(now), cwnd, ssthresh))
+	}
+	const total = 120_000
+	sent := 0
+	pump := func() {
+		for sent < total {
+			w, err := client.Write(make([]byte, minInt(1024, total-sent)))
+			if err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if w == 0 {
+				return
+			}
+			sent += w
+		}
+	}
+	client.OnEstablished = pump
+	client.OnWritable = pump
+	l.eng.RunUntil(sim.Time(10 * sim.Minute))
+	if received != total {
+		t.Fatalf("scenario transfer incomplete: %d/%d", received, total)
+	}
+	return lines
+}
+
+// newDetDrop returns a deterministic per-packet drop function based on a
+// cheap xorshift PRNG (kept independent of math/rand so Go version
+// changes cannot shift the recorded scenario).
+func newDetDrop(seed uint64, p float64) func(pkt *ip6.Packet) bool {
+	x := seed
+	return func(*ip6.Packet) bool {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x>>11)/float64(1<<53) < p
+	}
+}
+
+// TestNewRenoCwndTraceGolden pins the NewReno cwnd/ssthresh trace on the
+// recorded scenario to the values produced by the pre-refactor inline
+// implementation. Any change to the congestion-control plumbing that
+// alters NewReno behaviour fails here. Run with -update to re-record.
+func TestNewRenoCwndTraceGolden(t *testing.T) {
+	lines := recordCwndScenario(t)
+	if len(lines) < 20 {
+		t.Fatalf("scenario produced only %d cwnd events", len(lines))
+	}
+	golden := filepath.Join("testdata", "newreno_cwnd_golden.csv")
+	got := strings.Join(lines, "\n") + "\n"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("cwnd trace diverges from pre-refactor NewReno at event %d: got %q want %q (of %d/%d events)",
+					i, gl[i], wl[i], len(gl)-1, len(wl)-1)
+			}
+		}
+		t.Fatalf("cwnd trace length changed: got %d events, want %d", len(gl)-1, len(wl)-1)
+	}
+}
 
 // Regression: a passively opened, receive-only connection must survive
 // arbitrarily long idle periods. The SYN/ACK's retransmission timer once

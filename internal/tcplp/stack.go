@@ -1,8 +1,11 @@
 package tcplp
 
 import (
+	"fmt"
+
 	"tcplp/internal/ip6"
 	"tcplp/internal/sim"
+	"tcplp/internal/tcplp/cc"
 )
 
 // StackStats counts stack-level events.
@@ -59,8 +62,13 @@ type Stack struct {
 	Stats StackStats
 }
 
-// NewStack creates a TCP instance bound to addr.
+// NewStack creates a TCP instance bound to addr. An unknown
+// cfg.Variant is a configuration programming error and panics here, at
+// setup time, rather than when the first connection is made.
 func NewStack(eng *sim.Engine, addr ip6.Addr, cfg Config) *Stack {
+	if !cc.Valid(cfg.Variant) {
+		panic(fmt.Sprintf("tcplp: unknown congestion-control variant %q", cfg.Variant))
+	}
 	return &Stack{
 		eng:       eng,
 		addr:      addr,
@@ -154,6 +162,14 @@ func (s *Stack) Input(pkt *ip6.Packet) {
 		cfg := s.cfg
 		if l.ConfigFor != nil {
 			cfg = l.ConfigFor()
+			// A dynamic per-connection config is only validated here, on
+			// the packet path: refuse the connection rather than panic
+			// mid-simulation.
+			if !cc.Valid(cfg.Variant) {
+				s.Stats.NoSocket++
+				s.sendRSTFor(pkt.Src, seg)
+				return
+			}
 		}
 		c := newConn(s, cfg)
 		c.localAddr = s.addr
