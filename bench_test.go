@@ -176,13 +176,25 @@ func BenchmarkFig13RTTDistribution(b *testing.B) {
 func BenchmarkCCVariants(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := experiments.CCVariants(experiments.Scale(0.05))
-		// Rows: 4 loss rates × {newreno, cubic, westwood}; report the
-		// clean channel and the 6% frame-loss point per variant.
-		last := len(tab.Rows) - 3
+		// Rows: 4 loss rates × cc.Variants(); report the clean channel
+		// and the 6% frame-loss point per variant.
+		last := len(tab.Rows) - len(cc.Variants())
 		b.ReportMetric(cellF(tab, 0, 2), "kbps_newreno_clean")
 		b.ReportMetric(cellF(tab, last, 2), "kbps_newreno_6loss")
 		b.ReportMetric(cellF(tab, last+1, 2), "kbps_cubic_6loss")
 		b.ReportMetric(cellF(tab, last+2, 2), "kbps_westwood_6loss")
+		b.ReportMetric(cellF(tab, last+3, 2), "kbps_bbr_6loss")
+	}
+}
+
+func BenchmarkPacing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.Pacing(experiments.Scale(0.1))
+		// Rows: {hidden-terminal, duty-cycled} × {newreno, bbr}.
+		b.ReportMetric(cellF(tab, 0, 2), "kbps_newreno_hidden")
+		b.ReportMetric(cellF(tab, 1, 2), "kbps_bbr_hidden")
+		b.ReportMetric(cellF(tab, 2, 2), "kbps_newreno_dutycycle")
+		b.ReportMetric(cellF(tab, 3, 2), "kbps_bbr_dutycycle")
 	}
 }
 
@@ -230,6 +242,7 @@ func BenchmarkAblationFeatures(b *testing.B) {
 		}},
 		{"cc-cubic", func(c *tcplp.Config) { c.Variant = cc.Cubic }},
 		{"cc-westwood", func(c *tcplp.Config) { c.Variant = cc.Westwood }},
+		{"cc-bbr-paced", func(c *tcplp.Config) { c.Variant = cc.Bbr }},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {

@@ -29,7 +29,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "duration scale factor (1.0 = full runs)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 		list     = flag.Bool("list", false, "list experiment ids")
-		variant  = flag.String("variant", "", "congestion-control variant for all experiments (newreno|cubic|westwood)")
+		variant  = flag.String("variant", "", "congestion-control variant for all experiments (newreno|cubic|westwood|bbr)")
 	)
 	flag.Parse()
 

@@ -19,7 +19,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "duration scale factor")
 	csv := flag.Bool("csv", false, "emit CSV (header + rows) on stdout, summary on stderr")
-	variant := flag.String("variant", "", "congestion-control variant (newreno|cubic|westwood)")
+	variant := flag.String("variant", "", "congestion-control variant (newreno|cubic|westwood|bbr)")
 	flag.Parse()
 
 	v, err := cc.Parse(*variant)

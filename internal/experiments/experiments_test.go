@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tcplp/internal/sim"
+	"tcplp/internal/tcplp/cc"
 )
 
 // cell parses a numeric table cell ("67.3", "4.2%", "12").
@@ -212,9 +213,10 @@ func TestFig14Shape(t *testing.T) {
 
 func TestCCVariantsShape(t *testing.T) {
 	tab := CCVariants(quick)
-	// 4 loss rates × 3 variants.
-	if len(tab.Rows) != 12 {
-		t.Fatalf("rows = %d", len(tab.Rows))
+	// 4 loss rates × 4 variants.
+	nv := len(cc.Variants())
+	if len(tab.Rows) != 4*nv {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), 4*nv)
 	}
 	variants := map[string]bool{}
 	for i, row := range tab.Rows {
@@ -223,14 +225,14 @@ func TestCCVariantsShape(t *testing.T) {
 			t.Fatalf("row %d (%s @ %s): goodput %.1f", i, row[1], row[0], g)
 		}
 	}
-	if len(variants) != 3 {
+	if len(variants) != nv {
 		t.Fatalf("variants covered: %v", variants)
 	}
 	// Loss hurts: every variant's goodput at 6%% frame loss is below its
 	// clean-channel goodput.
-	for v := 0; v < 3; v++ {
+	for v := 0; v < nv; v++ {
 		clean := cell(t, tab, v, 2)
-		lossy := cell(t, tab, 9+v, 2)
+		lossy := cell(t, tab, 3*nv+v, 2)
 		if lossy >= clean {
 			t.Fatalf("%s: goodput did not drop under loss (%.1f → %.1f)",
 				tab.Rows[v][1], clean, lossy)
@@ -238,11 +240,31 @@ func TestCCVariantsShape(t *testing.T) {
 	}
 }
 
+func TestPacingShape(t *testing.T) {
+	tab := Pacing(quick)
+	// 2 scenarios × {newreno, bbr}.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if g := cell(t, tab, i, 2); g <= 0 {
+			t.Fatalf("row %d (%s / %s): goodput %.1f", i, row[0], row[1], g)
+		}
+	}
+	if tab.Rows[0][1] != "newreno" || tab.Rows[1][1] != "bbr" {
+		t.Fatalf("variant columns: %v / %v", tab.Rows[0][1], tab.Rows[1][1])
+	}
+	// Both scenarios appear.
+	if tab.Rows[0][0] == tab.Rows[2][0] {
+		t.Fatalf("scenarios not distinct: %v", tab.Rows[0][0])
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table34", "table5", "table6",
 		"fig4", "fig5", "table7", "fig6", "fig7a", "hopsweep", "model",
 		"table9", "fig8", "fig9", "fig10", "table8", "fig12", "fig13", "fig14",
-		"ccvariants"}
+		"ccvariants", "pacing"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Fatalf("experiment %q missing from registry", id)

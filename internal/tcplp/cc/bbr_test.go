@@ -1,0 +1,219 @@
+package cc
+
+import (
+	"testing"
+
+	"tcplp/internal/sim"
+)
+
+// ackClock drives the algorithm with a steady ACK stream: segsPerRTT
+// full-segment ACKs spread evenly over each RTT, for the given number
+// of RTTs. It returns the time after the last ACK.
+func ackClock(a Algorithm, start sim.Time, rtt sim.Duration, segsPerRTT, rtts int) sim.Time {
+	now := start
+	for i := 0; i < rtts*segsPerRTT; i++ {
+		now = now.Add(rtt / sim.Duration(segsPerRTT))
+		a.OnAck(now, mss, mss, rtt)
+	}
+	return now
+}
+
+// Startup must detect a full pipe — bandwidth stops growing round over
+// round — and transition through drain into probe-bw, with the gains
+// matching each phase.
+func TestBBRStartupDrainProbeBW(t *testing.T) {
+	b := mk(t, Bbr).(*bbr)
+	if b.mode != bbrStartup || b.pacingGain != bbrHighGain {
+		t.Fatalf("initial mode %v gain %v", b.mode, b.pacingGain)
+	}
+	const rtt = 200 * sim.Millisecond
+	// A constant delivery rate: after bbrFullBwRounds non-growing sample
+	// rounds the pipe is declared full.
+	now := ackClock(b, 0, rtt, 10, bbrFullBwRounds+2)
+	if !b.fullPipe {
+		t.Fatalf("constant bandwidth did not fill the pipe: mode %v rounds %d fullBwCount %d",
+			b.mode, b.round, b.fullBwCount)
+	}
+	if b.mode != bbrDrain && b.mode != bbrProbeBW {
+		t.Fatalf("post-startup mode %v", b.mode)
+	}
+	if b.mode == bbrDrain && b.pacingGain >= 1 {
+		t.Fatalf("drain pacing gain %v, want < 1", b.pacingGain)
+	}
+	// One more RTT of ACKs ends the (time-boxed) drain.
+	now = ackClock(b, now, rtt, 10, 2)
+	if b.mode != bbrProbeBW {
+		t.Fatalf("mode %v after drain, want probe-bw", b.mode)
+	}
+	if b.cwndGain != bbrCwndGain {
+		t.Fatalf("probe-bw cwnd gain %v", b.cwndGain)
+	}
+	_ = now
+}
+
+// In probe-bw the pacing gain must cycle: over a handful of RTTs both
+// the 1.25 probe phase and the 0.75 drain phase appear.
+func TestBBRGainCycling(t *testing.T) {
+	b := mk(t, Bbr).(*bbr)
+	const rtt = 200 * sim.Millisecond
+	now := ackClock(b, 0, rtt, 10, bbrFullBwRounds+4)
+	if b.mode != bbrProbeBW {
+		t.Fatalf("mode %v, want probe-bw", b.mode)
+	}
+	seen := map[float64]bool{}
+	for i := 0; i < 2*len(bbrGainCycle); i++ {
+		now = ackClock(b, now, rtt, 10, 1)
+		seen[b.pacingGain] = true
+	}
+	if !seen[1.25] || !seen[0.75] || !seen[1.0] {
+		t.Fatalf("gain cycle incomplete: %v", seen)
+	}
+}
+
+// When the smoothed RTT stays above the recorded minimum for longer
+// than the min-RTT window, BBR must enter probe-rtt, sink the window to
+// the 4-segment floor, and restore it on exit with a refreshed min-RTT
+// (tracking a path whose propagation delay genuinely rose).
+func TestBBRProbeRTT(t *testing.T) {
+	b := mk(t, Bbr).(*bbr)
+	const base = 100 * sim.Millisecond
+	now := ackClock(b, 0, base, 10, 8) // model built at 100 ms floor
+	if b.minRTT != base {
+		t.Fatalf("minRTT = %v", b.minRTT)
+	}
+	// RTT inflates to 300 ms; the 100 ms floor goes stale.
+	const inflated = 300 * sim.Millisecond
+	deadline := now.Add(sim.Duration(2 * bbrMinRTTWindow))
+	enteredProbe := false
+	var prior int
+	for now < deadline && !enteredProbe {
+		now = ackClock(b, now, inflated, 10, 1)
+		if b.mode == bbrProbeRTT {
+			enteredProbe = true
+			prior = b.priorCwnd
+		}
+	}
+	if !enteredProbe {
+		t.Fatalf("stale min-RTT never triggered probe-rtt (mode %v, stamp %v, now %v)",
+			b.mode, b.minRTTStamp, now)
+	}
+	if b.Cwnd() > 4*mss {
+		t.Fatalf("probe-rtt cwnd = %d, want ≤ 4·MSS", b.Cwnd())
+	}
+	// Ride out the probe window.
+	for i := 0; i < 50 && b.mode == bbrProbeRTT; i++ {
+		now = ackClock(b, now, inflated, 4, 1)
+	}
+	if b.mode == bbrProbeRTT {
+		t.Fatal("probe-rtt never ended")
+	}
+	if b.Cwnd() < prior {
+		t.Fatalf("cwnd %d not restored to prior %d after probe-rtt", b.Cwnd(), prior)
+	}
+	if b.minRTT < inflated {
+		t.Fatalf("min-RTT window did not expire: still %v after sustained %v", b.minRTT, inflated)
+	}
+}
+
+// The loss response must come from the model: with a steady measured
+// rate, ssthresh after a triple-dupack is the bandwidth-delay product
+// (clamped to cwnd), not the Reno flight/2.
+func TestBBRSsthreshFromModel(t *testing.T) {
+	b := mk(t, Bbr).(*bbr)
+	const rtt = 200 * sim.Millisecond
+	now := ackClock(b, 0, rtt, 10, 20) // 10 segments per RTT → BDP = 10·MSS
+	bdp := b.bdp()
+	if bdp < 8*mss || bdp > 12*mss {
+		t.Fatalf("model BDP = %d, want ≈ 10·MSS = %d", bdp, 10*mss)
+	}
+	flight := 4 * mss
+	b.OnDupAck(now, mss, flight)
+	if b.Ssthresh() == flight/2 {
+		t.Fatal("ssthresh equals flight/2 — not model-driven")
+	}
+	if b.Ssthresh() < 2*mss || b.Ssthresh() > bdp {
+		t.Fatalf("ssthresh = %d, want within [2·MSS, BDP=%d]", b.Ssthresh(), bdp)
+	}
+}
+
+// Before the model has a bandwidth estimate, losses fall back to the
+// Reno flight/2 decrease rather than collapsing to the floor.
+func TestBBREarlyLossFallsBackToReno(t *testing.T) {
+	b := mk(t, Bbr)
+	b.OnDupAck(sim.Time(sim.Second), mss, 10*mss)
+	if b.Ssthresh() != 5*mss {
+		t.Fatalf("pre-sample loss: ssthresh = %d, want flight/2 = %d", b.Ssthresh(), 5*mss)
+	}
+}
+
+// PacingRate: zero before any RTT estimate exists (unpaced), then
+// cwnd/srtt scaled by the startup gain, then pacing_gain·BtlBw once the
+// model has a bandwidth — and never below the two-segment floor.
+func TestBBRPacingRate(t *testing.T) {
+	b := mk(t, Bbr).(*bbr)
+	if r := b.PacingRate(mss, 0); r != 0 {
+		t.Fatalf("rate with no RTT = %v, want 0", r)
+	}
+	const rtt = 100 * sim.Millisecond
+	r := b.PacingRate(mss, rtt)
+	want := bbrHighGain * float64(iw) / rtt.Seconds()
+	if r < want*0.99 || r > want*1.01 {
+		t.Fatalf("pre-model rate = %v, want ≈ gain·cwnd/srtt = %v", r, want)
+	}
+	now := ackClock(b, 0, rtt, 10, 5)
+	bw := b.btlBw()
+	if bw == 0 {
+		t.Fatal("no bandwidth sample after 5 RTTs")
+	}
+	r = b.PacingRate(mss, rtt)
+	want = b.pacingGain * bw
+	if r < want*0.99 || r > want*1.01 {
+		t.Fatalf("model rate = %v, want gain·btlBw = %v", r, want)
+	}
+	// Floor: crater the ring by rebuilding with a tiny estimate.
+	b.Init(now)
+	b.bwRing[0] = 1 // 1 B/s
+	if r := b.PacingRate(mss, rtt); r < float64(2*mss) {
+		t.Fatalf("rate %v below the 2-segment floor", r)
+	}
+}
+
+// The bandwidth filter is a windowed max: a rate drop only propagates
+// into the estimate after the old peak ages out of the window.
+func TestBBRWindowedMaxBandwidth(t *testing.T) {
+	b := mk(t, Bbr).(*bbr)
+	const rtt = 200 * sim.Millisecond
+	now := ackClock(b, 0, rtt, 10, 5) // ≈10 segs/RTT
+	high := b.btlBw()
+	if high == 0 {
+		t.Fatal("no samples")
+	}
+	// Halve the delivery rate for a couple of rounds: the max must hold.
+	now = ackClock(b, now, rtt, 5, 2)
+	if b.btlBw() < high*0.99 {
+		t.Fatalf("windowed max decayed immediately: %v → %v", high, b.btlBw())
+	}
+	// After a full window of slow rounds, the old peak expires.
+	now = ackClock(b, now, rtt, 5, bbrBwWindowRounds+2)
+	if b.btlBw() > high*0.75 {
+		t.Fatalf("old peak never aged out: %v vs %v", b.btlBw(), high)
+	}
+	_ = now
+}
+
+// Idle gaps must not dilute the delivery-rate samples (same guarantee
+// Westwood+ provides): a duty-cycled burst pattern keeps the estimate
+// near the active-period rate.
+func TestBBRIdleGapDoesNotDiluteEstimate(t *testing.T) {
+	b := mk(t, Bbr).(*bbr)
+	const rtt = 200 * sim.Millisecond
+	now := ackClock(b, 0, rtt, 10, 10)
+	steady := b.btlBw()
+	for cycle := 0; cycle < 20; cycle++ {
+		now = now.Add(10 * sim.Second)
+		now = ackClock(b, now, rtt, 10, 1)
+	}
+	if b.btlBw() < steady/2 {
+		t.Fatalf("idle gaps diluted btlBw %.0f → %.0f B/s", steady, b.btlBw())
+	}
+}

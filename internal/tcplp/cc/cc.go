@@ -7,10 +7,17 @@
 // The split mirrors the Linux/ns-3 module boundary: the connection keeps
 // the loss-recovery machinery (what to retransmit, when recovery ends)
 // while the algorithm decides window sizes — how fast to grow and how
-// far to back off. Three variants are provided: NewReno (RFC 5681/6582,
+// far to back off. Four variants are provided: NewReno (RFC 5681/6582,
 // behaviour-identical to the original inline implementation), CUBIC
-// (RFC 8312), and Westwood+ (bandwidth-estimate-driven backoff for
-// lossy wireless links).
+// (RFC 8312), Westwood+ (bandwidth-estimate-driven backoff for lossy
+// wireless links), and BBR (model-based: a windowed-max bandwidth
+// estimate and windowed-min RTT drive both the window and a pacing
+// rate).
+//
+// An Algorithm may additionally implement Pacer; the connection then
+// spreads segment releases across the RTT at the returned rate instead
+// of bursting ACK-clocked windows — which suits duty-cycled radios far
+// better than back-to-back trains (Ayers et al.).
 package cc
 
 import (
@@ -28,11 +35,12 @@ const (
 	NewReno  Variant = "newreno"
 	Cubic    Variant = "cubic"
 	Westwood Variant = "westwood"
+	Bbr      Variant = "bbr"
 )
 
 // Variants lists the registered algorithms in presentation order (kept
 // in sync with the constructor registry by TestVariantsRoundTrip).
-func Variants() []Variant { return []Variant{NewReno, Cubic, Westwood} }
+func Variants() []Variant { return []Variant{NewReno, Cubic, Westwood, Bbr} }
 
 // Parse resolves a user-supplied variant name, accepting the common
 // aliases ("reno", "westwood+", ...). An empty string selects NewReno.
@@ -44,8 +52,10 @@ func Parse(s string) (Variant, error) {
 		return Cubic, nil
 	case "westwood", "westwood+", "westwoodplus", "westwood-plus":
 		return Westwood, nil
+	case "bbr":
+		return Bbr, nil
 	}
-	return "", fmt.Errorf("cc: unknown variant %q (have newreno, cubic, westwood)", s)
+	return "", fmt.Errorf("cc: unknown variant %q (have newreno, cubic, westwood, bbr)", s)
 }
 
 // DefaultMaxWindow caps congestion-avoidance growth when Params leaves
@@ -102,12 +112,26 @@ type Algorithm interface {
 	OnECN(now sim.Time, mss, flight int)
 }
 
+// Pacer is the optional pacing extension of Algorithm. A variant that
+// returns a positive rate has its data segments released by the
+// connection's send timer — spread across the RTT at the given rate —
+// instead of burst-clocked by ACK arrival. ACK-clocked variants simply
+// do not implement the interface.
+type Pacer interface {
+	// PacingRate returns the current send rate in bytes per second; 0
+	// disables pacing. The connection supplies the effective MSS and its
+	// smoothed RTT (0 before the first sample) so the rate can be
+	// derived before the first bandwidth measurement exists.
+	PacingRate(mss int, srtt sim.Duration) float64
+}
+
 // registry maps each variant to its constructor; Valid and New both
 // read it, so they cannot diverge when a variant is added.
 var registry = map[Variant]func(Params) Algorithm{
 	NewReno:  func(p Params) Algorithm { return newNewReno(p) },
 	Cubic:    func(p Params) Algorithm { return newCubic(p) },
 	Westwood: func(p Params) Algorithm { return newWestwood(p) },
+	Bbr:      func(p Params) Algorithm { return newBBR(p) },
 }
 
 // Valid reports whether v names a registered algorithm (or is empty,

@@ -26,6 +26,7 @@ func TestParse(t *testing.T) {
 		"": NewReno, "reno": NewReno, "NewReno": NewReno, "new-reno": NewReno,
 		"cubic": Cubic, "CUBIC": Cubic,
 		"westwood": Westwood, "westwood+": Westwood, "WestwoodPlus": Westwood,
+		"bbr": Bbr, "BBR": Bbr,
 	}
 	for in, want := range cases {
 		got, err := Parse(in)
@@ -33,10 +34,10 @@ func TestParse(t *testing.T) {
 			t.Fatalf("Parse(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	if _, err := Parse("bbr"); err == nil {
+	if _, err := Parse("vegas"); err == nil {
 		t.Fatal("Parse accepted an unknown variant")
 	}
-	if _, err := New("bbr", Params{InitialWindow: iw}); err == nil {
+	if _, err := New("vegas", Params{InitialWindow: iw}); err == nil {
 		t.Fatal("New accepted an unknown variant")
 	}
 }

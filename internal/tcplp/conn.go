@@ -170,6 +170,13 @@ type Conn struct {
 	delAckTimer  *sim.Timer
 	timeWait     *sim.Timer
 
+	// Pacing (only active when the cc variant implements cc.Pacer):
+	// paceNext is the earliest time the next data segment may be
+	// released; paceTimer re-runs output at that time when the window
+	// would otherwise burst.
+	paceTimer *sim.Timer
+	paceNext  sim.Time
+
 	// RTT measurement.
 	rtt        *rttEstimator
 	rttPending bool
@@ -249,6 +256,7 @@ func newConn(s *Stack, cfg Config) *Conn {
 	c.persist = sim.NewTimer(s.eng, c.onPersist)
 	c.delAckTimer = sim.NewTimer(s.eng, c.onDelAck)
 	c.timeWait = sim.NewTimer(s.eng, c.onTimeWaitExpiry)
+	c.paceTimer = sim.NewTimer(s.eng, c.output)
 	c.peerMSS = 536
 	return c
 }
@@ -379,6 +387,7 @@ func (c *Conn) teardown(err error) {
 	c.persist.Stop()
 	c.delAckTimer.Stop()
 	c.timeWait.Stop()
+	c.paceTimer.Stop()
 	c.stack.removeConn(c)
 	c.setExpecting(false)
 	if c.OnClosed != nil {

@@ -179,10 +179,14 @@ func (c *Conn) inputSynSent(seg *Segment) {
 }
 
 // sampleRTTFromSeg feeds the RTT estimator from a timestamp echo or the
-// timed-segment fallback.
+// timed-segment fallback. Echo validity is the RFC 7323 §3.2 rule —
+// TSEcr is meaningful exactly when the segment carries an ACK — not
+// "TSEcr != 0": a zero echo is legitimate when the timestamp clock
+// reads 0 at wrap, and treating it as absent would silently drop the
+// sample.
 func (c *Conn) sampleRTTFromSeg(seg *Segment) {
 	now := c.stack.eng.Now()
-	if c.peerTS && seg.HasTS && seg.TSEcr != 0 {
+	if c.peerTS && seg.HasTS && seg.Flags.Has(FlagACK) {
 		elapsed := sim.Duration(c.stack.tsNow()-seg.TSEcr) * sim.Millisecond
 		if elapsed >= 0 && elapsed < sim.Duration(5*sim.Minute) {
 			c.rtt.Sample(elapsed)
@@ -259,9 +263,14 @@ func (c *Conn) processAck(seg *Segment) bool {
 		return false
 
 	case ack.LEQ(c.sndUna):
-		// Duplicate or old ACK.
+		// Duplicate or old ACK. A zero-window ACK never qualifies: it is
+		// the receiver answering a persist probe (flow control), not
+		// out-of-order data signalling loss — counting it would drive
+		// fast retransmit and an RTO backoff cycle straight into the
+		// closed window, racing the prober toward a spurious abort.
 		dup := ack == c.sndUna && len(seg.Payload) == 0 &&
-			int(seg.Window) == wndBefore && c.sndMax.Diff(c.sndUna) > 0 &&
+			int(seg.Window) == wndBefore && wndBefore > 0 &&
+			c.sndMax.Diff(c.sndUna) > 0 &&
 			!seg.Flags.Has(FlagFIN)
 		if dup {
 			c.Stats.DupAcksIn++
@@ -402,6 +411,13 @@ func (c *Conn) updateSendWindow(seg *Segment) {
 		c.maxSndWnd = maxInt(c.maxSndWnd, c.sndWnd)
 		c.sndWL1, c.sndWL2 = seg.SeqNum, seg.AckNum
 		if c.sndWnd > 0 {
+			if c.persist.Armed() && c.sndNxt.GT(c.sndUna) {
+				// Window reopened mid-probe: whatever the probes pushed
+				// out was dropped by the closed window, so pull snd.nxt
+				// back and let normal output retransmit it immediately —
+				// with the persist timer gone, nothing else would.
+				c.sndNxt = c.sndUna
+			}
 			c.persist.Stop()
 			c.persistShift = 0
 		}

@@ -5,6 +5,7 @@ import (
 
 	"tcplp/internal/ip6"
 	"tcplp/internal/sim"
+	"tcplp/internal/tcplp/cc"
 )
 
 // effMSS is the MSS we may send: the peer's advertised MSS clamped by our
@@ -15,6 +16,37 @@ func (c *Conn) effMSS() int {
 		m = c.peerMSS
 	}
 	return m
+}
+
+// pacingRate returns the variant's current pacing rate in bytes per
+// second, or 0 when the algorithm is ACK-clocked (does not implement
+// cc.Pacer) or has no rate yet.
+func (c *Conn) pacingRate() float64 {
+	p, ok := c.cong.(cc.Pacer)
+	if !ok {
+		return 0
+	}
+	return p.PacingRate(c.effMSS(), c.rtt.SRTT())
+}
+
+// paceCharge advances the pacing release clock after a segment of n
+// payload bytes left: the next release waits n/rate behind this one.
+// Crediting from max(paceNext, now) — never from the past — means idle
+// periods accumulate no send credit, so a window opening after a pause
+// cannot burst (the property the inter-send-gap tests pin down).
+func (c *Conn) paceCharge(n int) {
+	if n <= 0 {
+		return
+	}
+	rate := c.pacingRate()
+	if rate <= 0 {
+		return
+	}
+	base := c.stack.eng.Now()
+	if c.paceNext > base {
+		base = c.paceNext
+	}
+	c.paceNext = base.Add(sim.Duration(float64(n) / rate * float64(sim.Second)))
 }
 
 // sendWindow is the current usable window: min(cwnd, peer window).
@@ -126,6 +158,14 @@ func (c *Conn) output() {
 		if spin > 100000 {
 			panic(fmt.Sprintf("output spin: state=%v una=%d nxt=%d max=%d queuedEnd=%d bufLen=%d wnd=%d cwnd=%d recovery=%v finQ=%v sacked=%d rtxPipe=%d sackNext=%d recover=%d",
 				c.state, c.sndUna, c.sndNxt, c.sndMax, c.queuedEnd, c.sndBuf.Len(), c.sndWnd, c.cong.Cwnd(), c.inRecovery, c.finQueued, c.sb.SackedBytes(), c.rtxPipe, c.sackRtxNext, c.recover))
+		}
+		// Pacing gate: when the variant paces, nothing below may release
+		// before paceNext — the timer re-enters output at that instant.
+		// ACK-clocked variants return rate 0 and never block here, so
+		// their send timing is bit-identical to the unpaced engine.
+		if rate := c.pacingRate(); rate > 0 && c.now() < c.paceNext {
+			c.paceTimer.ResetAt(c.paceNext)
+			return
 		}
 		if c.inRecovery && c.peerSACK {
 			if c.sackRetransmit() {
@@ -265,9 +305,13 @@ func (c *Conn) sendData(seq Seq, segLen int, fin bool, rtx bool) {
 	c.sndMax = maxSeq(c.sndMax, end)
 	if newData {
 		c.startRTTSample(seq)
-	} else if segLen > 0 {
+	} else if segLen > 0 || fin {
+		// Counting `fin` too covers FIN-only retransmissions (RTO and
+		// persist-probe paths), which the close-phase energy accounting
+		// would otherwise miss.
 		c.Stats.Retransmits++
 	}
+	c.paceCharge(segLen)
 	if fin && !rtx {
 		switch c.state {
 		case StateEstablished:
@@ -415,6 +459,14 @@ func (c *Conn) onRTO() {
 	}
 	switch c.state {
 	case StateSynSent, StateSynReceived:
+		// Karn: the pending sample still times the ORIGINAL SYN, so the
+		// eventual ACK would seed srtt with the whole backoff interval.
+		// Restart it so only the final round trip is measured.
+		// (Restarting rather than skipping trades the unbounded
+		// RTO-inflated overestimate for a bounded underestimate when the
+		// SYN/ACK was merely delayed past the initial RTO — preferable,
+		// since the handshake is the only sample source until data flows.)
+		c.rttPending = false
 		c.sendSYN(c.state == StateSynReceived)
 		c.rexmt.Reset(c.rtt.Backoff(c.rexmtShift))
 		return
@@ -443,24 +495,41 @@ func (c *Conn) schedulePersist() {
 }
 
 // onPersist forces progress through a closed (or silly) window: it sends
-// one byte of data — or the FIN — regardless of window checks.
+// one byte of data — or the FIN — regardless of window checks. Each
+// probe restarts from snd.una (the closed window almost certainly
+// dropped the previous one) and the cycle always rearms: the probe byte
+// and the FIN's phantom slot must not be mistaken for "real data in
+// flight", or the prober dies with nothing else armed and the
+// connection deadlocks against a zero window.
 func (c *Conn) onPersist() {
 	if c.state == StateClosed {
 		return
 	}
-	avail := c.queuedEnd.Diff(c.sndNxt)
-	if avail <= 0 && !(c.finQueued && !c.finAcked()) {
+	pendingFin := c.finQueued && !c.finAcked()
+	unsent := c.queuedEnd.Diff(c.sndUna)
+	if unsent <= 0 && !pendingFin {
 		return
 	}
-	if c.sndNxt.Diff(c.sndUna) > 1 {
+	flight := c.sndNxt.Diff(c.sndUna)
+	if pendingFin && c.sndNxt.GT(c.queuedEnd) {
+		flight-- // the transmitted FIN occupies sequence space, not data
+	}
+	if flight > 1 {
 		// Real data beyond a probe is in flight; its ACK or RTO drives us.
 		return
 	}
 	c.Stats.ZeroWindowProbes++
 	c.probing = true
-	if avail > 0 {
-		c.sndNxt = c.sndUna // re-probe with the same byte
-		c.sendData(c.sndNxt, 1, false, false)
+	// Karn: a re-probe makes any pending RTT sample ambiguous — without
+	// this the first probe's sample survives the whole persist episode
+	// and the reopening ACK would feed the estimator minutes of "RTT".
+	// The first probe is still timed (sendData restarts the sample for
+	// data that was never sent before).
+	c.rttPending = false
+	c.sndNxt = c.sndUna // re-probe from the window edge
+	if unsent > 0 {
+		// One byte of data; the FIN rides along when it is next in line.
+		c.sendData(c.sndNxt, 1, pendingFin && unsent == 1, false)
 	} else {
 		c.sendData(c.sndNxt, 0, true, false)
 	}

@@ -1,0 +1,145 @@
+package tcplp
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcplp/internal/ip6"
+	"tcplp/internal/sim"
+	"tcplp/internal/tcplp/cc"
+)
+
+// recordSendTimes wraps a stack's output hook and records the send time
+// of every data-bearing segment.
+func recordSendTimes(l *testLink, s *Stack) *[]sim.Time {
+	times := &[]sim.Time{}
+	inner := s.Output
+	s.Output = func(pkt *ip6.Packet) {
+		if seg, err := DecodeSegment(pkt.Src, pkt.Dst, pkt.Payload); err == nil && len(seg.Payload) > 0 {
+			*times = append(*times, l.eng.Now())
+		}
+		inner(pkt)
+	}
+	return times
+}
+
+// maxBurst returns the longest run of consecutive sends closer together
+// than gap ("back-to-back" at simulation resolution).
+func maxBurst(times []sim.Time, gap sim.Duration) int {
+	run, worst := 1, 1
+	for i := 1; i < len(times); i++ {
+		if times[i].Sub(times[i-1]) < gap {
+			run++
+		} else {
+			run = 1
+		}
+		if run > worst {
+			worst = run
+		}
+	}
+	return worst
+}
+
+// The acceptance bar for the pacing subsystem: a paced BBR transfer
+// never emits a burst larger than 2 data segments back-to-back — the
+// send timer spreads releases across the RTT instead of letting the
+// window go out as one ACK-clocked train.
+func TestBBRPacingSpreadsSends(t *testing.T) {
+	cfg := testCfg()
+	cfg.Variant = cc.Bbr
+	cfg.SendBufSize = 8 * 408
+	cfg.RecvBufSize = 8 * 408
+	l := newTestLink(90, 30*sim.Millisecond, cfg)
+	times := recordSendTimes(l, l.a)
+	l.transfer(t, 30_000, 5*sim.Minute)
+	if len(*times) < 30_000/408 {
+		t.Fatalf("only %d data segments recorded", len(*times))
+	}
+	// The slowest plausible pacing interval on this link is bounded well
+	// above 500 µs (≥ 2.5 ms at the peak windowed bandwidth), so any two
+	// sends within 500 µs are burst-clocked, not paced.
+	if b := maxBurst(*times, 500*sim.Microsecond); b > 2 {
+		t.Fatalf("paced BBR sent a burst of %d back-to-back segments", b)
+	}
+}
+
+// The same scenario under an ACK-clocked variant DOES burst — proving
+// the assertion above has teeth and that pacing is what spreads the
+// sends, not the link.
+func TestAckClockedNewRenoBursts(t *testing.T) {
+	cfg := testCfg()
+	cfg.SendBufSize = 8 * 408
+	cfg.RecvBufSize = 8 * 408
+	l := newTestLink(90, 30*sim.Millisecond, cfg)
+	times := recordSendTimes(l, l.a)
+	l.transfer(t, 30_000, 5*sim.Minute)
+	if b := maxBurst(*times, 500*sim.Microsecond); b <= 2 {
+		t.Fatalf("unpaced NewReno max burst = %d; the pacing assertion would be vacuous", b)
+	}
+}
+
+// Pacing must hold under loss and recovery: the paced transfer still
+// completes and the pacer never deadlocks the connection.
+func TestBBRPacedTransferWithLoss(t *testing.T) {
+	cfg := testCfg()
+	cfg.Variant = cc.Bbr
+	cfg.SendBufSize = 8 * 408
+	cfg.RecvBufSize = 8 * 408
+	l := newTestLink(91, 20*sim.Millisecond, cfg)
+	rng := rand.New(rand.NewSource(92))
+	l.Drop = func(pkt *ip6.Packet) bool { return rng.Float64() < 0.1 }
+	_, client := l.transfer(t, 25_000, 10*sim.Minute)
+	if client.Stats.Retransmits == 0 {
+		t.Fatal("no retransmits despite 10% loss")
+	}
+}
+
+// ACK-clocked variants must never touch the pacing machinery: the rate
+// is 0 and the release clock stays unarmed, keeping their send timing
+// bit-identical to the pre-pacing engine (the NewReno golden trace pins
+// the full trajectory; this pins the mechanism).
+func TestPacingInertForAckClockedVariants(t *testing.T) {
+	for _, v := range []cc.Variant{cc.NewReno, cc.Cubic, cc.Westwood} {
+		cfg := testCfg()
+		cfg.Variant = v
+		l := newTestLink(93, 10*sim.Millisecond, cfg)
+		_, client := l.transfer(t, 10_000, 2*sim.Minute)
+		if client.pacingRate() != 0 {
+			t.Fatalf("%v reports a pacing rate", v)
+		}
+		if client.paceNext != 0 || client.paceTimer.Armed() {
+			t.Fatalf("%v advanced the pacing clock", v)
+		}
+	}
+}
+
+// Zero-gap idle credit: after a pause longer than the pacing interval,
+// the release clock restarts from now — it must not have banked credit
+// that would let a burst through.
+func TestPacingAccumulatesNoIdleCredit(t *testing.T) {
+	cfg := testCfg()
+	cfg.Variant = cc.Bbr
+	l := newTestLink(94, 25*sim.Millisecond, cfg)
+	var server *Conn
+	l.b.Listen(80, func(c *Conn) {
+		server = c
+		c.OnReadable = func() {
+			buf := make([]byte, 2048)
+			for c.Read(buf) > 0 {
+			}
+		}
+	})
+	client := l.a.Connect(ip6.AddrFromID(1), 80)
+	times := recordSendTimes(l, l.a)
+	client.OnEstablished = func() { client.Write(make([]byte, 3*408)) }
+	l.eng.RunUntil(sim.Time(5 * sim.Second))
+	// Idle for 10 s, then write a full window at once.
+	l.eng.Schedule(10*sim.Second, func() { client.Write(make([]byte, 4*408)) })
+	l.eng.RunUntil(sim.Time(60 * sim.Second))
+	if server == nil || server.Stats.BytesRecv != 7*408 {
+		t.Fatalf("transfer incomplete: %+v", server.Stats)
+	}
+	if b := maxBurst(*times, 500*sim.Microsecond); b > 2 {
+		t.Fatalf("post-idle write burst of %d segments — idle time banked pacing credit", b)
+	}
+}

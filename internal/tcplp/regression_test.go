@@ -172,6 +172,172 @@ func TestIdleServerConnectionSurvives(t *testing.T) {
 	}
 }
 
+// Regression (Karn violation on handshake retransmit): after a SYN RTO,
+// the retransmission must restart the handshake RTT sample. The old code
+// kept timing the ORIGINAL SYN, so in non-timestamp configs the eventual
+// SYN/ACK seeded srtt with the whole backoff interval (~1 s) instead of
+// the final round trip, inflating every early RTO and causing exactly the
+// spurious retransmissions LLN energy budgets cannot afford.
+func TestHandshakeRTTAfterSynRetransmit(t *testing.T) {
+	cfg := testCfg()
+	cfg.UseTimestamps = false
+	l := newTestLink(32, 50*sim.Millisecond, cfg)
+	l.b.Listen(80, func(c *Conn) {})
+	dropped := false
+	l.Drop = func(pkt *ip6.Packet) bool {
+		if !dropped {
+			dropped = true // lose exactly the first SYN
+			return true
+		}
+		return false
+	}
+	client := l.a.Connect(ip6.AddrFromID(1), 80)
+	var samples []sim.Duration
+	client.TraceRTT = func(s sim.Duration) { samples = append(samples, s) }
+	l.eng.RunUntil(sim.Time(10 * sim.Second))
+	if client.State() != StateEstablished {
+		t.Fatalf("handshake failed: %v", client.State())
+	}
+	if client.Stats.Timeouts == 0 {
+		t.Fatal("SYN was not retransmitted — scenario broken")
+	}
+	if len(samples) == 0 {
+		t.Fatal("no RTT sample from the handshake")
+	}
+	// Physical RTT is 100 ms; the initial RTO is 1 s. A first sample that
+	// includes the backoff interval lands at ≈1.1 s.
+	if samples[0] > 500*sim.Millisecond {
+		t.Fatalf("first RTT sample = %v includes the SYN backoff interval (link RTT is 100 ms)",
+			samples[0])
+	}
+	if client.SRTT() > 500*sim.Millisecond {
+		t.Fatalf("srtt = %v seeded from the backoff interval", client.SRTT())
+	}
+}
+
+// Regression: timestamp-echo validity is the RFC 7323 rule (TSEcr is
+// meaningful iff the ACK bit is set), not "TSEcr != 0". A zero echo is
+// legitimate when the timestamp clock reads 0 at wrap and must still
+// produce an RTT sample; conversely a segment without ACK must not.
+func TestTimestampEchoZeroIsValid(t *testing.T) {
+	l := newTestLink(33, 10*sim.Millisecond, testCfg())
+	l.b.Listen(80, func(c *Conn) {})
+	client := l.a.Connect(ip6.AddrFromID(1), 80)
+	l.eng.RunUntil(sim.Time(sim.Second))
+	if client.State() != StateEstablished || !client.peerTS {
+		t.Fatalf("setup: state=%v peerTS=%v", client.State(), client.peerTS)
+	}
+	samples := 0
+	client.TraceRTT = func(sim.Duration) { samples++ }
+	// A peer whose timestamp clock read 0 when it echoed ours.
+	echoZero := &Segment{
+		Flags:  FlagACK,
+		AckNum: client.sndNxt,
+		HasTS:  true,
+		TSVal:  7,
+		TSEcr:  0,
+	}
+	client.sampleRTTFromSeg(echoZero)
+	if samples != 1 {
+		t.Fatalf("legitimate zero echo dropped: %d samples", samples)
+	}
+	// Without the ACK bit the echo field is undefined and must not feed
+	// the estimator, whatever its value.
+	noAck := &Segment{HasTS: true, TSVal: 9, TSEcr: 1234}
+	client.sampleRTTFromSeg(noAck)
+	if samples != 1 {
+		t.Fatalf("TSEcr without ACK produced a sample: %d", samples)
+	}
+}
+
+// Regression (Karn violation in the persist path): the first zero-window
+// probe starts an RTT sample; re-probes must invalidate it, or the ACK
+// that finally arrives when the window reopens gets timed against the
+// FIRST probe's clock and feeds the estimator the whole persist episode
+// — seconds to minutes of "RTT" that clamp the RTO to its maximum.
+func TestPersistEpisodeDoesNotPolluteRTT(t *testing.T) {
+	cfg := testCfg()
+	cfg.UseTimestamps = false
+	l := newTestLink(35, 10*sim.Millisecond, cfg)
+	var server *Conn
+	l.b.Listen(80, func(c *Conn) { server = c })
+	client := l.a.Connect(ip6.AddrFromID(1), 80)
+	var samples []sim.Duration
+	client.TraceRTT = func(s sim.Duration) { samples = append(samples, s) }
+	total := 4*408 + 1 // one byte can never fit the peer's buffer
+	sent := 0
+	pump := func() {
+		for sent < total {
+			n, err := client.Write(make([]byte, minInt(512, total-sent)))
+			if err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if n == 0 {
+				return
+			}
+			sent += n
+		}
+	}
+	client.OnEstablished = pump
+	client.OnWritable = pump
+	// A 20-second zero-window episode with probes cycling throughout.
+	l.eng.RunUntil(sim.Time(20 * sim.Second))
+	if client.Stats.ZeroWindowProbes < 2 {
+		t.Fatalf("scenario: %d probes", client.Stats.ZeroWindowProbes)
+	}
+	buf := make([]byte, 4096)
+	server.OnReadable = func() {
+		for server.Read(buf) > 0 {
+		}
+	}
+	for server.Read(buf) > 0 {
+	}
+	l.eng.RunUntil(sim.Time(40 * sim.Second))
+	if server.Stats.BytesRecv != uint64(total) {
+		t.Fatalf("delivered %d/%d after reopen", server.Stats.BytesRecv, total)
+	}
+	for _, s := range samples {
+		if s > sim.Second {
+			t.Fatalf("RTT sample %v spans the persist episode (link RTT is 20 ms)", s)
+		}
+	}
+	if client.SRTT() > sim.Second {
+		t.Fatalf("srtt = %v polluted by the persist episode", client.SRTT())
+	}
+}
+
+// Regression: retransmitted FIN-only segments must count into
+// Stats.Retransmits — the close-phase retransmissions are exactly what
+// the paper's energy accounting (Fig. 9b) tallies.
+func TestFinOnlyRetransmitCounted(t *testing.T) {
+	l := newTestLink(34, 10*sim.Millisecond, testCfg())
+	var server *Conn
+	l.b.Listen(80, func(c *Conn) { server = c })
+	client := l.a.Connect(ip6.AddrFromID(1), 80)
+	l.eng.RunUntil(sim.Time(sim.Second))
+	if client.State() != StateEstablished {
+		t.Fatalf("setup: %v", client.State())
+	}
+	// Black the link out and close: the FIN (carrying no data) is lost
+	// and must be retransmitted by the RTO path.
+	blackout := true
+	l.Drop = func(pkt *ip6.Packet) bool { return blackout }
+	client.Close()
+	l.eng.RunFor(10 * sim.Second)
+	if client.Stats.Timeouts == 0 {
+		t.Fatal("lost FIN never timed out — scenario broken")
+	}
+	if client.Stats.Retransmits == 0 {
+		t.Fatalf("FIN-only retransmissions uncounted: %+v", client.Stats)
+	}
+	blackout = false
+	l.eng.RunFor(30 * sim.Second)
+	if !client.finAcked() {
+		t.Fatalf("FIN never acknowledged after blackout: %v", client.State())
+	}
+	_ = server
+}
+
 // Regression: delayed ACKs must not halve the peer's RTT samples. With
 // RFC 7323 Last.ACK.sent echo semantics the timestamp a delayed ACK
 // echoes belongs to the FIRST of the two segments it covers, so the

@@ -183,6 +183,144 @@ func TestWriteAfterCloseRejected(t *testing.T) {
 	}
 }
 
+// persistScenario drives a sender into the zero-window persist path with
+// a FIN queued behind undeliverable data: the app fills the peer's
+// receive buffer exactly, writes one more byte (which can never fit),
+// and closes. The receiver app reads nothing until the test drains it.
+func persistScenario(t *testing.T, seed int64) (*testLink, *Conn, *Conn) {
+	t.Helper()
+	l := newTestLink(seed, 10*sim.Millisecond, testCfg())
+	var server *Conn
+	l.b.Listen(80, func(c *Conn) { server = c })
+	client := l.a.Connect(ip6.AddrFromID(1), 80)
+	total := 4*408 + 1
+	sent := 0
+	pump := func() {
+		for sent < total {
+			n, err := client.Write(make([]byte, minInt(512, total-sent)))
+			if err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if n == 0 {
+				return
+			}
+			sent += n
+		}
+		if !client.finQueued {
+			client.Close()
+		}
+	}
+	client.OnEstablished = pump
+	client.OnWritable = pump
+	l.eng.RunUntil(sim.Time(2 * sim.Second))
+	if server == nil || client.sndWnd != 0 {
+		t.Fatalf("scenario setup: server=%v sndWnd=%d", stateOf(server), client.sndWnd)
+	}
+	return l, client, server
+}
+
+// TestPersistFinProbe: with the peer's window closed and the stream
+// ending in <probe byte, FIN>, the persist timer must drive progress —
+// first the one-byte data probe, then the FIN-only probe once snd.nxt
+// reaches the end of the stream — and those probe retransmissions must
+// be visible in the stats.
+func TestPersistFinProbe(t *testing.T) {
+	l, client, _ := persistScenario(t, 47)
+	finSends := 0
+	inner := l.a.Output
+	l.a.Output = func(pkt *ip6.Packet) {
+		if seg, err := DecodeSegment(pkt.Src, pkt.Dst, pkt.Payload); err == nil &&
+			seg.Flags.Has(FlagFIN) {
+			finSends++
+		}
+		inner(pkt)
+	}
+	l.eng.RunUntil(sim.Time(30 * sim.Second))
+	if client.Stats.ZeroWindowProbes < 2 {
+		t.Fatalf("zero-window probes = %d, want data probe + FIN probe(s): %+v",
+			client.Stats.ZeroWindowProbes, client.Stats)
+	}
+	if finSends == 0 {
+		t.Fatal("FIN never probed through the closed window")
+	}
+	if client.State() != StateFinWait1 {
+		t.Fatalf("prober state = %v, want FIN_WAIT_1 while unacknowledged", client.State())
+	}
+	if client.Stats.Retransmits == 0 {
+		t.Fatal("persist-probe retransmissions uncounted")
+	}
+}
+
+// TestPersistRexmtExclusivity: while probing a zero window with nothing
+// deliverable in flight, the persist timer replaces the retransmission
+// timer (BSD rexmt/persist exclusivity) — retransmitting into a closed
+// window could only back off to a spurious abort.
+func TestPersistRexmtExclusivity(t *testing.T) {
+	l, client, _ := persistScenario(t, 48)
+	// Sample between the first probe (≈0.5 s after the window closed) and
+	// the dup-ACK threshold that re-enters ordinary recovery.
+	var persistArmed, rexmtArmed, probed bool
+	l.eng.Schedule(1200*sim.Millisecond, func() {
+		persistArmed = client.persist.Armed()
+		rexmtArmed = client.rexmt.Armed()
+		probed = client.Stats.ZeroWindowProbes > 0
+	})
+	l.eng.RunUntil(sim.Time(4 * sim.Second))
+	if !probed {
+		t.Fatalf("no probe before the sample point: %+v", client.Stats)
+	}
+	if !persistArmed || rexmtArmed {
+		t.Fatalf("persist/rexmt exclusivity violated mid-probe: persist=%v rexmt=%v",
+			persistArmed, rexmtArmed)
+	}
+}
+
+// TestPersistWindowReopenResumesOutput: when the receiver finally
+// drains, the window-update ACK must stop the persist cycle and let
+// normal output deliver the trailing byte and the FIN, completing the
+// close handshake.
+func TestPersistWindowReopenResumesOutput(t *testing.T) {
+	l, client, server := persistScenario(t, 49)
+	l.eng.RunUntil(sim.Time(10 * sim.Second))
+	drained := 0
+	buf := make([]byte, 2048)
+	server.OnReadable = func() {
+		for {
+			n := server.Read(buf)
+			if n == 0 {
+				break
+			}
+			drained += n
+		}
+	}
+	for {
+		n := server.Read(buf)
+		if n == 0 {
+			break
+		}
+		drained += n
+	}
+	l.eng.RunUntil(sim.Time(60 * sim.Second))
+	if want := 4*408 + 1; drained != want {
+		t.Fatalf("drained %d bytes, want %d", drained, want)
+	}
+	if !server.EOF() {
+		t.Fatal("server never saw the FIN after the window reopened")
+	}
+	if client.State() != StateFinWait2 {
+		t.Fatalf("client state = %v, want FIN_WAIT_2 (FIN acked)", client.State())
+	}
+	if client.persist.Armed() {
+		t.Fatal("persist timer still armed after the window reopened")
+	}
+	// And the close completes end to end.
+	server.Close()
+	l.eng.RunUntil(sim.Time(2 * sim.Minute))
+	if client.State() != StateClosed || server.State() != StateClosed {
+		t.Fatalf("final states: %v / %v", client.State(), server.State())
+	}
+}
+
 // TestSegmentCoalescingUnderReordering: heavy jitter with SACK — every
 // byte still arrives exactly once, in order.
 func TestStreamIntegrityUnderExtremeJitter(t *testing.T) {
