@@ -1,12 +1,19 @@
-// Command tcplp-bench reproduces the paper's tables and figures. Each
-// experiment id corresponds to one table or figure of the evaluation;
-// "all" runs the complete set.
+// Command tcplp-bench reproduces the paper's tables and figures and
+// runs declarative multi-flow scenarios. Each experiment id corresponds
+// to one table or figure of the evaluation; "all" runs the complete
+// set. A scenario file describes topology, link conditions, node roles,
+// and per-flow transport configuration; the runner fans its (spec,
+// seed) pairs out across a worker pool and reports per-flow goodput,
+// retransmissions, RTT, energy duty cycle, and Jain's fairness index.
 //
 // Usage:
 //
 //	tcplp-bench -list
 //	tcplp-bench -exp fig4 [-scale 0.25] [-markdown]
 //	tcplp-bench -exp all -scale 0.1
+//	tcplp-bench -exp ccvariants -window 8
+//	tcplp-bench -scenario examples/scenarios/twinleaf_mixed.json
+//	tcplp-bench -scenario sweep.json -workers 8 -format csv > out.csv
 //
 // Scale 1.0 runs the full published durations (the fig10/table8 day-long
 // runs take a while); smaller scales shrink the measurement windows
@@ -19,6 +26,7 @@ import (
 	"os"
 
 	"tcplp/internal/experiments"
+	"tcplp/internal/scenario"
 	"tcplp/internal/stack"
 	"tcplp/internal/tcplp/cc"
 )
@@ -30,6 +38,10 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 		list     = flag.Bool("list", false, "list experiment ids")
 		variant  = flag.String("variant", "", "congestion-control variant for all experiments (newreno|cubic|westwood|bbr)")
+		window   = flag.Int("window", 0, "send/receive window in segments for all experiments (default 4)")
+		scenFile = flag.String("scenario", "", "run a JSON scenario spec file instead of an experiment")
+		workers  = flag.Int("workers", 0, "scenario worker pool size (0 = all CPUs)")
+		format   = flag.String("format", "summary", "scenario output: summary|csv|json")
 	)
 	flag.Parse()
 
@@ -41,6 +53,26 @@ func main() {
 		}
 		stack.DefaultVariant = v
 		fmt.Fprintf(os.Stderr, "congestion control: %s\n", v)
+	}
+	if *window != 0 {
+		if *window < 1 {
+			fmt.Fprintf(os.Stderr, "-window must be >= 1 segment\n")
+			os.Exit(1)
+		}
+		stack.DefaultWindowSegs = *window
+		fmt.Fprintf(os.Stderr, "window: %d segments\n", *window)
+	}
+
+	if *scenFile != "" {
+		// The experiment flags have no meaning for scenarios — a spec
+		// carries its own absolute durations — so reject them rather
+		// than silently run something other than what was asked for.
+		if *exp != "" || *markdown || *scale != 1.0 {
+			fmt.Fprintln(os.Stderr, "-scenario cannot be combined with -exp/-scale/-markdown; set durations and seeds in the spec file")
+			os.Exit(1)
+		}
+		runScenario(*scenFile, *workers, *format)
+		return
 	}
 
 	if *list || *exp == "" {
@@ -80,4 +112,57 @@ func main() {
 		os.Exit(1)
 	}
 	run(e)
+}
+
+// runScenario loads a spec file, fans it out across the worker pool,
+// and prints the results in the requested format.
+func runScenario(path string, workers int, format string) {
+	switch format {
+	case "summary", "csv", "json":
+	default:
+		// Fail before the sweep runs, not after: full-scale scenario
+		// files can take a long time.
+		fmt.Fprintf(os.Stderr, "unknown -format %q (have summary, csv, json)\n", format)
+		os.Exit(1)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	specs, err := scenario.ParseSpecs(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	nRuns := 0
+	for _, s := range specs {
+		n := len(s.Seeds)
+		if n == 0 {
+			n = 1
+		}
+		nRuns += n
+	}
+	fmt.Fprintf(os.Stderr, "running %d scenario(s), %d run(s)...\n", len(specs), nRuns)
+	results, err := (&scenario.Runner{Workers: workers}).RunAll(specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch format {
+	case "summary":
+		for _, sr := range results {
+			fmt.Print(sr.Summary())
+		}
+	case "csv":
+		if err := scenario.WriteCSV(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "json":
+		if err := scenario.WriteJSON(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

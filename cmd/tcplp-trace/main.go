@@ -20,6 +20,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "duration scale factor")
 	csv := flag.Bool("csv", false, "emit CSV (header + rows) on stdout, summary on stderr")
 	variant := flag.String("variant", "", "congestion-control variant (newreno|cubic|westwood|bbr)")
+	window := flag.Int("window", 0, "send/receive window in segments (default 4)")
 	flag.Parse()
 
 	v, err := cc.Parse(*variant)
@@ -28,6 +29,13 @@ func main() {
 		os.Exit(1)
 	}
 	stack.DefaultVariant = v
+	if *window != 0 {
+		if *window < 1 {
+			fmt.Fprintln(os.Stderr, "-window must be >= 1 segment")
+			os.Exit(1)
+		}
+		stack.DefaultWindowSegs = *window
+	}
 
 	trace, summary := experiments.CwndTrace(experiments.Scale(*scale))
 	if *csv {

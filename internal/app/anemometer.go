@@ -150,8 +150,14 @@ type TCPTransport struct {
 // NewTCPTransport connects node to collector:port and returns the
 // transport plus a hook to attach the sensor.
 func NewTCPTransport(node *stack.Node, collector ip6.Addr, port uint16) *TCPTransport {
+	return NewTCPTransportConfig(node, node.TCP.Config(), collector, port)
+}
+
+// NewTCPTransportConfig is NewTCPTransport with an explicit per-flow
+// TCP configuration.
+func NewTCPTransportConfig(node *stack.Node, cfg tcplp.Config, collector ip6.Addr, port uint16) *TCPTransport {
 	tr := &TCPTransport{}
-	c := node.TCP.Connect(collector, port)
+	c := node.TCP.ConnectConfig(collector, port, cfg)
 	tr.Conn = c
 	c.OnWritable = func() {
 		if tr.sensor != nil {

@@ -21,10 +21,23 @@ type Sink struct {
 	eng       *sim.Engine
 }
 
-// ListenSink installs a byte-counting server on node:port.
+// ListenSink installs a byte-counting server on node:port using the
+// node's default TCP configuration.
 func ListenSink(node *stack.Node, port uint16) *Sink {
+	return listenSink(node, port, nil)
+}
+
+// ListenSinkConfig installs a byte-counting server whose accepted
+// connections use an explicit per-flow TCP configuration (the receive
+// buffer bounds the advertised window, so a flow's window knob must be
+// applied at the sink too).
+func ListenSinkConfig(node *stack.Node, port uint16, cfg tcplp.Config) *Sink {
+	return listenSink(node, port, &cfg)
+}
+
+func listenSink(node *stack.Node, port uint16, cfg *tcplp.Config) *Sink {
 	s := &Sink{eng: node.Eng()}
-	node.TCP.Listen(port, func(c *tcplp.Conn) {
+	l := node.TCP.Listen(port, func(c *tcplp.Conn) {
 		s.Conn = c
 		buf := make([]byte, 4096)
 		c.OnReadable = func() {
@@ -40,6 +53,10 @@ func ListenSink(node *stack.Node, port uint16) *Sink {
 			}
 		}
 	})
+	if cfg != nil {
+		c := *cfg
+		l.ConfigFor = func() tcplp.Config { return c }
+	}
 	return s
 }
 
@@ -69,31 +86,63 @@ type Source struct {
 
 	pattern []byte
 	off     int
+	active  bool // writing (vs. an on-off source's off-period)
 	stopped bool
 }
 
 // StartBulk opens a connection from node to dst:port and streams data
-// indefinitely (until Stop).
+// indefinitely (until Stop) using the node's default TCP configuration.
 func StartBulk(node *stack.Node, dst ip6.Addr, port uint16) *Source {
-	s := &Source{pattern: makePattern()}
-	c := node.TCP.Connect(dst, port)
+	return StartBulkConfig(node, node.TCP.Config(), dst, port)
+}
+
+// StartBulkConfig is StartBulk with an explicit per-flow TCP
+// configuration (congestion-control variant, window, pacing).
+func StartBulkConfig(node *stack.Node, cfg tcplp.Config, dst ip6.Addr, port uint16) *Source {
+	s := &Source{pattern: makePattern(), active: true}
+	c := node.TCP.ConnectConfig(dst, port, cfg)
 	s.Conn = c
-	pump := func() {
+	c.OnEstablished = s.pump
+	c.OnWritable = s.pump
+	return s
+}
+
+// StartOnOffConfig opens a connection and alternates on-periods of bulk
+// writing with idle off-periods — the bursty on-off application pattern
+// (firmware pushes, periodic log uploads). The source starts on; each
+// period boundary toggles it.
+func StartOnOffConfig(node *stack.Node, cfg tcplp.Config, dst ip6.Addr, port uint16, on, off sim.Duration) *Source {
+	s := StartBulkConfig(node, cfg, dst, port)
+	eng := node.Eng()
+	var toggle func()
+	toggle = func() {
 		if s.stopped {
 			return
 		}
-		for {
-			n, err := c.Write(s.pattern[s.off:])
-			if err != nil || n == 0 {
-				return
-			}
-			s.Sent += n
-			s.off = (s.off + n) % len(s.pattern)
+		s.active = !s.active
+		if s.active {
+			eng.Schedule(on, toggle)
+			s.pump()
+		} else {
+			eng.Schedule(off, toggle)
 		}
 	}
-	c.OnEstablished = pump
-	c.OnWritable = pump
+	eng.Schedule(on, toggle)
 	return s
+}
+
+func (s *Source) pump() {
+	if s.stopped || !s.active {
+		return
+	}
+	for {
+		n, err := s.Conn.Write(s.pattern[s.off:])
+		if err != nil || n == 0 {
+			return
+		}
+		s.Sent += n
+		s.off = (s.off + n) % len(s.pattern)
+	}
 }
 
 // Stop ceases writing and closes the connection.

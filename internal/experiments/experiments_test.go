@@ -162,6 +162,17 @@ func TestTable9Shape(t *testing.T) {
 	if red < plain-0.25 {
 		t.Fatalf("RED/ECN made fairness worse: %.3f → %.3f", plain, red)
 	}
+	// The mixed paced-BBR-vs-NewReno row reports a sane Jain index and
+	// both flows alive.
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	if j := cell(t, tab, 4, 3); j < 0.5 || j > 1.0001 {
+		t.Fatalf("mixed-variant Jain %.3f outside [0.5, 1]", j)
+	}
+	if a, b := cell(t, tab, 4, 1), cell(t, tab, 4, 2); a <= 0 || b <= 0 {
+		t.Fatalf("mixed row flow starved: A=%.1f B=%.1f", a, b)
+	}
 }
 
 func TestFig8Shape(t *testing.T) {
@@ -213,20 +224,26 @@ func TestFig14Shape(t *testing.T) {
 
 func TestCCVariantsShape(t *testing.T) {
 	tab := CCVariants(quick)
-	// 4 loss rates × 4 variants.
+	// (4 loss rates + 4 retry delays) × variants.
 	nv := len(cc.Variants())
-	if len(tab.Rows) != 4*nv {
-		t.Fatalf("rows = %d, want %d", len(tab.Rows), 4*nv)
+	if len(tab.Rows) != 8*nv {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), 8*nv)
 	}
 	variants := map[string]bool{}
+	axes := map[string]bool{}
 	for i, row := range tab.Rows {
 		variants[row[1]] = true
+		axes[row[0]] = true
 		if g := cell(t, tab, i, 2); g <= 0 {
 			t.Fatalf("row %d (%s @ %s): goodput %.1f", i, row[1], row[0], g)
 		}
 	}
 	if len(variants) != nv {
 		t.Fatalf("variants covered: %v", variants)
+	}
+	// Both axes present: 4 PER points + 4 link-retry-delay points.
+	if len(axes) != 8 {
+		t.Fatalf("axis points covered: %v", axes)
 	}
 	// Loss hurts: every variant's goodput at 6%% frame loss is below its
 	// clean-channel goodput.
@@ -237,6 +254,11 @@ func TestCCVariantsShape(t *testing.T) {
 			t.Fatalf("%s: goodput did not drop under loss (%.1f → %.1f)",
 				tab.Rows[v][1], clean, lossy)
 		}
+	}
+	// The d-axis rows follow the PER rows: first d row is labelled d=0
+	// (hidden-terminal conditions).
+	if tab.Rows[4*nv][0] != "d=0ms" {
+		t.Fatalf("first retry-delay row labelled %q", tab.Rows[4*nv][0])
 	}
 }
 

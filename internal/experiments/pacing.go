@@ -1,9 +1,10 @@
 package experiments
 
 import (
-	"tcplp/internal/mesh"
+	"fmt"
+
+	"tcplp/internal/scenario"
 	"tcplp/internal/sim"
-	"tcplp/internal/stack"
 	"tcplp/internal/tcplp/cc"
 )
 
@@ -14,7 +15,8 @@ import (
 // collisions, §7.1) and a duty-cycled leaf (where a burst arriving
 // while the radio sleeps piles up in the parent's indirect queue,
 // §9.2). The channel realization is held fixed per scenario so rows
-// differ only by the algorithm.
+// differ only by the algorithm; both scenarios are declarative specs
+// run by the scenario subsystem.
 func Pacing(scale Scale) *Table {
 	t := &Table{
 		ID:    "pacing",
@@ -24,37 +26,58 @@ func Pacing(scale Scale) *Table {
 	}
 	warm, dur := scale.dur(15*sim.Second), scale.dur(90*sim.Second)
 	variants := []cc.Variant{cc.NewReno, cc.Bbr}
+	noRetryDelay := scenario.Duration(0)
+	noFastPoll := scenario.Duration(0)
 
+	var specs []*scenario.Spec
+	var labels []string
 	// Hidden-terminal chain: three hops, no link-retry delay, uplink.
 	for _, v := range variants {
-		opt := stack.DefaultOptions()
-		opt.MAC.RetryDelayMax = 0
-		opt.TCP.Variant = v
-		net := stack.New(960, mesh.Chain(4, 10), opt)
-		res := measureFlow(net, net.Nodes[3], net.Nodes[0], warm, dur)
-		t.AddRow("hidden terminal (3 hops, d=0)", string(v),
-			f1(res.GoodputKbps), du(res.Timeouts+res.FastRtx),
-			du(res.Timeouts), f1(res.SRTT.Milliseconds()))
+		specs = append(specs, &scenario.Spec{
+			Name:     "pacing-hidden-" + string(v),
+			Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: 4},
+			Net:      scenario.NetSpec{RetryDelay: &noRetryDelay},
+			Flows: []scenario.FlowSpec{{
+				From: scenario.NodeID(3), To: scenario.NodeID(0), Variant: string(v),
+			}},
+			Warmup:   scenario.Duration(warm),
+			Duration: scenario.Duration(dur),
+			Seeds:    []int64{960},
+		})
+		labels = append(labels, "hidden terminal (3 hops, d=0)")
 	}
-
 	// Duty-cycled leaf: downlink through the parent's indirect queue,
 	// fixed 250 ms sleep interval with the fast-poll hint disabled
 	// (Appendix C conditions, where burst timing is everything).
 	for _, v := range variants {
-		opt := stack.DefaultOptions()
-		opt.TCP.Variant = v
-		net := stack.New(961, mesh.Chain(2, 10), opt)
-		sc := net.MakeSleepyLeaf(1)
-		sc.SleepInterval = 250 * sim.Millisecond
-		sc.FastInterval = 0
-		net.Nodes[1].TCP.OnExpectingChange = nil
-		sc.Start()
-		res := measureFlow(net, net.Nodes[0], net.Nodes[1], warm, dur)
-		t.AddRow("duty-cycled leaf (250 ms sleep, downlink)", string(v),
-			f1(res.GoodputKbps), du(res.Timeouts+res.FastRtx),
-			du(res.Timeouts), f1(res.SRTT.Milliseconds()))
+		specs = append(specs, &scenario.Spec{
+			Name:     "pacing-dutycycled-" + string(v),
+			Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: 2},
+			Nodes: []scenario.NodeSpec{{
+				ID: 1, Sleepy: true,
+				SleepInterval:  scenario.Duration(250 * sim.Millisecond),
+				FastInterval:   &noFastPoll,
+				NoFastPollHint: true,
+			}},
+			Flows: []scenario.FlowSpec{{
+				From: scenario.NodeID(0), To: scenario.NodeID(1), Variant: string(v),
+			}},
+			Warmup:   scenario.Duration(warm),
+			Duration: scenario.Duration(dur),
+			Seeds:    []int64{961},
+		})
+		labels = append(labels, "duty-cycled leaf (250 ms sleep, downlink)")
 	}
 
+	results, err := (&scenario.Runner{}).RunAll(specs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: pacing specs invalid: %v", err))
+	}
+	for i, sr := range results {
+		fl := sr.Runs[0].Flows[0]
+		t.AddRow(labels[i], fl.Variant, f1(fl.GoodputKbps),
+			du(fl.Timeouts+fl.FastRtx), du(fl.Timeouts), f1(fl.SRTTms))
+	}
 	t.Note("paced BBR releases at most 2 segments back-to-back (pinned by the transfer-test gap assertion); ACK-clocked variants emit full window trains")
 	return t
 }

@@ -79,7 +79,7 @@ var Registry = []Experiment{
 	{ID: "fig12", Desc: "Fixed sleep interval sweep (Fig. 12 / Appendix C)", Run: one(Fig12)},
 	{ID: "fig13", Desc: "RTT distribution at 2 s sleep (Fig. 13)", Run: one(Fig13)},
 	{ID: "fig14", Desc: "Adaptive sleep interval (Fig. 14 / §C.2)", Run: one(Fig14)},
-	{ID: "ccvariants", Desc: "Congestion-control head-to-head (NewReno/CUBIC/Westwood+/BBR)",
+	{ID: "ccvariants", Desc: "Congestion-control head-to-head, PER + link-retry-delay axes",
 		Run: one(CCVariants), SweepsVariants: true},
 	{ID: "pacing", Desc: "Paced BBR vs ACK-clocked NewReno (hidden-terminal + duty-cycled)",
 		Run: one(Pacing), SweepsVariants: true},

@@ -6,7 +6,7 @@ import (
 	"tcplp/internal/app"
 	"tcplp/internal/mesh"
 	"tcplp/internal/model"
-	"tcplp/internal/phy"
+	"tcplp/internal/scenario"
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
 	"tcplp/internal/stats"
@@ -318,26 +318,13 @@ func HopSweep(scale Scale) *Table {
 	return t
 }
 
-// twinLeafTopology builds the Table 9 layouts: two sources sharing a
-// relay path of pathHops hops to the border router.
-func twinLeafTopology(pathHops int) mesh.Topology {
-	spacing := 10.0
-	var pos []phy.Point
-	for i := 0; i <= pathHops-1; i++ {
-		pos = append(pos, phy.Point{X: float64(i) * spacing})
-	}
-	relayX := float64(pathHops-1) * spacing
-	pos = append(pos,
-		phy.Point{X: relayX + spacing*0.9, Y: +spacing * 0.35},
-		phy.Point{X: relayX + spacing*0.9, Y: -spacing * 0.35},
-	)
-	return mesh.Topology{Positions: pos, TxRange: spacing * 1.25, SenseRange: spacing * 1.25}
-}
-
 // Table9 measures fairness and efficiency for two simultaneous flows
 // (Appendix A): one hop and three hops with the standard 4-segment
-// window, then three hops with a 7-segment window with and without
-// RED/ECN at the relays.
+// window, three hops with a 7-segment window with and without RED/ECN
+// at the relays, and — the ROADMAP's inter-variant fairness question —
+// the same w=7 bottleneck with a paced BBR flow against NewReno. Each
+// row is a declarative twin-leaf scenario run by the scenario
+// subsystem, which computes the per-flow goodputs and the Jain index.
 func Table9(scale Scale) *Table {
 	t := &Table{
 		ID:      "table9",
@@ -345,39 +332,42 @@ func Table9(scale Scale) *Table {
 		Columns: []string{"Scenario", "Flow A kb/s", "Flow B kb/s", "Jain index", "Aggregate kb/s"},
 	}
 	warm, dur := scale.dur(20*sim.Second), scale.dur(5*sim.Minute)
-	run := func(name string, pathHops, windowSegs int, red bool, seed int64) {
-		opt := stack.DefaultOptions()
-		opt.WindowSegs = windowSegs
-		if red {
-			opt.Mode = stack.HopByHopReassembly
-			opt.RED = true
-			opt.ECN = true
+	mk := func(name string, pathHops, windowSegs int, red bool, seed int64, variantA, variantB string) *scenario.Spec {
+		return &scenario.Spec{
+			Name:     name,
+			Topology: scenario.TopologySpec{Kind: scenario.TopoTwinLeaf, PathHops: pathHops},
+			Net: scenario.NetSpec{
+				WindowSegs: windowSegs,
+				RED:        red, ECN: red, HopByHop: red,
+			},
+			Flows: []scenario.FlowSpec{
+				{Label: "A", From: scenario.NodeID(pathHops), To: scenario.NodeID(0),
+					Port: 80, Variant: variantA},
+				{Label: "B", From: scenario.NodeID(pathHops + 1), To: scenario.NodeID(0),
+					Port: 81, Variant: variantB},
+			},
+			Warmup:   scenario.Duration(warm),
+			Duration: scenario.Duration(dur),
+			Seeds:    []int64{seed},
 		}
-		topo := twinLeafTopology(pathHops)
-		net := stack.New(seed, topo, opt)
-		a := net.Nodes[len(net.Nodes)-2]
-		b := net.Nodes[len(net.Nodes)-1]
-		sinkA := app.ListenSink(net.Nodes[0], 80)
-		sinkB := app.ListenSink(net.Nodes[0], 81)
-		srcA := app.StartBulk(a, net.Nodes[0].Addr, 80)
-		srcB := app.StartBulk(b, net.Nodes[0].Addr, 81)
-		net.Eng.RunFor(warm)
-		sinkA.Mark()
-		sinkB.Mark()
-		net.Eng.RunFor(dur)
-		ga, gb := sinkA.GoodputKbps(), sinkB.GoodputKbps()
-		jain := 0.0
-		if ga+gb > 0 {
-			jain = (ga + gb) * (ga + gb) / (2 * (ga*ga + gb*gb))
-		}
-		t.AddRow(name, f1(ga), f1(gb), f3(jain), f1(ga+gb))
-		srcA.Stop()
-		srcB.Stop()
 	}
-	run("1 hop, w=4", 1, 4, false, 300)
-	run("3 hops, w=4", 3, 4, false, 301)
-	run("3 hops, w=7", 3, 7, false, 302)
-	run("3 hops, w=7, RED+ECN", 3, 7, true, 303)
+	specs := []*scenario.Spec{
+		mk("1 hop, w=4", 1, 4, false, 300, "", ""),
+		mk("3 hops, w=4", 3, 4, false, 301, "", ""),
+		mk("3 hops, w=7", 3, 7, false, 302, "", ""),
+		mk("3 hops, w=7, RED+ECN", 3, 7, true, 303, "", ""),
+		mk("3 hops, w=7, paced BBR vs NewReno", 3, 7, false, 304, "bbr", "newreno"),
+	}
+	results, err := (&scenario.Runner{}).RunAll(specs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: table9 specs invalid: %v", err))
+	}
+	for _, sr := range results {
+		run := sr.Runs[0]
+		t.AddRow(sr.Spec.Name, f1(run.Flows[0].GoodputKbps), f1(run.Flows[1].GoodputKbps),
+			f3(run.Jain), f1(run.AggregateKbps))
+	}
 	t.Note("paper Table 9: fair at w=4; w=7 needs RED/ECN at relays to restore fairness and keep RTT low")
+	t.Note("the mixed row asks whether pacing alone fixes the w=7 unfairness without AQM at the relays")
 	return t
 }

@@ -1,40 +1,89 @@
 package experiments
 
 import (
-	"tcplp/internal/mesh"
+	"fmt"
+
+	"tcplp/internal/scenario"
 	"tcplp/internal/sim"
-	"tcplp/internal/stack"
 	"tcplp/internal/tcplp/cc"
 )
 
+// ccVariantRetryDelays is the link-retry-delay axis of the variant
+// head-to-head: hidden-terminal conditions (d = 0) through the §7.1
+// recommended 40 ms to the Fig. 6 tail.
+var ccVariantRetryDelays = []sim.Duration{0, 10 * sim.Millisecond,
+	40 * sim.Millisecond, 100 * sim.Millisecond}
+
 // CCVariants is the congestion-control head-to-head: one bulk flow over
-// the lossy three-hop chain, swept across injected per-frame loss rates,
-// once per registered variant. It asks the paper's natural follow-up
-// question — which loss-response policy suits hidden-terminal losses vs.
-// wireless corruption — by holding the scenario fixed and varying only
-// the algorithm.
+// the lossy three-hop chain, swept along two loss axes — uniform
+// per-frame corruption (wireless noise) and the hidden-terminal
+// link-retry delay d of Fig. 6 (collision losses) — once per registered
+// variant. It asks the paper's natural follow-up question: which
+// loss-response policy suits which loss process, holding the scenario
+// fixed and varying only the algorithm. The whole sweep is a list of
+// declarative specs fanned out by the scenario runner.
 func CCVariants(scale Scale) *Table {
 	t := &Table{
 		ID:    "ccvariants",
-		Title: "Congestion-control variants, three hops, frame-loss sweep",
-		Columns: []string{"Frame loss", "Variant", "Goodput kb/s",
+		Title: "Congestion-control variants, three hops: frame-loss and link-retry-delay sweeps",
+		Columns: []string{"Axis", "Variant", "Goodput kb/s",
 			"Timeouts", "Fast rtx", "SRTT ms"},
 	}
 	warm, dur := scale.dur(15*sim.Second), scale.dur(90*sim.Second)
+	mkSpec := func(name string, v cc.Variant, per float64, retry *sim.Duration, seed int64) *scenario.Spec {
+		s := &scenario.Spec{
+			Name:     name,
+			Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: 4},
+			Net:      scenario.NetSpec{PER: per},
+			Flows: []scenario.FlowSpec{{
+				From: scenario.NodeID(3), To: scenario.NodeID(0), Variant: string(v),
+			}},
+			Warmup:   scenario.Duration(warm),
+			Duration: scenario.Duration(dur),
+			Seeds:    []int64{seed},
+		}
+		if retry != nil {
+			rd := scenario.Duration(*retry)
+			s.Net.RetryDelay = &rd
+		}
+		return s
+	}
+
+	var specs []*scenario.Spec
+	var axes []string
+	// Uniform-PER axis: same seed for every variant at a given loss
+	// rate, so the channel realization is held fixed and rows differ
+	// only by the algorithm.
 	for round, per := range []float64{0, 0.01, 0.03, 0.06} {
 		for _, v := range cc.Variants() {
-			opt := stack.DefaultOptions()
-			opt.PER = per
-			opt.TCP.Variant = v
-			// Same seed for every variant at a given loss rate: the
-			// channel realization is held fixed so rows differ only by
-			// the algorithm.
-			net := stack.New(int64(400+round), mesh.Chain(4, 10), opt)
-			res := measureFlow(net, net.Nodes[3], net.Nodes[0], warm, dur)
-			t.AddRow(pct(per), string(v), f1(res.GoodputKbps),
-				du(res.Timeouts), du(res.FastRtx), f1(res.SRTT.Milliseconds()))
+			specs = append(specs, mkSpec(
+				fmt.Sprintf("ccvariants-per%.0f-%s", per*100, v),
+				v, per, nil, int64(400+round)))
+			axes = append(axes, pct(per))
 		}
 	}
+	// Link-retry-delay axis (Fig. 6 conditions): hidden-terminal
+	// collision losses instead of corruption, again seed-matched.
+	for round, d := range ccVariantRetryDelays {
+		d := d
+		for _, v := range cc.Variants() {
+			specs = append(specs, mkSpec(
+				fmt.Sprintf("ccvariants-d%s-%s", d, v),
+				v, 0, &d, int64(440+round)))
+			axes = append(axes, fmt.Sprintf("d=%.0fms", d.Milliseconds()))
+		}
+	}
+	results, err := (&scenario.Runner{}).RunAll(specs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ccvariants specs invalid: %v", err))
+	}
+	for i, sr := range results {
+		run := sr.Runs[0]
+		fl := run.Flows[0]
+		t.AddRow(axes[i], fl.Variant, f1(fl.GoodputKbps),
+			du(fl.Timeouts), du(fl.FastRtx), f1(fl.SRTTms))
+	}
 	t.Note("with a 4-segment window the variants converge at low loss (§7.3 small-window robustness); they separate as corruption losses mount and the backoff policy starts to matter")
+	t.Note("the d-axis reproduces Fig. 6 conditions: at d=0 losses are hidden-terminal collisions, which retry-delay masks by d=40 ms")
 	return t
 }

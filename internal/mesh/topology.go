@@ -47,6 +47,24 @@ func Star(n int, radius float64) Topology {
 	return Topology{Positions: pos, TxRange: radius * 1.2, SenseRange: radius * 1.2}
 }
 
+// TwinLeaf builds the Table 9 / Appendix A layouts: a relay path of
+// pathHops hops from the border router (node 0) to a shared last relay,
+// with two leaves (the last two node ids) hanging off it. Both leaves
+// reach the border in pathHops hops and contend for the same relay
+// path — the paper's two-flow fairness configuration.
+func TwinLeaf(pathHops int, spacing float64) Topology {
+	var pos []phy.Point
+	for i := 0; i <= pathHops-1; i++ {
+		pos = append(pos, phy.Point{X: float64(i) * spacing})
+	}
+	relayX := float64(pathHops-1) * spacing
+	pos = append(pos,
+		phy.Point{X: relayX + spacing*0.9, Y: +spacing * 0.35},
+		phy.Point{X: relayX + spacing*0.9, Y: -spacing * 0.35},
+	)
+	return Topology{Positions: pos, TxRange: spacing * 1.25, SenseRange: spacing * 1.25}
+}
+
 // Office is a 15-node layout standing in for the paper's office testbed
 // (Fig. 3): node 0 is the border router at one end; nodes 11-14 (the
 // anemometer stand-ins) sit 3-5 hops away at the far end, matching the

@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"fmt"
+
+	"tcplp/internal/app"
+	"tcplp/internal/mesh"
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+	"tcplp/internal/stats"
+	"tcplp/internal/tcplp"
+	"tcplp/internal/tcplp/cc"
+)
+
+// build translates TopologySpec into a mesh layout.
+func (t TopologySpec) build() mesh.Topology {
+	spacing := t.Spacing
+	if spacing == 0 {
+		spacing = 10
+	}
+	switch t.Kind {
+	case TopoChain:
+		return mesh.Chain(t.Nodes, spacing)
+	case TopoStar:
+		return mesh.Star(t.Nodes, spacing)
+	case TopoOffice:
+		return mesh.Office()
+	case TopoTwinLeaf:
+		return mesh.TwinLeaf(t.PathHops, spacing)
+	}
+	panic(fmt.Sprintf("scenario: unvalidated topology kind %q", t.Kind))
+}
+
+// options translates NetSpec into stack options.
+func (s *Spec) options() stack.Options {
+	opt := stack.DefaultOptions()
+	n := s.Net
+	opt.PER = n.PER
+	if n.RetryDelay != nil {
+		opt.MAC.RetryDelayMax = n.RetryDelay.D()
+	}
+	if n.SegFrames > 0 {
+		opt.SegFrames = n.SegFrames
+	}
+	if n.WindowSegs > 0 {
+		opt.WindowSegs = n.WindowSegs
+	}
+	if n.QueueCap > 0 {
+		opt.QueueCap = n.QueueCap
+	}
+	opt.RED = n.RED
+	opt.ECN = n.ECN
+	if n.HopByHop {
+		opt.Mode = stack.HopByHopReassembly
+	}
+	if n.WireDelay > 0 {
+		opt.WireDelay = n.WireDelay.D()
+	}
+	return opt
+}
+
+// flowRun is one instantiated flow plus its measurement hooks.
+type flowRun struct {
+	spec FlowSpec
+	src  *stack.Node
+	dst  *stack.Node
+	sink *app.Sink
+	conn *tcplp.Conn // the sender-side connection
+	bulk *app.Source // bulk/onoff sources (nil for anemometer)
+
+	cfg  tcplp.Config
+	rtts stats.Sample
+	base tcplp.ConnStats // sender stats at the measurement mark
+}
+
+// runContext is one fully built (spec, seed) instance.
+type runContext struct {
+	spec  *Spec // defaults applied
+	seed  int64
+	net   *stack.Network
+	flows []*flowRun
+
+	framesBase uint64
+	lossBase   uint64
+}
+
+// buildRun instantiates the spec onto the stack layers for one seed.
+// The spec must be validated and have defaults applied (withDefaults).
+func buildRun(spec *Spec, seed int64) (*runContext, error) {
+	net := stack.New(seed, spec.Topology.build(), spec.options())
+	if spec.needsHost() {
+		net.AttachHost()
+	}
+	for _, ns := range spec.Nodes {
+		if !ns.Sleepy {
+			continue
+		}
+		sc := net.MakeSleepyLeaf(ns.ID)
+		if ns.SleepInterval > 0 {
+			sc.SleepInterval = ns.SleepInterval.D()
+		}
+		if ns.FastInterval != nil {
+			sc.FastInterval = ns.FastInterval.D()
+		}
+		sc.Adaptive = ns.Adaptive
+		if ns.NoFastPollHint {
+			net.Nodes[ns.ID].TCP.OnExpectingChange = nil
+		}
+		sc.Start()
+	}
+	rc := &runContext{spec: spec, seed: seed, net: net}
+	for _, fs := range spec.Flows {
+		fr, err := rc.startFlow(fs)
+		if err != nil {
+			return nil, err
+		}
+		rc.flows = append(rc.flows, fr)
+	}
+	return rc, nil
+}
+
+// resolve maps a NodeRef to its node.
+func (rc *runContext) resolve(r NodeRef) *stack.Node {
+	if r.Host {
+		return rc.net.Host
+	}
+	return rc.net.Nodes[r.ID]
+}
+
+// startFlow opens one flow's sink and source with its per-flow TCP
+// configuration.
+func (rc *runContext) startFlow(fs FlowSpec) (*flowRun, error) {
+	// An empty variant must stay empty so FlowTCPConfig keeps the
+	// network default (which carries the process-wide -variant flag);
+	// cc.Parse would collapse it to NewReno.
+	var variant cc.Variant
+	if fs.Variant != "" {
+		v, err := cc.Parse(fs.Variant)
+		if err != nil {
+			return nil, err // unreachable after Validate
+		}
+		variant = v
+	}
+	cfg := rc.net.FlowTCPConfig(variant, fs.WindowSegs)
+	if fs.Pacing != nil && !*fs.Pacing {
+		cfg.NoPacing = true
+	}
+	src, dst := rc.resolve(fs.From), rc.resolve(fs.To)
+	fr := &flowRun{spec: fs, src: src, dst: dst, cfg: cfg}
+
+	// The host end is unconstrained (§5: a FreeBSD-class machine), so a
+	// host endpoint keeps large buffers; the flow's window knob binds at
+	// the mote end, which is what bounds the transfer either way.
+	sinkCfg := cfg
+	if fs.To.Host {
+		sinkCfg.SendBufSize = 64 * 1024
+		sinkCfg.RecvBufSize = 64 * 1024
+	}
+	fr.sink = app.ListenSinkConfig(dst, fs.Port, sinkCfg)
+
+	srcCfg := cfg
+	if fs.From.Host {
+		srcCfg.SendBufSize = 64 * 1024
+	}
+	switch fs.Pattern {
+	case PatternBulk:
+		fr.bulk = app.StartBulkConfig(src, srcCfg, dst.Addr, fs.Port)
+		fr.conn = fr.bulk.Conn
+	case PatternOnOff:
+		fr.bulk = app.StartOnOffConfig(src, srcCfg, dst.Addr, fs.Port, fs.On.D(), fs.Off.D())
+		fr.conn = fr.bulk.Conn
+	case PatternAnemometer:
+		tr := app.NewTCPTransportConfig(src, srcCfg, dst.Addr, fs.Port)
+		sensor := app.NewSensor(rc.net.Eng, tr, app.TCPQueueCap)
+		sensor.Interval = fs.Interval.D()
+		sensor.Batch = fs.Batch
+		tr.Attach(sensor)
+		sensor.Start()
+		fr.conn = tr.Conn
+	default:
+		return nil, fmt.Errorf("scenario: unvalidated pattern %q", fs.Pattern)
+	}
+	return fr, nil
+}
+
+// mark opens the measurement window: sinks and counters snapshot their
+// baselines and the energy meters reset, so every metric covers only
+// the post-warmup window.
+func (rc *runContext) mark() {
+	for _, fr := range rc.flows {
+		fr := fr // go 1.21: the loop variable is shared; the closure needs its own
+		fr.sink.Mark()
+		fr.base = fr.conn.Stats
+		fr.conn.TraceRTT = func(s sim.Duration) { fr.rtts.Add(float64(s)) }
+	}
+	for _, n := range rc.net.Nodes {
+		n.Radio.ResetEnergy()
+		n.CPU.Reset()
+	}
+	if rc.net.Host != nil {
+		rc.net.Host.CPU.Reset()
+	}
+	rc.framesBase = rc.net.TotalFramesSent()
+	rc.lossBase = rc.net.TotalLossEvents()
+}
+
+// collect closes the measurement window and computes the run's result.
+func (rc *runContext) collect() Result {
+	res := Result{
+		Name:       rc.spec.Name,
+		Seed:       rc.seed,
+		FramesSent: rc.net.TotalFramesSent() - rc.framesBase,
+		LossEvents: rc.net.TotalLossEvents() - rc.lossBase,
+	}
+	var goodputs []float64
+	for _, fr := range rc.flows {
+		st := fr.conn.Stats
+		fres := FlowResult{
+			Label:       fr.spec.Label,
+			Variant:     string(fr.cfg.Variant),
+			WindowSegs:  fr.cfg.RecvBufSize / fr.cfg.MSS,
+			Pattern:     fr.spec.Pattern,
+			GoodputKbps: fr.sink.GoodputKbps(),
+			Bytes:       fr.sink.BytesSinceMark(),
+			Retransmits: st.Retransmits - fr.base.Retransmits,
+			Timeouts:    st.Timeouts - fr.base.Timeouts,
+			FastRtx:     st.FastRetransmits - fr.base.FastRetransmits,
+			SRTTms:      fr.conn.SRTT().Milliseconds(),
+			MedianRTTms: sim.Duration(fr.rtts.Median()).Milliseconds(),
+		}
+		if fr.src.Radio != nil {
+			fres.RadioDC = fr.src.Radio.DutyCycle()
+		}
+		fres.CPUDC = fr.src.CPU.DutyCycle()
+		goodputs = append(goodputs, fres.GoodputKbps)
+		res.AggregateKbps += fres.GoodputKbps
+		res.Flows = append(res.Flows, fres)
+	}
+	res.Jain = stats.JainIndex(goodputs)
+	return res
+}
+
+// RunOne executes the spec for a single seed and returns its result.
+// The run is entirely self-contained — its own engine, channel, and
+// stacks — which is what lets the Runner parallelize seeds safely.
+func RunOne(spec *Spec, seed int64) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	return runDefaulted(spec.withDefaults(), seed)
+}
+
+// runDefaulted is RunOne for a spec that is already validated and
+// defaulted — the Runner's worker path, which hoists both steps out of
+// the per-seed loop.
+func runDefaulted(spec *Spec, seed int64) (Result, error) {
+	rc, err := buildRun(spec, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	rc.net.Eng.RunFor(rc.spec.Warmup.D())
+	rc.mark()
+	rc.net.Eng.RunFor(rc.spec.Duration.D())
+	return rc.collect(), nil
+}

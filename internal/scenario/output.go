@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvHeader lists the per-run flow columns emitted by WriteCSV.
+var csvHeader = []string{
+	"scenario", "seed", "flow", "variant", "window_segs", "pattern",
+	"goodput_kbps", "bytes", "retransmits", "timeouts", "fast_rtx",
+	"srtt_ms", "median_rtt_ms", "radio_dc", "cpu_dc", "jain", "aggregate_kbps",
+}
+
+// WriteCSV emits one row per (spec, seed, flow); the run-level Jain
+// index and aggregate goodput repeat on each of the run's rows.
+func WriteCSV(w io.Writer, results []*SpecResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, sr := range results {
+		for _, run := range sr.Runs {
+			for _, fl := range run.Flows {
+				rec := []string{
+					run.Name, strconv.FormatInt(run.Seed, 10),
+					fl.Label, fl.Variant, strconv.Itoa(fl.WindowSegs), fl.Pattern,
+					f(fl.GoodputKbps), strconv.Itoa(fl.Bytes),
+					u(fl.Retransmits), u(fl.Timeouts), u(fl.FastRtx),
+					f(fl.SRTTms), f(fl.MedianRTTms), f(fl.RadioDC), f(fl.CPUDC),
+					f(run.Jain), f(run.AggregateKbps),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the full result set — specs, per-seed runs, and
+// aggregates — as indented JSON.
+func WriteJSON(w io.Writer, results []*SpecResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// Summary renders a spec's aggregate as aligned plain text: one line
+// per flow plus the fairness line.
+func (sr *SpecResult) Summary() string {
+	var b strings.Builder
+	name := sr.Spec.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(&b, "== scenario %s: %d flow(s) x %d seed(s) ==\n",
+		name, len(sr.Agg.Flows), len(sr.Runs))
+	for _, fa := range sr.Agg.Flows {
+		fmt.Fprintf(&b, "  %-24s %-9s %7.1f kb/s (±%.1f, min %.1f, max %.1f)  rtx %.1f  rto %.1f  srtt %.0f ms  radio %.2f%%\n",
+			fa.Label, fa.Variant, fa.GoodputMeanKbps, fa.GoodputStdKbps,
+			fa.GoodputMinKbps, fa.GoodputMaxKbps, fa.RetransmitsMean,
+			fa.TimeoutsMean, fa.SRTTMeanMs, fa.RadioDCMean*100)
+	}
+	fmt.Fprintf(&b, "  jain %.3f (min %.3f)  aggregate %.1f kb/s\n",
+		sr.Agg.JainMean, sr.Agg.JainMin, sr.Agg.AggregateMeanKbps)
+	return b.String()
+}

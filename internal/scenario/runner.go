@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"runtime"
+	"sync"
+
+	"tcplp/internal/stats"
+)
+
+// FlowResult is one flow's measurements over one run's window.
+type FlowResult struct {
+	Label       string  `json:"label"`
+	Variant     string  `json:"variant"`
+	WindowSegs  int     `json:"window_segs"`
+	Pattern     string  `json:"pattern"`
+	GoodputKbps float64 `json:"goodput_kbps"`
+	Bytes       int     `json:"bytes"`
+	Retransmits uint64  `json:"retransmits"`
+	Timeouts    uint64  `json:"timeouts"`
+	FastRtx     uint64  `json:"fast_rtx"`
+	SRTTms      float64 `json:"srtt_ms"`
+	MedianRTTms float64 `json:"median_rtt_ms"`
+	RadioDC     float64 `json:"radio_dc"`
+	CPUDC       float64 `json:"cpu_dc"`
+}
+
+// Result is one (spec, seed) run: per-flow measurements plus the
+// cross-flow fairness and network totals.
+type Result struct {
+	Name          string       `json:"name"`
+	Seed          int64        `json:"seed"`
+	Flows         []FlowResult `json:"flows"`
+	Jain          float64      `json:"jain"`
+	AggregateKbps float64      `json:"aggregate_kbps"`
+	FramesSent    uint64       `json:"frames_sent"`
+	LossEvents    uint64       `json:"loss_events"`
+}
+
+// FlowAggregate summarizes one flow across a spec's seeds.
+type FlowAggregate struct {
+	Label           string  `json:"label"`
+	Variant         string  `json:"variant"`
+	GoodputMeanKbps float64 `json:"goodput_mean_kbps"`
+	GoodputStdKbps  float64 `json:"goodput_std_kbps"`
+	GoodputMinKbps  float64 `json:"goodput_min_kbps"`
+	GoodputMaxKbps  float64 `json:"goodput_max_kbps"`
+	RetransmitsMean float64 `json:"retransmits_mean"`
+	TimeoutsMean    float64 `json:"timeouts_mean"`
+	SRTTMeanMs      float64 `json:"srtt_mean_ms"`
+	RadioDCMean     float64 `json:"radio_dc_mean"`
+	CPUDCMean       float64 `json:"cpu_dc_mean"`
+}
+
+// Aggregate summarizes a spec across its seeds.
+type Aggregate struct {
+	Flows             []FlowAggregate `json:"flows"`
+	JainMean          float64         `json:"jain_mean"`
+	JainMin           float64         `json:"jain_min"`
+	AggregateMeanKbps float64         `json:"aggregate_mean_kbps"`
+}
+
+// SpecResult is one spec's runs (in seed order) plus their aggregate.
+type SpecResult struct {
+	Spec *Spec     `json:"spec"`
+	Runs []Result  `json:"runs"`
+	Agg  Aggregate `json:"aggregate"`
+}
+
+// Runner executes specs across a worker pool. Each (spec, seed) pair is
+// an independent simulation — its own engine, channel, and stacks — so
+// the pool only changes wall-clock time, never results: aggregates are
+// computed in (spec, seed) order after every run completes, and a
+// serial run (Workers=1) is bit-identical to a parallel one.
+type Runner struct {
+	// Workers bounds concurrent runs; 0 uses all CPUs.
+	Workers int
+}
+
+// Run executes one spec over its seed list.
+func (r *Runner) Run(spec *Spec) (*SpecResult, error) {
+	out, err := r.RunAll([]*Spec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// RunAll executes every (spec, seed) pair across the pool and returns
+// one SpecResult per spec, in input order.
+func (r *Runner) RunAll(specs []*Spec) ([]*SpecResult, error) {
+	type job struct{ si, ri int }
+	var jobs []job
+	out := make([]*SpecResult, len(specs))
+	defaulted := make([]*Spec, len(specs))
+	for si, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		defaulted[si] = s.withDefaults()
+		out[si] = &SpecResult{Spec: s, Runs: make([]Result, len(defaulted[si].Seeds))}
+		for ri := range defaulted[si].Seeds {
+			jobs = append(jobs, job{si, ri})
+		}
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	errs := make([]error, len(jobs))
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range ch {
+				j := jobs[ji]
+				d := defaulted[j.si]
+				res, err := runDefaulted(d, d.Seeds[j.ri])
+				if err != nil {
+					errs[ji] = err
+					continue
+				}
+				out[j.si].Runs[j.ri] = res
+			}
+		}()
+	}
+	for ji := range jobs {
+		ch <- ji
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, sr := range out {
+		sr.Agg = aggregate(sr.Runs)
+	}
+	return out, nil
+}
+
+// aggregate folds a spec's per-seed runs into across-seed summaries,
+// always iterating in seed order so the result is independent of run
+// completion order.
+func aggregate(runs []Result) Aggregate {
+	agg := Aggregate{}
+	if len(runs) == 0 {
+		return agg
+	}
+	nFlows := len(runs[0].Flows)
+	var jain, total stats.Sample
+	for fi := 0; fi < nFlows; fi++ {
+		var goodput, rtx, rto, srtt, radio, cpu stats.Sample
+		for _, run := range runs {
+			f := run.Flows[fi]
+			goodput.Add(f.GoodputKbps)
+			rtx.Add(float64(f.Retransmits))
+			rto.Add(float64(f.Timeouts))
+			srtt.Add(f.SRTTms)
+			radio.Add(f.RadioDC)
+			cpu.Add(f.CPUDC)
+		}
+		agg.Flows = append(agg.Flows, FlowAggregate{
+			Label:           runs[0].Flows[fi].Label,
+			Variant:         runs[0].Flows[fi].Variant,
+			GoodputMeanKbps: goodput.Mean(),
+			GoodputStdKbps:  goodput.StdDev(),
+			GoodputMinKbps:  goodput.Min(),
+			GoodputMaxKbps:  goodput.Max(),
+			RetransmitsMean: rtx.Mean(),
+			TimeoutsMean:    rto.Mean(),
+			SRTTMeanMs:      srtt.Mean(),
+			RadioDCMean:     radio.Mean(),
+			CPUDCMean:       cpu.Mean(),
+		})
+	}
+	for _, run := range runs {
+		jain.Add(run.Jain)
+		total.Add(run.AggregateKbps)
+	}
+	agg.JainMean = jain.Mean()
+	agg.JainMin = jain.Min()
+	agg.AggregateMeanKbps = total.Mean()
+	return agg
+}

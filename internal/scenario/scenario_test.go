@@ -1,0 +1,455 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+	"tcplp/internal/tcplp/cc"
+)
+
+// twinMixed is the twin-leaf mixed-variant scenario of the ROADMAP's
+// fairness question: paced BBR vs NewReno at w=7 over a shared 3-hop
+// relay path.
+func twinMixed(seeds ...int64) *Spec {
+	return &Spec{
+		Name:     "twinleaf-mixed-w7",
+		Topology: TopologySpec{Kind: TopoTwinLeaf, PathHops: 3},
+		Net:      NetSpec{WindowSegs: 7},
+		Flows: []FlowSpec{
+			{Label: "bbr", From: NodeID(3), To: NodeID(0), Port: 80, Variant: "bbr"},
+			{Label: "newreno", From: NodeID(4), To: NodeID(0), Port: 81, Variant: "newreno"},
+		},
+		Warmup:   Duration(10 * sim.Second),
+		Duration: Duration(40 * sim.Second),
+		Seeds:    seeds,
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := twinMixed(301, 302)
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpecs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 1 || !reflect.DeepEqual(parsed[0], spec) {
+		t.Fatalf("round trip mismatch:\n  in:  %+v\n  out: %+v", spec, parsed[0])
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	var d Duration
+	for in, want := range map[string]sim.Duration{
+		`"90s"`:   90 * sim.Second,
+		`"250ms"`: 250 * sim.Millisecond,
+		`"0s"`:    0,
+		`1.5`:     1500 * sim.Millisecond, // bare numbers are seconds
+	} {
+		if err := json.Unmarshal([]byte(in), &d); err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if d.D() != want {
+			t.Fatalf("%s = %v, want %v", in, d.D(), want)
+		}
+	}
+	if err := json.Unmarshal([]byte(`"fast"`), &d); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"unknown topology", func(s *Spec) { s.Topology.Kind = "ring" }, "unknown topology"},
+		{"no flows", func(s *Spec) { s.Flows = nil }, "no flows"},
+		{"node out of range", func(s *Spec) { s.Flows[0].From = NodeID(99) }, "out of range"},
+		{"self flow", func(s *Spec) { s.Flows[0].To = s.Flows[0].From }, "from == to"},
+		{"bad variant", func(s *Spec) { s.Flows[0].Variant = "vegas" }, "unknown variant"},
+		{"bad pattern", func(s *Spec) { s.Flows[0].Pattern = "poisson" }, "unknown pattern"},
+		{"bad per", func(s *Spec) { s.Net.PER = 1.5 }, "out of range"},
+		{"border role", func(s *Spec) { s.Nodes = []NodeSpec{{ID: 0, Sleepy: true}} }, "out of range"},
+		{"negative on-period", func(s *Spec) {
+			s.Flows[0].Pattern = PatternOnOff
+			s.Flows[0].On = Duration(-sim.Second)
+		}, "negative on/off"},
+		{"negative retry delay", func(s *Spec) {
+			d := Duration(-sim.Millisecond)
+			s.Net.RetryDelay = &d
+		}, "negative retry_delay"},
+		{"duplicate sink", func(s *Spec) { s.Flows[1].Port = 80 }, "share sink"},
+		{"default-port collision", func(s *Spec) {
+			s.Flows[0].Port = 81 // collides with flow 1's default 80+1
+			s.Flows[1].Port = 0
+		}, "share sink"},
+	}
+	for _, c := range cases {
+		spec := twinMixed(1)
+		c.mutate(spec)
+		err := spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+	if err := twinMixed(1).Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestParseSpecsErrors pins error surfacing: a decode error inside an
+// array form reports the real cause, not a misleading object-decode
+// failure.
+func TestParseSpecsErrors(t *testing.T) {
+	bad := `{"name":"x","topology":{"kind":"chain","nodes":2},"flows":[{"from":1,"to":0}],"duration":"90x"}`
+	for _, in := range []string{bad, "[" + bad + "]", "  \n[" + bad + "]"} {
+		_, err := ParseSpecs([]byte(in))
+		if err == nil || !strings.Contains(err.Error(), "bad duration") {
+			t.Fatalf("%s: err = %v, want the underlying duration error", in, err)
+		}
+	}
+	if _, err := ParseSpecs([]byte("42")); err == nil {
+		t.Fatal("non-spec JSON accepted")
+	}
+}
+
+// TestZeroDurationsHonored pins the zero-vs-unset rules: an explicit
+// zero warmup measures from t=0 and a single explicit onoff period is
+// honored; defaults only replace meaningless zeros.
+func TestZeroDurationsHonored(t *testing.T) {
+	s := twinMixed(1)
+	s.Warmup = 0
+	s.Duration = 0
+	d := s.withDefaults()
+	if d.Warmup != 0 {
+		t.Fatalf("zero warmup replaced with %v", d.Warmup.D())
+	}
+	if d.Duration == 0 {
+		t.Fatal("zero-length measurement window kept")
+	}
+	s.Flows[0].Pattern = PatternOnOff
+	s.Flows[0].On = Duration(2 * sim.Second) // off omitted → continuous
+	d = s.withDefaults()
+	if got := d.Flows[0]; got.On != Duration(2*sim.Second) || got.Off != 0 {
+		t.Fatalf("explicit on-period rewrote off: on=%v off=%v", got.On.D(), got.Off.D())
+	}
+	s.Flows[0].On = 0 // both omitted → 5s/5s default
+	d = s.withDefaults()
+	if got := d.Flows[0]; got.On == 0 || got.Off == 0 {
+		t.Fatalf("onoff defaults not applied: on=%v off=%v", got.On.D(), got.Off.D())
+	}
+}
+
+// TestSerialParallelIdentical is the determinism contract: the same
+// spec over the same seeds produces bit-identical per-run results and
+// aggregates whether the runner uses one worker or many.
+func TestSerialParallelIdentical(t *testing.T) {
+	spec := twinMixed(1, 2, 3, 4)
+	serial, err := (&Runner{Workers: 1}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Workers: 4}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Runs, parallel.Runs) {
+		t.Fatalf("serial and parallel runs differ:\nserial:   %+v\nparallel: %+v",
+			serial.Runs, parallel.Runs)
+	}
+	if !reflect.DeepEqual(serial.Agg, parallel.Agg) {
+		t.Fatalf("aggregates differ:\nserial:   %+v\nparallel: %+v", serial.Agg, parallel.Agg)
+	}
+	// And a repeat parallel run reproduces itself.
+	again, err := (&Runner{Workers: 3}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parallel.Runs, again.Runs) {
+		t.Fatal("parallel runs are not reproducible")
+	}
+	// Seeds must actually matter: two different channel realizations
+	// should not be byte-identical.
+	if reflect.DeepEqual(serial.Runs[0].Flows, serial.Runs[1].Flows) {
+		t.Fatal("different seeds produced identical flow results")
+	}
+}
+
+// TestMixedVariantFairness regression-pins the twin-leaf w=7 paced-BBR
+// vs NewReno fairness question: both flows make progress and the Jain
+// index stays inside a tolerance band around the measured baseline.
+func TestMixedVariantFairness(t *testing.T) {
+	sr, err := (&Runner{}).Run(twinMixed(301, 302, 303))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range sr.Runs {
+		if len(run.Flows) != 2 {
+			t.Fatalf("seed %d: flows = %d", run.Seed, len(run.Flows))
+		}
+		for _, fl := range run.Flows {
+			if fl.GoodputKbps <= 0 {
+				t.Fatalf("seed %d: flow %s starved (%.2f kb/s)", run.Seed, fl.Label, fl.GoodputKbps)
+			}
+			if fl.WindowSegs != 7 {
+				t.Fatalf("flow %s window = %d segs, want 7", fl.Label, fl.WindowSegs)
+			}
+		}
+	}
+	// Tolerance band around the pinned baseline (measured at this
+	// schedule: jain_mean 0.972, jain_min 0.923 — pacing keeps the w=7
+	// twin-leaf fair, the ROADMAP's inter-variant fairness question).
+	// Drift below the band means one variant starves the other; use a
+	// generous floor so only real regressions trip it.
+	if sr.Agg.JainMean < 0.85 || sr.Agg.JainMean > 1.0001 {
+		t.Fatalf("mixed-variant Jain mean %.3f outside [0.85, 1.0] (baseline 0.972)", sr.Agg.JainMean)
+	}
+	if sr.Agg.JainMin < 0.80 {
+		t.Fatalf("mixed-variant Jain min %.3f < 0.80 (baseline 0.923)", sr.Agg.JainMin)
+	}
+}
+
+// TestExampleSpecRuns keeps the shipped example runnable: the JSON
+// parses, validates, and (shortened) produces two flows plus a Jain
+// index.
+func TestExampleSpecRuns(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", "twinleaf_mixed.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := ParseSpecs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	spec := specs[0]
+	if spec.Net.WindowSegs != 7 || len(spec.Flows) != 2 {
+		t.Fatalf("example drifted: %+v", spec)
+	}
+	spec.Warmup = Duration(5 * sim.Second)
+	spec.Duration = Duration(20 * sim.Second)
+	spec.Seeds = spec.Seeds[:1]
+	sr, err := (&Runner{}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := sr.Runs[0]
+	if run.Jain <= 0 || run.Jain > 1.0001 {
+		t.Fatalf("jain = %v", run.Jain)
+	}
+	if run.Flows[0].Variant != "bbr" || run.Flows[1].Variant != "newreno" {
+		t.Fatalf("variants = %s/%s", run.Flows[0].Variant, run.Flows[1].Variant)
+	}
+	// The other example file parses too.
+	data, err = os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", "chain_retrydelay.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs, err = ParseSpecs(data); err != nil || len(specs) != 2 {
+		t.Fatalf("chain_retrydelay: specs=%d err=%v", len(specs), err)
+	}
+}
+
+// TestPatterns exercises the onoff and anemometer traffic patterns and
+// the host endpoint on one chain.
+func TestPatterns(t *testing.T) {
+	mk := func(pattern string, f func(*FlowSpec)) *Spec {
+		fs := FlowSpec{From: NodeID(1), To: Host(), Variant: "newreno", Pattern: pattern}
+		if f != nil {
+			f(&fs)
+		}
+		return &Spec{
+			Name:     "pattern-" + pattern,
+			Topology: TopologySpec{Kind: TopoChain, Nodes: 2},
+			Flows:    []FlowSpec{fs},
+			Warmup:   Duration(5 * sim.Second),
+			Duration: Duration(30 * sim.Second),
+			Seeds:    []int64{7},
+		}
+	}
+	results, err := (&Runner{}).RunAll([]*Spec{
+		mk(PatternBulk, nil),
+		mk(PatternOnOff, func(f *FlowSpec) {
+			f.On = Duration(2 * sim.Second)
+			f.Off = Duration(2 * sim.Second)
+		}),
+		mk(PatternAnemometer, func(f *FlowSpec) { f.Batch = 4 }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk := results[0].Runs[0].Flows[0].GoodputKbps
+	onoff := results[1].Runs[0].Flows[0].GoodputKbps
+	anem := results[2].Runs[0].Flows[0].GoodputKbps
+	if bulk <= 0 || onoff <= 0 || anem <= 0 {
+		t.Fatalf("goodputs: bulk=%.1f onoff=%.1f anem=%.1f", bulk, onoff, anem)
+	}
+	// On-off idles half the time; the anemometer generates 82 B/s.
+	if onoff >= bulk*0.85 {
+		t.Fatalf("onoff %.1f kb/s not throttled vs bulk %.1f kb/s", onoff, bulk)
+	}
+	if anem > 2 {
+		t.Fatalf("anemometer %.1f kb/s, want ≈0.7 (1 Hz × 82 B readings)", anem)
+	}
+}
+
+// TestPerFlowWindowAndPacing pins the per-flow config threading: a w=8
+// flow outruns a w=1 flow on a clean one-hop link, and the pacing=false
+// knob reaches the connection config.
+func TestPerFlowWindowAndPacing(t *testing.T) {
+	mkWin := func(name string, w int) *Spec {
+		return &Spec{
+			Name:     name,
+			Topology: TopologySpec{Kind: TopoChain, Nodes: 2},
+			Flows:    []FlowSpec{{From: NodeID(1), To: NodeID(0), WindowSegs: w}},
+			Warmup:   Duration(5 * sim.Second),
+			Duration: Duration(30 * sim.Second),
+			Seeds:    []int64{11},
+		}
+	}
+	results, err := (&Runner{}).RunAll([]*Spec{mkWin("w1", 1), mkWin("w8", 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := results[0].Runs[0].Flows[0]
+	w8 := results[1].Runs[0].Flows[0]
+	if w1.WindowSegs != 1 || w8.WindowSegs != 8 {
+		t.Fatalf("windows = %d/%d, want 1/8", w1.WindowSegs, w8.WindowSegs)
+	}
+	if w8.GoodputKbps < w1.GoodputKbps*1.5 {
+		t.Fatalf("w=8 (%.1f kb/s) did not outrun w=1 (%.1f kb/s)", w8.GoodputKbps, w1.GoodputKbps)
+	}
+
+	off := false
+	spec := twinMixed(5)
+	spec.Flows[0].Pacing = &off
+	rc, err := buildRun(spec.withDefaults(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.flows[0].cfg.NoPacing {
+		t.Fatal("pacing=false did not set NoPacing on the flow config")
+	}
+	if rc.flows[1].cfg.NoPacing {
+		t.Fatal("NoPacing leaked onto the second flow")
+	}
+}
+
+// TestEmptyVariantKeepsDefault pins the -variant contract: a flow with
+// no variant inherits the process-wide default instead of collapsing to
+// NewReno through cc.Parse("").
+func TestEmptyVariantKeepsDefault(t *testing.T) {
+	old := stack.DefaultVariant
+	stack.DefaultVariant = cc.Cubic
+	defer func() { stack.DefaultVariant = old }()
+	spec := &Spec{
+		Name:     "default-variant",
+		Topology: TopologySpec{Kind: TopoChain, Nodes: 2},
+		Flows: []FlowSpec{
+			{From: NodeID(1), To: NodeID(0)},                     // inherits cubic
+			{From: NodeID(0), To: NodeID(1), Variant: "newreno"}, // explicit override
+		},
+		Warmup:   Duration(5 * sim.Second),
+		Duration: Duration(5 * sim.Second),
+		Seeds:    []int64{3},
+	}
+	sr, err := (&Runner{Workers: 1}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sr.Runs[0].Flows[0].Variant; v != "cubic" {
+		t.Fatalf("defaulted flow variant = %q, want cubic", v)
+	}
+	if v := sr.Runs[0].Flows[1].Variant; v != "newreno" {
+		t.Fatalf("explicit flow variant = %q, want newreno", v)
+	}
+}
+
+// TestSleepyNodeRole checks the duty-cycle role: the flow runs uplink
+// from the leaf, so FlowResult.RadioDC reports the leaf's radio — which
+// must collapse once the NodeSpec makes it sleepy, while an always-on
+// leaf idles at 100%.
+func TestSleepyNodeRole(t *testing.T) {
+	mk := func(name string, sleepy bool) *Spec {
+		s := &Spec{
+			Name:     name,
+			Topology: TopologySpec{Kind: TopoChain, Nodes: 2},
+			Flows: []FlowSpec{{
+				From: NodeID(1), To: NodeID(0),
+				Pattern: PatternAnemometer, Interval: Duration(2 * sim.Second),
+			}},
+			Warmup:   Duration(5 * sim.Second),
+			Duration: Duration(60 * sim.Second),
+			Seeds:    []int64{21},
+		}
+		if sleepy {
+			s.Nodes = []NodeSpec{{
+				ID: 1, Sleepy: true,
+				SleepInterval: Duration(500 * sim.Millisecond),
+			}}
+		}
+		return s
+	}
+	results, err := (&Runner{}).RunAll([]*Spec{mk("awake", false), mk("sleepy", true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awake := results[0].Runs[0].Flows[0]
+	sleepy := results[1].Runs[0].Flows[0]
+	if awake.GoodputKbps <= 0 || sleepy.GoodputKbps <= 0 {
+		t.Fatalf("goodputs: awake=%.2f sleepy=%.2f", awake.GoodputKbps, sleepy.GoodputKbps)
+	}
+	if awake.RadioDC < 0.95 {
+		t.Fatalf("always-on leaf duty cycle = %.2f%%, want ≈100%%", awake.RadioDC*100)
+	}
+	if sleepy.RadioDC > awake.RadioDC*0.5 {
+		t.Fatalf("sleepy leaf duty cycle %.2f%% did not collapse (always-on %.2f%%)",
+			sleepy.RadioDC*100, awake.RadioDC*100)
+	}
+}
+
+func TestOutputFormats(t *testing.T) {
+	sr, err := (&Runner{}).Run(twinMixed(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, []*SpecResult{sr}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	// Header + 2 seeds × 2 flows.
+	if len(lines) != 1+4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csvBuf.String())
+	}
+	if !strings.HasPrefix(lines[0], "scenario,seed,flow,variant") {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+	var jsonBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf, []*SpecResult{sr}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []*SpecResult
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || len(decoded[0].Runs) != 2 {
+		t.Fatalf("json round trip: %+v", decoded)
+	}
+	if s := sr.Summary(); !strings.Contains(s, "jain") || !strings.Contains(s, "bbr") {
+		t.Fatalf("summary missing fields:\n%s", s)
+	}
+}

@@ -1,0 +1,413 @@
+// Package scenario is the declarative multi-flow experiment subsystem:
+// a Spec names a topology, link conditions, per-node duty-cycle roles,
+// and per-flow transport configuration (congestion-control variant,
+// window, pacing, application pattern); a Runner instantiates every
+// (spec, seed) pair onto the sim/phy/mac/stack layers, fans the runs
+// out across a worker pool — each seed's engine is independent, so
+// parallelism is deterministic — and aggregates per-flow goodput,
+// retransmissions, RTT, energy duty cycle, and Jain's fairness index.
+//
+// Specs are JSON-serializable, so a sweep is data, not a bespoke
+// driver: cmd/tcplp-bench's -scenario mode runs a spec file, and the
+// ccvariants/pacing/table9 experiments are thin spec builders over the
+// same machinery.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"tcplp/internal/sim"
+	"tcplp/internal/tcplp/cc"
+)
+
+// Duration is a sim.Duration that marshals as a Go duration string
+// ("90s", "250ms"); bare JSON numbers are read as seconds.
+type Duration sim.Duration
+
+// D returns the underlying simulation duration.
+func (d Duration) D() sim.Duration { return sim.Duration(d) }
+
+// MarshalJSON renders the duration as a string like "1.5s".
+func (d Duration) MarshalJSON() ([]byte, error) {
+	td := time.Duration(int64(d) * int64(time.Microsecond))
+	return json.Marshal(td.String())
+}
+
+// UnmarshalJSON accepts "90s"/"250ms" strings or numbers (seconds).
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		td, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %v", s, err)
+		}
+		*d = Duration(td / time.Microsecond)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return fmt.Errorf("scenario: duration must be a string like \"90s\" or a number of seconds: %s", b)
+	}
+	*d = Duration(secs * float64(sim.Second))
+	return nil
+}
+
+// NodeRef names a flow endpoint: a mesh node id, or the wired cloud
+// host behind the border router.
+type NodeRef struct {
+	Host bool
+	ID   int
+}
+
+// NodeID returns a reference to mesh node id.
+func NodeID(id int) NodeRef { return NodeRef{ID: id} }
+
+// Host returns a reference to the wired cloud host.
+func Host() NodeRef { return NodeRef{Host: true} }
+
+func (r NodeRef) String() string {
+	if r.Host {
+		return "host"
+	}
+	return strconv.Itoa(r.ID)
+}
+
+// MarshalJSON renders the reference as a number or "host".
+func (r NodeRef) MarshalJSON() ([]byte, error) {
+	if r.Host {
+		return json.Marshal("host")
+	}
+	return json.Marshal(r.ID)
+}
+
+// UnmarshalJSON accepts a node id or the string "host".
+func (r *NodeRef) UnmarshalJSON(b []byte) error {
+	var id int
+	if err := json.Unmarshal(b, &id); err == nil {
+		*r = NodeRef{ID: id}
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil && s == "host" {
+		*r = NodeRef{Host: true}
+		return nil
+	}
+	return fmt.Errorf("scenario: node reference must be a node id or \"host\": %s", b)
+}
+
+// Topology kinds.
+const (
+	TopoChain    = "chain"    // n nodes on a line, hidden-terminal ranges (§7.1)
+	TopoStar     = "star"     // n-1 nodes around the border router
+	TopoOffice   = "office"   // the 15-node Fig. 3 office testbed stand-in
+	TopoTwinLeaf = "twinleaf" // Table 9: a relay path ending in two leaves
+)
+
+// TopologySpec selects and parameterizes the mesh layout.
+type TopologySpec struct {
+	// Kind is one of chain, star, office, twinleaf.
+	Kind string `json:"kind"`
+	// Nodes is the node count for chain/star (ignored otherwise).
+	Nodes int `json:"nodes,omitempty"`
+	// PathHops is the twinleaf relay-path length in hops.
+	PathHops int `json:"path_hops,omitempty"`
+	// Spacing is the inter-node distance (default 10).
+	Spacing float64 `json:"spacing,omitempty"`
+}
+
+// NetSpec sets network-wide knobs: link conditions, segment sizing, the
+// default window, queueing, and RED/ECN at relays.
+type NetSpec struct {
+	// PER is a uniform per-frame corruption probability on every link.
+	PER float64 `json:"per,omitempty"`
+	// RetryDelay overrides the paper's link-retry delay d (§7.1);
+	// unset keeps the 40 ms default, "0s" disables it (hidden-terminal
+	// conditions).
+	RetryDelay *Duration `json:"retry_delay,omitempty"`
+	// SegFrames is the TCP MSS in 802.15.4 frames (default 5).
+	SegFrames int `json:"seg_frames,omitempty"`
+	// WindowSegs is the default per-flow window in segments (default 4);
+	// individual flows may override it.
+	WindowSegs int `json:"window_segs,omitempty"`
+	// QueueCap bounds each node's datagram transmit queue.
+	QueueCap int `json:"queue_cap,omitempty"`
+	// RED/ECN enable random early detection (and marking) at relays;
+	// HopByHop selects whole-packet reassembly at relays, which RED
+	// requires to see packets (Appendix A).
+	RED      bool `json:"red,omitempty"`
+	ECN      bool `json:"ecn,omitempty"`
+	HopByHop bool `json:"hop_by_hop,omitempty"`
+	// WireDelay is the one-way border↔host latency (default 6 ms).
+	WireDelay Duration `json:"wire_delay,omitempty"`
+	// AttachHost forces the wired cloud host even when no flow names it.
+	AttachHost bool `json:"attach_host,omitempty"`
+}
+
+// NodeSpec assigns a duty-cycle role to one mesh node.
+type NodeSpec struct {
+	ID int `json:"id"`
+	// Sleepy converts the node into a duty-cycled leaf polling its
+	// parent (§3.2 / §9.2).
+	Sleepy bool `json:"sleepy,omitempty"`
+	// SleepInterval is the base data-request period (default 4 min).
+	SleepInterval Duration `json:"sleep_interval,omitempty"`
+	// FastInterval is the poll period while a transport response is
+	// expected; unset keeps the 100 ms default, "0s" disables fast
+	// polling (Appendix C conditions).
+	FastInterval *Duration `json:"fast_interval,omitempty"`
+	// Adaptive enables the Trickle-controlled interval of Appendix C.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// NoFastPollHint detaches the TCP expecting-data hint from the
+	// sleep controller (the §9.2 refinement off).
+	NoFastPollHint bool `json:"no_fast_poll_hint,omitempty"`
+}
+
+// Traffic patterns.
+const (
+	PatternBulk       = "bulk"       // saturating stream (default)
+	PatternOnOff      = "onoff"      // bulk during on-periods, idle between
+	PatternAnemometer = "anemometer" // §3 sensor: periodic readings, optional batching
+)
+
+// FlowSpec is one TCP flow: endpoints, transport configuration, and the
+// application traffic pattern driving it.
+type FlowSpec struct {
+	// Label names the flow in results (default "from->to").
+	Label string  `json:"label,omitempty"`
+	From  NodeRef `json:"from"`
+	To    NodeRef `json:"to"`
+	// Port is the sink's listening port (default 80+index).
+	Port uint16 `json:"port,omitempty"`
+	// Variant is the congestion-control algorithm (newreno, cubic,
+	// westwood, bbr); empty uses the process default.
+	Variant string `json:"variant,omitempty"`
+	// WindowSegs overrides the network window for this flow, in
+	// segments, applied to both the sender's buffers and the sink's
+	// advertised window.
+	WindowSegs int `json:"window_segs,omitempty"`
+	// Pacing forces pacing off when set to false; unset (null) leaves
+	// the variant's own behaviour (BBR paces, loss-based variants are
+	// ACK-clocked). True is only meaningful for pacing-capable variants.
+	Pacing *bool `json:"pacing,omitempty"`
+	// Pattern is bulk (default), onoff, or anemometer.
+	Pattern string `json:"pattern,omitempty"`
+	// On/Off are the onoff pattern's period lengths. Omitting both
+	// selects the 5s/5s default; setting one honors the other as given,
+	// so "off": "0s" with an explicit on-period means continuous
+	// sending.
+	On  Duration `json:"on,omitempty"`
+	Off Duration `json:"off,omitempty"`
+	// Interval is the anemometer sampling period; 0 selects the 1s
+	// default (a zero sampling period is meaningless).
+	Interval Duration `json:"interval,omitempty"`
+	// Batch is the anemometer batching threshold in readings (0 sends
+	// each reading immediately).
+	Batch int `json:"batch,omitempty"`
+}
+
+// Spec is one declarative scenario: a topology, link conditions, node
+// roles, flows, a measurement schedule, and the seeds to run.
+type Spec struct {
+	Name     string       `json:"name"`
+	Topology TopologySpec `json:"topology"`
+	Net      NetSpec      `json:"net,omitempty"`
+	Nodes    []NodeSpec   `json:"nodes,omitempty"`
+	Flows    []FlowSpec   `json:"flows"`
+	// Warmup runs before the measurement window opens; 0 (or omitted)
+	// measures from t=0.
+	Warmup Duration `json:"warmup,omitempty"`
+	// Duration is the measurement window; 0 selects the 60s default (a
+	// zero-length window is meaningless).
+	Duration Duration `json:"duration,omitempty"`
+	// Seeds lists the independent channel realizations to run
+	// (default [1]).
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// ParseSpecs decodes a JSON spec file holding either one spec object or
+// an array of specs, and validates each. The form is decided by the
+// first byte so a decode error inside an array surfaces as itself, not
+// as a misleading object-decode failure.
+func ParseSpecs(data []byte) ([]*Spec, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var many []*Spec
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := json.Unmarshal(data, &many); err != nil {
+			return nil, fmt.Errorf("scenario: bad spec array: %v", err)
+		}
+	} else {
+		var one Spec
+		if err := json.Unmarshal(data, &one); err != nil {
+			return nil, fmt.Errorf("scenario: bad spec: %v", err)
+		}
+		many = []*Spec{&one}
+	}
+	for _, s := range many {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return many, nil
+}
+
+// nodeCount returns the mesh node count the topology will instantiate.
+func (t TopologySpec) nodeCount() int {
+	switch t.Kind {
+	case TopoChain, TopoStar:
+		return t.Nodes
+	case TopoOffice:
+		return 15
+	case TopoTwinLeaf:
+		return t.PathHops + 2
+	}
+	return 0
+}
+
+// Validate checks the spec for structural errors — unknown kinds,
+// out-of-range node ids, bad variants — so a Runner never panics
+// mid-simulation on a malformed file.
+func (s *Spec) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	switch s.Topology.Kind {
+	case TopoChain, TopoStar:
+		if s.Topology.Nodes < 2 {
+			return bad("topology %s needs nodes >= 2", s.Topology.Kind)
+		}
+	case TopoOffice:
+	case TopoTwinLeaf:
+		if s.Topology.PathHops < 1 {
+			return bad("topology twinleaf needs path_hops >= 1")
+		}
+	default:
+		return bad("unknown topology kind %q (have chain, star, office, twinleaf)", s.Topology.Kind)
+	}
+	n := s.Topology.nodeCount()
+	if len(s.Flows) == 0 {
+		return bad("no flows")
+	}
+	checkRef := func(r NodeRef) error {
+		if r.Host {
+			return nil
+		}
+		if r.ID < 0 || r.ID >= n {
+			return bad("node %d out of range (topology has %d nodes)", r.ID, n)
+		}
+		return nil
+	}
+	sinks := map[string]int{} // "to:port" → flow index
+	for i, f := range s.Flows {
+		if err := checkRef(f.From); err != nil {
+			return err
+		}
+		if err := checkRef(f.To); err != nil {
+			return err
+		}
+		if f.From == f.To {
+			return bad("flow %d: from == to (%s)", i, f.From)
+		}
+		if f.From.Host && f.To.Host {
+			return bad("flow %d: both endpoints are the host", i)
+		}
+		if _, err := cc.Parse(f.Variant); err != nil {
+			return bad("flow %d: %v", i, err)
+		}
+		switch f.Pattern {
+		case "", PatternBulk, PatternOnOff, PatternAnemometer:
+		default:
+			return bad("flow %d: unknown pattern %q (have bulk, onoff, anemometer)", i, f.Pattern)
+		}
+		if f.WindowSegs < 0 {
+			return bad("flow %d: negative window_segs", i)
+		}
+		if f.On < 0 || f.Off < 0 || f.Interval < 0 {
+			return bad("flow %d: negative on/off/interval", i)
+		}
+		// Two flows listening on the same node:port would silently
+		// replace each other's sink (tcplp.Stack.Listen keeps the last
+		// listener), crediting one flow with both streams.
+		port := int(f.Port)
+		if port == 0 {
+			port = 80 + i // the default withDefaults will assign
+		}
+		key := fmt.Sprintf("%s:%d", f.To, port)
+		if prev, dup := sinks[key]; dup {
+			return bad("flows %d and %d share sink %s", prev, i, key)
+		}
+		sinks[key] = i
+	}
+	for _, ns := range s.Nodes {
+		if ns.ID <= 0 || ns.ID >= n {
+			return bad("node spec id %d out of range (1..%d)", ns.ID, n-1)
+		}
+		if ns.SleepInterval < 0 || (ns.FastInterval != nil && *ns.FastInterval < 0) {
+			return bad("node %d: negative sleep/fast interval", ns.ID)
+		}
+	}
+	if s.Net.PER < 0 || s.Net.PER >= 1 {
+		return bad("per %v out of range [0,1)", s.Net.PER)
+	}
+	if s.Net.RetryDelay != nil && *s.Net.RetryDelay < 0 {
+		return bad("negative retry_delay")
+	}
+	if s.Net.WireDelay < 0 {
+		return bad("negative wire_delay")
+	}
+	if s.Duration < 0 || s.Warmup < 0 {
+		return bad("negative duration")
+	}
+	return nil
+}
+
+// withDefaults returns a copy of the spec with defaults applied:
+// measurement schedule, seeds, flow labels and ports. A zero warmup is
+// honored (measure from t=0); zero values are only replaced where zero
+// is meaningless (duration, interval, both onoff periods omitted).
+func (s *Spec) withDefaults() *Spec {
+	out := *s
+	if out.Duration == 0 {
+		out.Duration = Duration(60 * sim.Second)
+	}
+	if len(out.Seeds) == 0 {
+		out.Seeds = []int64{1}
+	}
+	out.Flows = append([]FlowSpec(nil), s.Flows...)
+	for i := range out.Flows {
+		f := &out.Flows[i]
+		if f.Port == 0 {
+			f.Port = uint16(80 + i)
+		}
+		if f.Label == "" {
+			f.Label = fmt.Sprintf("%s->%s", f.From, f.To)
+		}
+		if f.Pattern == "" {
+			f.Pattern = PatternBulk
+		}
+		if f.Pattern == PatternOnOff && f.On == 0 && f.Off == 0 {
+			f.On = Duration(5 * sim.Second)
+			f.Off = Duration(5 * sim.Second)
+		}
+		if f.Pattern == PatternAnemometer && f.Interval == 0 {
+			f.Interval = Duration(sim.Second)
+		}
+	}
+	return &out
+}
+
+// needsHost reports whether the wired cloud host must be attached.
+func (s *Spec) needsHost() bool {
+	if s.Net.AttachHost {
+		return true
+	}
+	for _, f := range s.Flows {
+		if f.From.Host || f.To.Host {
+			return true
+		}
+	}
+	return false
+}

@@ -22,6 +22,12 @@ const HostID = 999
 // run under the chosen variant.
 var DefaultVariant = cc.NewReno
 
+// DefaultWindowSegs is the send/receive window DefaultOptions seeds, in
+// segments (the paper's standard is 4). cmd/tcplp-bench's -window flag
+// overrides it process-wide so variant head-to-heads can run at larger
+// windows (≥ 8 segments) without touching each experiment.
+var DefaultWindowSegs = 4
+
 // Options configures a simulated network.
 type Options struct {
 	// MAC holds the CSMA/ARQ parameters, including the §7.1 link-retry
@@ -67,7 +73,7 @@ func DefaultOptions() Options {
 		MAC:        mac.DefaultParams(),
 		TCP:        tcp,
 		SegFrames:  5,
-		WindowSegs: 4,
+		WindowSegs: DefaultWindowSegs,
 		QueueCap:   32,
 		WireDelay:  6 * sim.Millisecond,
 	}
@@ -197,6 +203,24 @@ func DerivedTCPConfig(opt Options, base tcplp.Config) tcplp.Config {
 	cfg.SendBufSize = windowSegs * info.MSS
 	cfg.RecvBufSize = windowSegs * info.MSS
 	cfg.UseECN = opt.ECN
+	return cfg
+}
+
+// FlowTCPConfig derives a per-flow TCP configuration: the network's
+// option set with the window (in segments) and congestion-control
+// variant overridden. A windowSegs of 0 keeps the network's window; an
+// empty variant keeps the network default. Use it with
+// tcplp.Stack.ConnectConfig / Listener.ConfigFor to mix variants and
+// window sizes between flows of one mesh.
+func (net *Network) FlowTCPConfig(v cc.Variant, windowSegs int) tcplp.Config {
+	opt := net.Opt
+	if windowSegs > 0 {
+		opt.WindowSegs = windowSegs
+	}
+	cfg := DerivedTCPConfig(opt, opt.TCP)
+	if v != "" {
+		cfg.Variant = v
+	}
 	return cfg
 }
 

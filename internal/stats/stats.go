@@ -62,6 +62,24 @@ func (s *Sample) Min() float64 { return s.Quantile(0) }
 // Max returns the largest observation.
 func (s *Sample) Max() float64 { return s.Quantile(1) }
 
+// JainIndex returns Jain's fairness index (Σx)² / (n·Σx²) for the given
+// allocations: 1.0 when all shares are equal, approaching 1/n as one
+// flow starves the rest. An empty or all-zero input returns 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // StdDev returns the population standard deviation.
 func (s *Sample) StdDev() float64 {
 	if len(s.xs) == 0 {

@@ -41,6 +41,26 @@ func TestQuantiles(t *testing.T) {
 	}
 }
 
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex(nil); j != 0 {
+		t.Fatalf("empty = %v", j)
+	}
+	if j := JainIndex([]float64{0, 0}); j != 0 {
+		t.Fatalf("all-zero = %v", j)
+	}
+	if j := JainIndex([]float64{5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares = %v", j)
+	}
+	// One flow takes everything: index falls to 1/n.
+	if j := JainIndex([]float64{10, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("starved = %v", j)
+	}
+	// 2:1 split of two flows: (3)²/(2·5) = 0.9.
+	if j := JainIndex([]float64{2, 1}); math.Abs(j-0.9) > 1e-12 {
+		t.Fatalf("2:1 = %v", j)
+	}
+}
+
 // Property: quantiles are monotone in q and bounded by min/max.
 func TestQuickQuantileMonotone(t *testing.T) {
 	f := func(seed int64, n uint8) bool {

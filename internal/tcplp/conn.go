@@ -82,6 +82,10 @@ type Config struct {
 	// Variant selects the congestion-control algorithm
 	// (internal/tcplp/cc); empty selects NewReno.
 	Variant cc.Variant
+	// NoPacing forces ACK-clocked sending even when the variant
+	// implements cc.Pacer — the per-flow pacing on/off knob of the
+	// scenario subsystem.
+	NoPacing bool
 }
 
 // DefaultConfig mirrors the paper's standard configuration: MSS of five

@@ -20,8 +20,12 @@ func (c *Conn) effMSS() int {
 
 // pacingRate returns the variant's current pacing rate in bytes per
 // second, or 0 when the algorithm is ACK-clocked (does not implement
-// cc.Pacer) or has no rate yet.
+// cc.Pacer), pacing is disabled by configuration, or there is no rate
+// yet.
 func (c *Conn) pacingRate() float64 {
+	if c.cfg.NoPacing {
+		return 0
+	}
 	p, ok := c.cong.(cc.Pacer)
 	if !ok {
 		return 0
