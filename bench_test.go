@@ -27,7 +27,7 @@ import (
 
 // benchScale keeps per-iteration simulated time modest; the cmd runs the
 // full-scale versions.
-const benchScale = experiments.Scale(0.1)
+var benchScale = experiments.Opts{Scale: 0.1}
 
 // cellF extracts a numeric cell from a table for metric reporting.
 func cellF(tab *experiments.Table, row, col int) float64 {
@@ -116,7 +116,7 @@ func BenchmarkHopSweep(b *testing.B) {
 
 func BenchmarkTable9Fairness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.Table9(experiments.Scale(0.05))
+		tab := experiments.Table9(experiments.Opts{Scale: 0.05})
 		b.ReportMetric(cellF(tab, 0, 3), "jain_1hop_w4")
 		b.ReportMetric(cellF(tab, 3, 3), "jain_3hop_w7_red")
 	}
@@ -124,7 +124,7 @@ func BenchmarkTable9Fairness(b *testing.B) {
 
 func BenchmarkFig8Batching(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.Fig8(experiments.Scale(0.08))
+		tab := experiments.Fig8(experiments.Opts{Scale: 0.08})
 		b.ReportMetric(cellF(tab, 4, 3), "radio_dc_pct_tcp_nobatch")
 		b.ReportMetric(cellF(tab, 5, 3), "radio_dc_pct_tcp_batch")
 	}
@@ -132,7 +132,7 @@ func BenchmarkFig8Batching(b *testing.B) {
 
 func BenchmarkFig9Loss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tabs := experiments.Fig9(experiments.Scale(0.05))
+		tabs := experiments.Fig9(experiments.Opts{Scale: 0.05})
 		rel := tabs[0]
 		last := len(rel.Rows) - 1
 		b.ReportMetric(cellF(rel, last, 1), "rel_pct_tcp_21loss")
@@ -142,7 +142,7 @@ func BenchmarkFig9Loss(b *testing.B) {
 
 func BenchmarkFig10Diurnal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.Fig10(experiments.Scale(0.05))
+		tab := experiments.Fig10(experiments.Opts{Scale: 0.05})
 		if len(tab.Rows) == 0 {
 			b.Fatal("no hourly rows")
 		}
@@ -152,7 +152,7 @@ func BenchmarkFig10Diurnal(b *testing.B) {
 
 func BenchmarkTable8FullDay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.Table8(experiments.Scale(0.02))
+		tab := experiments.Table8(experiments.Opts{Scale: 0.02})
 		b.ReportMetric(cellF(tab, 0, 1), "rel_pct_tcplp")
 		b.ReportMetric(cellF(tab, 0, 2), "radio_dc_pct_tcplp")
 	}
@@ -160,7 +160,7 @@ func BenchmarkTable8FullDay(b *testing.B) {
 
 func BenchmarkFig12Sleep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.Fig12(experiments.Scale(0.1))
+		tab := experiments.Fig12(experiments.Opts{Scale: 0.1})
 		b.ReportMetric(cellF(tab, 0, 1), "kbps_up_20ms")
 		b.ReportMetric(cellF(tab, len(tab.Rows)-1, 1), "kbps_up_2s")
 	}
@@ -168,14 +168,14 @@ func BenchmarkFig12Sleep(b *testing.B) {
 
 func BenchmarkFig13RTTDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.Fig13(experiments.Scale(0.1))
+		tab := experiments.Fig13(experiments.Opts{Scale: 0.1})
 		b.ReportMetric(cellF(tab, 0, 2), "rtt_ms_up_median")
 	}
 }
 
 func BenchmarkCCVariants(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.CCVariants(experiments.Scale(0.05))
+		tab := experiments.CCVariants(experiments.Opts{Scale: 0.05})
 		// Rows: 4 loss rates × cc.Variants(); report the clean channel
 		// and the 6% frame-loss point per variant.
 		last := len(tab.Rows) - len(cc.Variants())
@@ -189,7 +189,7 @@ func BenchmarkCCVariants(b *testing.B) {
 
 func BenchmarkPacing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.Pacing(experiments.Scale(0.1))
+		tab := experiments.Pacing(experiments.Opts{Scale: 0.1})
 		// Rows: {hidden-terminal, duty-cycled} × {newreno, bbr}.
 		b.ReportMetric(cellF(tab, 0, 2), "kbps_newreno_hidden")
 		b.ReportMetric(cellF(tab, 1, 2), "kbps_bbr_hidden")
@@ -200,7 +200,7 @@ func BenchmarkPacing(b *testing.B) {
 
 func BenchmarkFig14Adaptive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.Fig14(experiments.Scale(0.2))
+		tab := experiments.Fig14(experiments.Opts{Scale: 0.2})
 		b.ReportMetric(cellF(tab, 0, 1), "kbps_up_adaptive")
 		b.ReportMetric(cellF(tab, 0, 3), "idle_dc_pct")
 	}

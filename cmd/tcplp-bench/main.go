@@ -1,19 +1,26 @@
 // Command tcplp-bench reproduces the paper's tables and figures and
 // runs declarative multi-flow scenarios. Each experiment id corresponds
 // to one table or figure of the evaluation; "all" runs the complete
-// set. A scenario file describes topology, link conditions, node roles,
-// and per-flow transport configuration; the runner fans its (spec,
-// seed) pairs out across a worker pool and reports per-flow goodput,
-// retransmissions, RTT, energy duty cycle, and Jain's fairness index.
+// set. Every simulating experiment executes through the scenario
+// runner, so -workers parallelizes its (spec, seed) grid without
+// changing a single cell (serial and parallel aggregates are
+// bit-identical) and -seeds N runs every measurement point over N
+// independent channel realizations, rendered as mean ± σ.
+//
+// A scenario file describes topology, link conditions, node roles,
+// per-flow transport configuration, and optionally a sweep block that
+// expands the spec into a cartesian grid of cells.
 //
 // Usage:
 //
 //	tcplp-bench -list
 //	tcplp-bench -exp fig4 [-scale 0.25] [-markdown]
+//	tcplp-bench -exp fig6 -workers 8 -seeds 5     # parallel, with error bars
 //	tcplp-bench -exp all -scale 0.1
 //	tcplp-bench -exp ccvariants -window 8
 //	tcplp-bench -scenario examples/scenarios/twinleaf_mixed.json
 //	tcplp-bench -scenario sweep.json -workers 8 -format csv > out.csv
+//	tcplp-bench -scenario spec.json -duration 5s -warmup 1s  # smoke run
 //
 // Scale 1.0 runs the full published durations (the fig10/table8 day-long
 // runs take a while); smaller scales shrink the measurement windows
@@ -24,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"tcplp/internal/experiments"
 	"tcplp/internal/scenario"
@@ -37,11 +45,14 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "duration scale factor (1.0 = full runs)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 		list     = flag.Bool("list", false, "list experiment ids")
-		variant  = flag.String("variant", "", "congestion-control variant for all experiments (newreno|cubic|westwood|bbr)")
+		variant  = flag.String("variant", "", "congestion-control variant for all experiments (newreno|cubic|westwood|bbr|vegas)")
 		window   = flag.Int("window", 0, "send/receive window in segments for all experiments (default 4)")
+		seeds    = flag.Int("seeds", 0, "independent seeds per measurement point (experiments: mean ± σ tables; scenarios: overrides the spec's seed list)")
+		workers  = flag.Int("workers", 0, "worker pool size for the scenario runner (0 = all CPUs)")
 		scenFile = flag.String("scenario", "", "run a JSON scenario spec file instead of an experiment")
-		workers  = flag.Int("workers", 0, "scenario worker pool size (0 = all CPUs)")
 		format   = flag.String("format", "summary", "scenario output: summary|csv|json")
+		durFlag  = flag.String("duration", "", "override every scenario spec's measurement window (e.g. 5s)")
+		warmFlag = flag.String("warmup", "", "override every scenario spec's warmup (e.g. 1s)")
 	)
 	flag.Parse()
 
@@ -62,6 +73,10 @@ func main() {
 		stack.DefaultWindowSegs = *window
 		fmt.Fprintf(os.Stderr, "window: %d segments\n", *window)
 	}
+	if *seeds < 0 {
+		fmt.Fprintln(os.Stderr, "-seeds must be >= 1 (omit or 0 for the single-seed default)")
+		os.Exit(1)
+	}
 
 	if *scenFile != "" {
 		// The experiment flags have no meaning for scenarios — a spec
@@ -71,8 +86,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-scenario cannot be combined with -exp/-scale/-markdown; set durations and seeds in the spec file")
 			os.Exit(1)
 		}
-		runScenario(*scenFile, *workers, *format)
+		runScenario(*scenFile, *workers, *seeds, *format, *durFlag, *warmFlag)
 		return
+	}
+	if *durFlag != "" || *warmFlag != "" {
+		fmt.Fprintln(os.Stderr, "-duration/-warmup only apply to -scenario; use -scale for experiments")
+		os.Exit(1)
 	}
 
 	if *list || *exp == "" {
@@ -86,12 +105,20 @@ func main() {
 		return
 	}
 
+	opts := experiments.Opts{
+		Scale:   experiments.Scale(*scale),
+		Seeds:   *seeds,
+		Workers: *workers,
+	}
 	run := func(e experiments.Experiment) {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Desc)
 		if e.SweepsVariants && *variant != "" {
 			fmt.Fprintf(os.Stderr, "note: %s sweeps all variants; -variant is ignored for it\n", e.ID)
 		}
-		for _, tab := range e.Run(experiments.Scale(*scale)) {
+		if *seeds > 1 && !e.MultiSeed {
+			fmt.Fprintf(os.Stderr, "note: %s does not run through the scenario runner; -seeds is ignored for it\n", e.ID)
+		}
+		for _, tab := range e.Run(opts) {
 			if *markdown {
 				fmt.Println(tab.Markdown())
 			} else {
@@ -114,9 +141,21 @@ func main() {
 	run(e)
 }
 
-// runScenario loads a spec file, fans it out across the worker pool,
-// and prints the results in the requested format.
-func runScenario(path string, workers int, format string) {
+// parseDur converts a -duration/-warmup override into a scenario
+// duration.
+func parseDur(flagName, s string) scenario.Duration {
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		fmt.Fprintf(os.Stderr, "bad -%s %q: want a Go duration like 5s\n", flagName, s)
+		os.Exit(1)
+	}
+	return scenario.Duration(d / time.Microsecond)
+}
+
+// runScenario loads a spec file, applies schedule/seed overrides,
+// expands sweeps, fans the cells out across the worker pool, and prints
+// the results in the requested format.
+func runScenario(path string, workers, seeds int, format, durOverride, warmOverride string) {
 	switch format {
 	case "summary", "csv", "json":
 	default:
@@ -135,16 +174,40 @@ func runScenario(path string, workers int, format string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	nRuns := 0
 	for _, s := range specs {
+		if durOverride != "" {
+			s.Duration = parseDur("duration", durOverride)
+		}
+		if warmOverride != "" {
+			s.Warmup = parseDur("warmup", warmOverride)
+		}
+		if seeds > 0 {
+			base := int64(1)
+			if len(s.Seeds) > 0 {
+				base = s.Seeds[0]
+			}
+			s.Seeds = make([]int64, seeds)
+			for i := range s.Seeds {
+				s.Seeds[i] = base + int64(i)
+			}
+		}
+	}
+	// Expand sweeps up front so the run count is honest; expansion is
+	// idempotent, so handing the cells to RunAll changes nothing.
+	var cells []*scenario.Spec
+	for _, s := range specs {
+		cells = append(cells, s.Expand()...)
+	}
+	nRuns := 0
+	for _, s := range cells {
 		n := len(s.Seeds)
 		if n == 0 {
 			n = 1
 		}
 		nRuns += n
 	}
-	fmt.Fprintf(os.Stderr, "running %d scenario(s), %d run(s)...\n", len(specs), nRuns)
-	results, err := (&scenario.Runner{Workers: workers}).RunAll(specs)
+	fmt.Fprintf(os.Stderr, "running %d scenario cell(s), %d run(s)...\n", len(cells), nRuns)
+	results, err := (&scenario.Runner{Workers: workers}).RunAll(cells)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

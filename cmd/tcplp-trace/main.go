@@ -19,8 +19,9 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "duration scale factor")
 	csv := flag.Bool("csv", false, "emit CSV (header + rows) on stdout, summary on stderr")
-	variant := flag.String("variant", "", "congestion-control variant (newreno|cubic|westwood|bbr)")
+	variant := flag.String("variant", "", "congestion-control variant (newreno|cubic|westwood|bbr|vegas)")
 	window := flag.Int("window", 0, "send/receive window in segments (default 4)")
+	workers := flag.Int("workers", 0, "scenario runner worker pool (0 = all CPUs)")
 	flag.Parse()
 
 	v, err := cc.Parse(*variant)
@@ -37,7 +38,10 @@ func main() {
 		stack.DefaultWindowSegs = *window
 	}
 
-	trace, summary := experiments.CwndTrace(experiments.Scale(*scale))
+	trace, summary := experiments.CwndTrace(experiments.Opts{
+		Scale:   experiments.Scale(*scale),
+		Workers: *workers,
+	})
 	if *csv {
 		fmt.Println("time_s,cwnd_bytes,ssthresh_bytes,variant")
 		for _, p := range trace {

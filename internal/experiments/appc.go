@@ -62,7 +62,8 @@ func dutyCycledFlow(seed int64, uplink bool, sleep sim.Duration, adaptive bool,
 
 // Fig12 sweeps a fixed sleep interval and reports TCP RTT and goodput in
 // both directions over the duty-cycled link.
-func Fig12(scale Scale) *Table {
+func Fig12(o Opts) *Table {
+	scale := o.scale()
 	t := &Table{
 		ID:      "fig12",
 		Title:   "TCP over a duty-cycled link: fixed sleep interval sweep",
@@ -84,7 +85,8 @@ func Fig12(scale Scale) *Table {
 
 // Fig13 reports the RTT distribution at a fixed two-second sleep
 // interval, uplink and downlink.
-func Fig13(scale Scale) *Table {
+func Fig13(o Opts) *Table {
+	scale := o.scale()
 	t := &Table{
 		ID:      "fig13",
 		Title:   "RTT distribution, duty-cycled link, 2 s sleep interval",
@@ -102,7 +104,8 @@ func Fig13(scale Scale) *Table {
 // Fig14 evaluates the Trickle-based adaptive sleep interval of Appendix
 // C.2: goodput with 6-segment buffers, and the idle duty cycle after
 // traffic stops.
-func Fig14(scale Scale) *Table {
+func Fig14(o Opts) *Table {
+	scale := o.scale()
 	t := &Table{
 		ID:      "fig14",
 		Title:   "Adaptive (Trickle) sleep interval: smin=20ms smax=5s, 6-segment buffers",

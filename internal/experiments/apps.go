@@ -228,7 +228,8 @@ func runAnemometer(cfg anemRun) anemResult {
 
 // Fig8 compares batching vs per-reading transmission for CoAP, CoCoA,
 // and TCPlp in favorable (night) conditions: radio and CPU duty cycles.
-func Fig8(scale Scale) *Table {
+func Fig8(o Opts) *Table {
+	scale := o.scale()
 	t := &Table{
 		ID:      "fig8",
 		Title:   "Effect of batching on power (favorable conditions)",
@@ -257,7 +258,8 @@ func Fig8(scale Scale) *Table {
 // Fig9 sweeps injected packet loss at the border router and reports
 // reliability, retransmissions, and duty cycles for the three reliable
 // protocols.
-func Fig9(scale Scale) []*Table {
+func Fig9(o Opts) []*Table {
+	scale := o.scale()
 	rel := &Table{ID: "fig9a", Title: "Reliability vs injected loss",
 		Columns: []string{"Loss", "TCPlp", "CoCoA", "CoAP"}}
 	rtx := &Table{ID: "fig9b", Title: "Transport retransmissions per 10 min vs injected loss",
@@ -294,7 +296,8 @@ func Fig9(scale Scale) []*Table {
 
 // Fig10 runs TCPlp and CoAP simultaneously for a full day under diurnal
 // interference and reports hourly radio duty cycles.
-func Fig10(scale Scale) *Table {
+func Fig10(o Opts) *Table {
+	scale := o.scale()
 	t := &Table{
 		ID:      "fig10",
 		Title:   "Hourly radio duty cycle over a day with diurnal interference",
@@ -330,7 +333,8 @@ func Fig10(scale Scale) *Table {
 
 // Table8 summarizes full-day performance including the unreliable
 // (nonconfirmable) baseline of §9.6.
-func Table8(scale Scale) *Table {
+func Table8(o Opts) *Table {
+	scale := o.scale()
 	t := &Table{
 		ID:      "table8",
 		Title:   "Full-day performance with interference",

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
 	"strconv"
 	"strings"
 	"testing"
@@ -9,13 +13,18 @@ import (
 	"tcplp/internal/tcplp/cc"
 )
 
-// cell parses a numeric table cell ("67.3", "4.2%", "12").
+// cell parses a numeric table cell ("67.3", "4.2%", "12", or the mean
+// of a multi-seed "67.3 ± 1.2" cell).
 func cell(t *testing.T, tab *Table, row, col int) float64 {
 	t.Helper()
 	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
 		t.Fatalf("%s: no cell (%d,%d)", tab.ID, row, col)
 	}
-	s := strings.TrimSuffix(tab.Rows[row][col], "%")
+	s := tab.Rows[row][col]
+	if mean, _, ok := strings.Cut(s, " ± "); ok {
+		s = mean
+	}
+	s = strings.TrimSuffix(s, "%")
 	s = strings.TrimSuffix(s, " ms")
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
@@ -24,7 +33,7 @@ func cell(t *testing.T, tab *Table, row, col int) float64 {
 	return v
 }
 
-const quick = Scale(0.15)
+var quick = Opts{Scale: 0.15}
 
 func TestStaticTables(t *testing.T) {
 	for _, f := range []func() *Table{Table1, Table2, Table34, Table5, Table6, ModelComparison} {
@@ -148,7 +157,7 @@ func TestHopSweepShape(t *testing.T) {
 }
 
 func TestTable9Shape(t *testing.T) {
-	tab := Table9(Scale(0.08))
+	tab := Table9(Opts{Scale: 0.08})
 	// w=4 rows: fair (Jain close to 1).
 	if j := cell(t, tab, 0, 3); j < 0.8 {
 		t.Fatalf("one-hop w=4 unfair: Jain %.3f", j)
@@ -176,7 +185,7 @@ func TestTable9Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	tab := Fig8(Scale(0.1))
+	tab := Fig8(Opts{Scale: 0.1})
 	if len(tab.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -197,7 +206,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	tab := Fig12(Scale(0.2))
+	tab := Fig12(Opts{Scale: 0.2})
 	gFast := cell(t, tab, 0, 1) // 20 ms
 	gSlow := cell(t, tab, len(tab.Rows)-1, 1)
 	if gFast < 5*gSlow {
@@ -211,7 +220,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
-	tab := Fig14(Scale(0.3))
+	tab := Fig14(Opts{Scale: 0.3})
 	up := cell(t, tab, 0, 1)
 	idle := cell(t, tab, 0, 3)
 	if up < 30 {
@@ -279,6 +288,69 @@ func TestPacingShape(t *testing.T) {
 	// Both scenarios appear.
 	if tab.Rows[0][0] == tab.Rows[2][0] {
 		t.Fatalf("scenarios not distinct: %v", tab.Rows[0][0])
+	}
+}
+
+// TestGoldenEquivalence pins the scenario-runner port of the throughput
+// experiments against the bespoke implementations they replaced: the
+// golden files under testdata were rendered by the pre-port measureFlow
+// paths at this exact scale and seeding, and the ported spec-driven
+// tables must reproduce them byte for byte.
+func TestGoldenEquivalence(t *testing.T) {
+	check := func(name string, tabs ...*Table) {
+		t.Helper()
+		want, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tab := range tabs {
+			b.WriteString(tab.String())
+		}
+		if got := b.String(); got != string(want) {
+			t.Errorf("%s: ported tables diverge from the bespoke implementation\n--- got ---\n%s--- want ---\n%s",
+				name, got, want)
+		}
+	}
+	check("equiv_fig4.txt", Fig4(quick))
+	check("equiv_fig5.txt", Fig5(quick))
+	check("equiv_fig6.txt", Fig6(quick)...)
+	check("equiv_hopsweep.txt", HopSweep(quick))
+	check("equiv_table7.txt", Table7(quick))
+}
+
+// TestFig6WorkersBitIdentical is the parallelization contract at the
+// experiment level: the same fig6 sweep through a serial and a wide
+// worker pool must render byte-identical tables.
+func TestFig6WorkersBitIdentical(t *testing.T) {
+	o := Opts{Scale: 0.05}
+	o.Workers = 1
+	serial := Fig6(o)
+	o.Workers = 4
+	parallel := Fig6(o)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial and parallel fig6 tables differ:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+// TestMultiSeedErrorBars pins the ± σ rendering: with Seeds > 1 every
+// measured cell carries an error bar and the mean still parses.
+func TestMultiSeedErrorBars(t *testing.T) {
+	tab := Fig5(Opts{Scale: 0.05, Seeds: 3, Workers: 4})
+	pm := regexp.MustCompile(`^\d+(\.\d+)? ± \d+(\.\d+)?$`)
+	for i, row := range tab.Rows {
+		if !pm.MatchString(row[2]) {
+			t.Fatalf("row %d goodput cell %q lacks the mean ± σ form", i, row[2])
+		}
+		if g := cell(t, tab, i, 2); g <= 0 {
+			t.Fatalf("row %d mean goodput %.1f", i, g)
+		}
+	}
+	// Single-seed runs keep plain point estimates.
+	tab = Fig5(Opts{Scale: 0.05})
+	if strings.Contains(tab.Rows[0][2], "±") {
+		t.Fatalf("single-seed cell %q carries an error bar", tab.Rows[0][2])
 	}
 }
 

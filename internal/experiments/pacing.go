@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"tcplp/internal/scenario"
 	"tcplp/internal/sim"
 	"tcplp/internal/tcplp/cc"
@@ -17,14 +15,14 @@ import (
 // §9.2). The channel realization is held fixed per scenario so rows
 // differ only by the algorithm; both scenarios are declarative specs
 // run by the scenario subsystem.
-func Pacing(scale Scale) *Table {
+func Pacing(o Opts) *Table {
 	t := &Table{
 		ID:    "pacing",
 		Title: "Send pacing: ACK-clocked NewReno vs paced BBR",
 		Columns: []string{"Scenario", "Variant", "Goodput kb/s", "Rtx",
 			"Timeouts", "SRTT ms"},
 	}
-	warm, dur := scale.dur(15*sim.Second), scale.dur(90*sim.Second)
+	warm, dur := o.scale().dur(15*sim.Second), o.scale().dur(90*sim.Second)
 	variants := []cc.Variant{cc.NewReno, cc.Bbr}
 	noRetryDelay := scenario.Duration(0)
 	noFastPoll := scenario.Duration(0)
@@ -42,7 +40,7 @@ func Pacing(scale Scale) *Table {
 			}},
 			Warmup:   scenario.Duration(warm),
 			Duration: scenario.Duration(dur),
-			Seeds:    []int64{960},
+			Seeds:    o.seeds(960),
 		})
 		labels = append(labels, "hidden terminal (3 hops, d=0)")
 	}
@@ -64,19 +62,19 @@ func Pacing(scale Scale) *Table {
 			}},
 			Warmup:   scenario.Duration(warm),
 			Duration: scenario.Duration(dur),
-			Seeds:    []int64{961},
+			Seeds:    o.seeds(961),
 		})
 		labels = append(labels, "duty-cycled leaf (250 ms sleep, downlink)")
 	}
 
-	results, err := (&scenario.Runner{}).RunAll(specs)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: pacing specs invalid: %v", err))
-	}
+	results := o.run(specs)
 	for i, sr := range results {
-		fl := sr.Runs[0].Flows[0]
-		t.AddRow(labels[i], fl.Variant, f1(fl.GoodputKbps),
-			du(fl.Timeouts+fl.FastRtx), du(fl.Timeouts), f1(fl.SRTTms))
+		variant := sr.Runs[0].Flows[0].Variant
+		t.AddRow(labels[i], variant,
+			seriesCell(flowSeries(sr, 0, goodputOf), f1),
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts + f.FastRtx) }), f0),
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts) }), f0),
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
 	}
 	t.Note("paced BBR releases at most 2 segments back-to-back (pinned by the transfer-test gap assertion); ACK-clocked variants emit full window trains")
 	return t

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"tcplp/internal/model"
+	"tcplp/internal/scenario"
 	"tcplp/internal/sim"
 )
 
@@ -33,8 +36,58 @@ func ModelComparison() *Table {
 	return t
 }
 
+// Opts configures an experiment run: the duration scale, the number of
+// independent seeds per measurement point, and the scenario worker
+// pool. The zero value means full-scale, single-seed, all CPUs.
+type Opts struct {
+	// Scale shrinks measurement windows proportionally (0 means 1.0 —
+	// the full published durations).
+	Scale Scale
+	// Seeds is the number of independent channel realizations per
+	// measurement point (0 means 1); above 1, scenario-backed tables
+	// render mean ± σ cells.
+	Seeds int
+	// Workers bounds the scenario runner's worker pool (0 = all CPUs).
+	// Aggregates are bit-identical whatever the pool size.
+	Workers int
+}
+
+// scale returns the effective duration scale.
+func (o Opts) scale() Scale {
+	if o.Scale == 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// seeds derives the seed list for a measurement point: the point's base
+// seed first (so single-seed runs reproduce the pinned tables exactly),
+// then widely spaced derived seeds.
+func (o Opts) seeds(base int64) []int64 {
+	n := o.Seeds
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)*99991
+	}
+	return out
+}
+
+// run fans specs out across the scenario runner's worker pool. The
+// specs are built by the experiments themselves, so a validation error
+// is a programming bug, not an input error.
+func (o Opts) run(specs []*scenario.Spec) []*scenario.SpecResult {
+	res, err := (&scenario.Runner{Workers: o.Workers}).RunAll(specs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: invalid spec: %v", err))
+	}
+	return res
+}
+
 // Runner produces one or more tables for an experiment id.
-type Runner func(Scale) []*Table
+type Runner func(Opts) []*Table
 
 // Experiment couples an id with its runner.
 type Experiment struct {
@@ -44,14 +97,17 @@ type Experiment struct {
 	// SweepsVariants marks runners that compare congestion-control
 	// variants internally and therefore ignore the process-wide default.
 	SweepsVariants bool
+	// MultiSeed marks runners that execute through the scenario runner
+	// and therefore honor Opts.Seeds/Workers (mean ± σ tables).
+	MultiSeed bool
 }
 
-func one(f func(Scale) *Table) Runner {
-	return func(s Scale) []*Table { return []*Table{f(s)} }
+func one(f func(Opts) *Table) Runner {
+	return func(o Opts) []*Table { return []*Table{f(o)} }
 }
 
 func static(f func() *Table) Runner {
-	return func(Scale) []*Table { return []*Table{f()} }
+	return func(Opts) []*Table { return []*Table{f()} }
 }
 
 // Registry lists every reproducible table and figure.
@@ -61,17 +117,17 @@ var Registry = []Experiment{
 	{ID: "table34", Desc: "Memory footprint (Tables 3-4)", Run: static(Table34)},
 	{ID: "table5", Desc: "Link comparison (Table 5)", Run: static(Table5)},
 	{ID: "table6", Desc: "Header overhead (Table 6)", Run: static(Table6)},
-	{ID: "fig4", Desc: "Goodput vs MSS (Fig. 4)", Run: one(Fig4)},
-	{ID: "fig5", Desc: "Goodput/RTT vs window (Fig. 5)", Run: one(Fig5)},
-	{ID: "table7", Desc: "Baseline stack comparison (Table 7)", Run: one(Table7)},
-	{ID: "fig6", Desc: "Link-retry delay sweep incl. Fig. 7b (Fig. 6)", Run: Fig6},
-	{ID: "fig7a", Desc: "cwnd behaviour summary (Fig. 7a)", Run: func(s Scale) []*Table {
-		_, t := CwndTrace(s)
+	{ID: "fig4", Desc: "Goodput vs MSS (Fig. 4)", Run: one(Fig4), MultiSeed: true},
+	{ID: "fig5", Desc: "Goodput/RTT vs window (Fig. 5)", Run: one(Fig5), MultiSeed: true},
+	{ID: "table7", Desc: "Baseline stack comparison (Table 7)", Run: one(Table7), MultiSeed: true},
+	{ID: "fig6", Desc: "Link-retry delay sweep incl. Fig. 7b (Fig. 6)", Run: Fig6, MultiSeed: true},
+	{ID: "fig7a", Desc: "cwnd behaviour summary (Fig. 7a)", Run: func(o Opts) []*Table {
+		_, t := CwndTrace(o)
 		return []*Table{t}
 	}},
-	{ID: "hopsweep", Desc: "Goodput vs hops (§7.2)", Run: one(HopSweep)},
+	{ID: "hopsweep", Desc: "Goodput vs hops (§7.2)", Run: one(HopSweep), MultiSeed: true},
 	{ID: "model", Desc: "Eq.1 vs Eq.2 (§8)", Run: static(ModelComparison)},
-	{ID: "table9", Desc: "Two-flow fairness (Table 9 / Appendix A)", Run: one(Table9)},
+	{ID: "table9", Desc: "Two-flow fairness (Table 9 / Appendix A)", Run: one(Table9), MultiSeed: true},
 	{ID: "fig8", Desc: "Batching vs power (Fig. 8)", Run: one(Fig8)},
 	{ID: "fig9", Desc: "Injected loss sweep (Fig. 9)", Run: Fig9},
 	{ID: "fig10", Desc: "Diurnal day run (Fig. 10)", Run: one(Fig10)},
@@ -80,9 +136,9 @@ var Registry = []Experiment{
 	{ID: "fig13", Desc: "RTT distribution at 2 s sleep (Fig. 13)", Run: one(Fig13)},
 	{ID: "fig14", Desc: "Adaptive sleep interval (Fig. 14 / §C.2)", Run: one(Fig14)},
 	{ID: "ccvariants", Desc: "Congestion-control head-to-head, PER + link-retry-delay axes",
-		Run: one(CCVariants), SweepsVariants: true},
+		Run: one(CCVariants), SweepsVariants: true, MultiSeed: true},
 	{ID: "pacing", Desc: "Paced BBR vs ACK-clocked NewReno (hidden-terminal + duty-cycled)",
-		Run: one(Pacing), SweepsVariants: true},
+		Run: one(Pacing), SweepsVariants: true, MultiSeed: true},
 }
 
 // Find returns the experiment with the given id.

@@ -8,6 +8,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"tcplp/internal/scenario"
+	"tcplp/internal/stats"
 )
 
 // Table is one experiment's result set.
@@ -88,6 +91,42 @@ func (t *Table) Markdown() string {
 func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
 func di(v int) string      { return fmt.Sprintf("%d", v) }
 func du(v uint64) string   { return fmt.Sprintf("%d", v) }
+
+// seriesCell renders one table cell from per-seed observations: a
+// single observation stays the plain point estimate, several render as
+// "mean ± σ" using the given point formatter — so multi-seed tables
+// carry their error bars instead of silently showing point estimates.
+func seriesCell(xs []float64, f func(float64) string) string {
+	mean, sd := stats.MeanStdDev(xs)
+	if len(xs) < 2 {
+		return f(mean)
+	}
+	return f(mean) + " ± " + f(sd)
+}
+
+// flowSeries collects one per-seed metric of flow fi across a spec's
+// runs, in seed order.
+func flowSeries(sr *scenario.SpecResult, fi int, f func(scenario.FlowResult) float64) []float64 {
+	out := make([]float64, len(sr.Runs))
+	for i, run := range sr.Runs {
+		out[i] = f(run.Flows[fi])
+	}
+	return out
+}
+
+// runSeries collects one per-seed run-level metric across a spec's
+// runs, in seed order.
+func runSeries(sr *scenario.SpecResult, f func(scenario.Result) float64) []float64 {
+	out := make([]float64, len(sr.Runs))
+	for i, run := range sr.Runs {
+		out[i] = f(run)
+	}
+	return out
+}
+
+// goodputOf is the most common flow metric selector.
+func goodputOf(f scenario.FlowResult) float64 { return f.GoodputKbps }

@@ -2,15 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
-	"tcplp/internal/app"
-	"tcplp/internal/mesh"
 	"tcplp/internal/model"
 	"tcplp/internal/scenario"
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
-	"tcplp/internal/stats"
-	"tcplp/internal/tcplp"
 	"tcplp/internal/uip"
 )
 
@@ -26,79 +23,78 @@ func (s Scale) dur(d sim.Duration) sim.Duration {
 	return out
 }
 
-// flowResult summarizes one measured bulk flow.
-type flowResult struct {
-	GoodputKbps float64
-	SegLoss     float64 // fraction of data segments retransmitted
-	SRTT        sim.Duration
-	MedianRTT   sim.Duration
-	Timeouts    uint64
-	FastRtx     uint64
-	FramesSent  uint64
+// Every simulating experiment below is a declarative scenario spec (or
+// sweep of specs) fanned out by scenario.Runner plus a renderer over
+// the per-seed results: one engine-instantiation path, one aggregation
+// path, one output path. Multi-seed runs (Opts.Seeds > 1) render
+// mean ± σ cells; the worker pool only changes wall-clock time, never
+// the tables.
+
+// msDur converts a milliseconds measurement back to a duration without
+// losing the underlying microsecond count to float rounding.
+func msDur(ms float64) sim.Duration { return sim.Duration(math.Round(ms * 1000)) }
+
+// segLoss computes the paper's segment-loss metric for a single-flow
+// run: in-network datagram losses (link failures, queue drops,
+// reassembly timeouts — losses not masked by link retries) over the
+// data segments the sender put on the wire. Counting TCP
+// retransmissions instead would inflate it with spurious RTOs.
+func segLoss(run scenario.Result) float64 {
+	fl := run.Flows[0]
+	dataSegs := float64(fl.SentBytes) / float64(fl.MSS)
+	if dataSegs <= 0 {
+		return 0
+	}
+	p := float64(run.LossEvents) / dataSegs
+	if p > 1 {
+		p = 1
+	}
+	return p
 }
 
-// measureFlow runs a bulk transfer from one endpoint to another and
-// measures over the post-warmup window.
-func measureFlow(net *stack.Network, from, to *stack.Node, warmup, dur sim.Duration) flowResult {
-	sink := app.ListenSink(to, 80)
-	src := app.StartBulk(from, to.Addr, 80)
-	var rtts stats.Sample
-	src.Conn.TraceRTT = func(s sim.Duration) { rtts.Add(float64(s)) }
-
-	net.Eng.RunFor(warmup)
-	sink.Mark()
-	statsBefore := src.Conn.Stats
-	framesBefore := net.TotalFramesSent()
-	lossBefore := net.TotalLossEvents()
-	net.Eng.RunFor(dur)
-
-	st := src.Conn.Stats
-	dataSegs := float64(st.BytesSent-statsBefore.BytesSent) / float64(net.Opt.TCP.MSS)
-	res := flowResult{
-		GoodputKbps: sink.GoodputKbps(),
-		SRTT:        src.Conn.SRTT(),
-		MedianRTT:   sim.Duration(rtts.Median()),
-		Timeouts:    st.Timeouts - statsBefore.Timeouts,
-		FastRtx:     st.FastRetransmits - statsBefore.FastRetransmits,
-		FramesSent:  net.TotalFramesSent() - framesBefore,
+// eq2Pred is the Eq. 2 predicted goodput in kb/s for a single-flow run,
+// from the run's own RTT, window, and measured segment loss.
+func eq2Pred(run scenario.Result) float64 {
+	fl := run.Flows[0]
+	rtt := msDur(fl.SRTTms)
+	if rtt <= 0 {
+		rtt = msDur(fl.MedianRTTms)
 	}
-	if dataSegs > 0 {
-		// Segment loss counted from in-network datagram losses (link
-		// failures, queue drops, reassembly timeouts) — the paper's
-		// definition: losses not masked by link retries. Counting TCP
-		// retransmissions instead would inflate it with spurious RTOs.
-		res.SegLoss = float64(net.TotalLossEvents()-lossBefore) / dataSegs
-		if res.SegLoss > 1 {
-			res.SegLoss = 1
-		}
-	}
-	src.Stop()
-	return res
+	return model.TCPlpGoodput(fl.MSS, rtt, fl.WindowSegs, segLoss(run)) / 1000
 }
 
 // Fig4 sweeps the MSS from 2 to 8 frames over the Fig. 2 setup (mote ↔
 // border router ↔ wired host, one wireless hop) and reports uplink and
-// downlink goodput.
-func Fig4(scale Scale) *Table {
+// downlink goodput: one seg_frames-axis sweep spec per direction.
+func Fig4(o Opts) *Table {
 	t := &Table{
 		ID:      "fig4",
 		Title:   "Goodput vs maximum segment size (frames), one hop via border router",
 		Columns: []string{"MSS (frames)", "MSS (bytes)", "Uplink kb/s", "Downlink kb/s"},
 	}
-	warm, dur := scale.dur(10*sim.Second), scale.dur(60*sim.Second)
-	for frames := 2; frames <= 8; frames++ {
-		opt := stack.DefaultOptions()
-		opt.SegFrames = frames
-		run := func(up bool, seed int64) float64 {
-			net := stack.New(seed, mesh.Chain(2, 10), opt)
-			host := net.AttachHost()
-			if up {
-				return measureFlow(net, net.Nodes[1], host, warm, dur).GoodputKbps
-			}
-			return measureFlow(net, host, net.Nodes[1], warm, dur).GoodputKbps
+	warm, dur := o.scale().dur(10*sim.Second), o.scale().dur(60*sim.Second)
+	frames := []int{2, 3, 4, 5, 6, 7, 8}
+	mk := func(dir string, from, to scenario.NodeRef, seed int64) *scenario.Spec {
+		return &scenario.Spec{
+			Name:     "fig4-" + dir,
+			Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: 2},
+			Flows:    []scenario.FlowSpec{{From: from, To: to}},
+			Sweep:    &scenario.Sweep{SegFrames: frames},
+			Warmup:   scenario.Duration(warm),
+			Duration: scenario.Duration(dur),
+			Seeds:    o.seeds(seed),
 		}
-		info := stack.SegmentSizing(frames, true)
-		t.AddRow(di(frames), di(info.MSS), f1(run(true, 40)), f1(run(false, 41)))
+	}
+	res := o.run([]*scenario.Spec{
+		mk("up", scenario.NodeID(1), scenario.Host(), 40),
+		mk("down", scenario.Host(), scenario.NodeID(1), 41),
+	})
+	up, down := res[:len(frames)], res[len(frames):]
+	for i, fr := range frames {
+		info := stack.SegmentSizing(fr, true)
+		t.AddRow(di(fr), di(info.MSS),
+			seriesCell(flowSeries(up[i], 0, goodputOf), f1),
+			seriesCell(flowSeries(down[i], 0, goodputOf), f1))
 	}
 	t.Note("paper Fig. 4: poor goodput at small MSS from header overhead, diminishing gains past 5 frames")
 	return t
@@ -106,88 +102,78 @@ func Fig4(scale Scale) *Table {
 
 // Fig5 sweeps the send/receive buffer (window) size in segments and
 // reports downlink goodput and RTT (the paper's Fig. 5 measures the
-// downlink through the border router).
-func Fig5(scale Scale) *Table {
+// downlink through the border router): one window_segs-axis sweep.
+func Fig5(o Opts) *Table {
 	t := &Table{
 		ID:      "fig5",
 		Title:   "Goodput and RTT vs window (buffer) size, downlink",
 		Columns: []string{"Window (segs)", "Window (bytes)", "Goodput kb/s", "SRTT ms"},
 	}
-	warm, dur := scale.dur(10*sim.Second), scale.dur(60*sim.Second)
-	for segs := 1; segs <= 6; segs++ {
-		opt := stack.DefaultOptions()
-		opt.WindowSegs = segs
-		net := stack.New(int64(50+segs), mesh.Chain(2, 10), opt)
-		host := net.AttachHost()
-		res := measureFlow(net, host, net.Nodes[1], warm, dur)
-		t.AddRow(di(segs), di(segs*net.Opt.TCP.MSS), f1(res.GoodputKbps),
-			f1(res.SRTT.Milliseconds()))
+	warm, dur := o.scale().dur(10*sim.Second), o.scale().dur(60*sim.Second)
+	windows := []int{1, 2, 3, 4, 5, 6}
+	res := o.run([]*scenario.Spec{{
+		Name:     "fig5",
+		Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: 2},
+		Flows:    []scenario.FlowSpec{{From: scenario.Host(), To: scenario.NodeID(1)}},
+		Sweep:    &scenario.Sweep{WindowSegs: windows, SeedStep: 1},
+		Warmup:   scenario.Duration(warm),
+		Duration: scenario.Duration(dur),
+		Seeds:    o.seeds(51),
+	}})
+	for i, segs := range windows {
+		sr := res[i]
+		mss := sr.Runs[0].Flows[0].MSS
+		t.AddRow(di(segs), di(segs*mss),
+			seriesCell(flowSeries(sr, 0, goodputOf), f1),
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
 	}
 	t.Note("paper Fig. 5: goodput levels off once the window exceeds the ≈1.6 KiB bandwidth-delay product")
 	return t
 }
 
 // Table7 compares TCPlp against the simplified embedded stacks of prior
-// studies, one hop and three hops.
-func Table7(scale Scale) *Table {
+// studies, one hop and three hops: one spec per (profile, hop count),
+// using the per-flow stack-profile knob.
+func Table7(o Opts) *Table {
 	t := &Table{
 		ID:      "table7",
 		Title:   "Goodput of simplified stacks vs TCPlp",
 		Columns: []string{"Stack", "MSS", "Window", "1-hop kb/s", "3-hop kb/s"},
 	}
-	warm, dur := scale.dur(10*sim.Second), scale.dur(60*sim.Second)
-	run := func(cfg tcplp.Config, seed int64, hops int) float64 {
-		opt := stack.DefaultOptions()
-		opt.ExplicitTCP = true
-		opt.TCP = cfg
-		net := stack.New(seed, mesh.Chain(hops+1, 10), opt)
-		// The sender runs the profile under test; the sink runs full
-		// TCPlp (in prior studies the receiver was a gateway-class host),
-		// whose delayed ACKs penalize stop-and-wait stacks just as real
-		// deployments observed.
-		full := stack.DefaultOptions()
-		net.Nodes[0].SetTCPConfig(stack.DerivedTCPConfig(full, full.TCP))
-		return measureFlow(net, net.Nodes[hops], net.Nodes[0], warm, dur).GoodputKbps
+	warm, dur := o.scale().dur(10*sim.Second), o.scale().dur(60*sim.Second)
+	mk := func(name, profile string, hops int, seed int64) *scenario.Spec {
+		return &scenario.Spec{
+			Name:     name,
+			Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: hops + 1},
+			Flows: []scenario.FlowSpec{{
+				From: scenario.NodeID(hops), To: scenario.NodeID(0), Profile: profile,
+			}},
+			Warmup:   scenario.Duration(warm),
+			Duration: scenario.Duration(dur),
+			Seeds:    o.seeds(seed),
+		}
 	}
+	var specs []*scenario.Spec
 	for i, p := range uip.Profiles() {
-		cfg := p.Config()
-		t.AddRow(p.String(), fmt.Sprintf("%d frame(s)", p.SegFrames()), "1 seg",
-			f1(run(cfg, int64(60+i), 1)), f1(run(cfg, int64(70+i), 3)))
+		specs = append(specs,
+			mk("table7-"+p.Key()+"-1hop", p.Key(), 1, int64(60+i)),
+			mk("table7-"+p.Key()+"-3hop", p.Key(), 3, int64(70+i)))
 	}
-	opt := stack.DefaultOptions()
-	net := stack.New(80, mesh.Chain(2, 10), opt)
-	tcplpCfg := net.Opt.TCP
+	specs = append(specs,
+		mk("table7-tcplp-1hop", "", 1, 81),
+		mk("table7-tcplp-3hop", "", 3, 82))
+	res := o.run(specs)
+	for i, p := range uip.Profiles() {
+		t.AddRow(p.String(), fmt.Sprintf("%d frame(s)", p.SegFrames()), "1 seg",
+			seriesCell(flowSeries(res[2*i], 0, goodputOf), f1),
+			seriesCell(flowSeries(res[2*i+1], 0, goodputOf), f1))
+	}
+	n := len(res)
 	t.AddRow("TCPlp", "5 frames", "4 segs",
-		f1(run(tcplpCfg, 81, 1)), f1(run(tcplpCfg, 82, 3)))
+		seriesCell(flowSeries(res[n-2], 0, goodputOf), f1),
+		seriesCell(flowSeries(res[n-1], 0, goodputOf), f1))
 	t.Note("paper Table 7: uIP-class 1.5-15 kb/s one hop vs TCPlp ≈75 kb/s — a 5-40x gap")
 	return t
-}
-
-// fig6Point is one link-retry-delay measurement.
-type fig6Point struct {
-	d    sim.Duration
-	hops int
-	res  flowResult
-	pred float64
-}
-
-// fig6Sweep runs the §7.1 sweep for a hop count.
-func fig6Sweep(scale Scale, hops int, ds []sim.Duration) []fig6Point {
-	warm, dur := scale.dur(15*sim.Second), scale.dur(90*sim.Second)
-	var out []fig6Point
-	for i, d := range ds {
-		opt := stack.DefaultOptions()
-		opt.MAC.RetryDelayMax = d
-		net := stack.New(int64(100+10*hops+i), mesh.Chain(hops+1, 10), opt)
-		res := measureFlow(net, net.Nodes[hops], net.Nodes[0], warm, dur)
-		rtt := res.SRTT
-		if rtt <= 0 {
-			rtt = res.MedianRTT
-		}
-		pred := model.TCPlpGoodput(net.Opt.TCP.MSS, rtt, 4, res.SegLoss) / 1000
-		out = append(out, fig6Point{d: d, hops: hops, res: res, pred: pred})
-	}
-	return out
 }
 
 // DefaultRetryDelays is the Fig. 6 x-axis.
@@ -200,39 +186,60 @@ func DefaultRetryDelays() []sim.Duration {
 // Fig6 produces the four panels of Fig. 6 plus the Fig. 7b recovery
 // counts: the effect of the random link-retry delay d on loss, goodput
 // (with the Eq. 2 prediction), RTT, and total frames, for one and three
-// hops.
-func Fig6(scale Scale) []*Table {
+// hops. Both hop counts are retry_delay-axis sweeps fanned out in one
+// RunAll, so -workers parallelizes the whole figure.
+func Fig6(o Opts) []*Table {
 	ds := DefaultRetryDelays()
-	one := fig6Sweep(scale, 1, ds)
-	three := fig6Sweep(scale, 3, ds)
+	warm, dur := o.scale().dur(15*sim.Second), o.scale().dur(90*sim.Second)
+	axis := make([]scenario.Duration, len(ds))
+	for i, d := range ds {
+		axis[i] = scenario.Duration(d)
+	}
+	mk := func(hops int, seed int64) *scenario.Spec {
+		return &scenario.Spec{
+			Name:     fmt.Sprintf("fig6-%dhop", hops),
+			Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: hops + 1},
+			Flows:    []scenario.FlowSpec{{From: scenario.NodeID(hops), To: scenario.NodeID(0)}},
+			Sweep:    &scenario.Sweep{RetryDelay: axis, SeedStep: 1},
+			Warmup:   scenario.Duration(warm),
+			Duration: scenario.Duration(dur),
+			Seeds:    o.seeds(seed),
+		}
+	}
+	res := o.run([]*scenario.Spec{mk(1, 110), mk(3, 130)})
+	one, three := res[:len(ds)], res[len(ds):]
 
-	mk := func(id, title string, cols []string) *Table {
+	mkTab := func(id, title string, cols []string) *Table {
 		return &Table{ID: id, Title: title, Columns: cols}
 	}
-	t6a := mk("fig6a", "One hop: segment loss, goodput, predicted goodput vs max link-retry delay",
-		[]string{"d (ms)", "Seg loss", "Goodput kb/s", "Eq.2 pred kb/s"})
-	for _, p := range one {
-		t6a.AddRow(f1(p.d.Milliseconds()), pct(p.res.SegLoss), f1(p.res.GoodputKbps), f1(p.pred))
+	lossPanel := func(id, title string, cells []*scenario.SpecResult) *Table {
+		tab := mkTab(id, title, []string{"d (ms)", "Seg loss", "Goodput kb/s", "Eq.2 pred kb/s"})
+		for i, sr := range cells {
+			tab.AddRow(f1(ds[i].Milliseconds()),
+				seriesCell(runSeries(sr, segLoss), pct),
+				seriesCell(flowSeries(sr, 0, goodputOf), f1),
+				seriesCell(runSeries(sr, eq2Pred), f1))
+		}
+		return tab
 	}
-	t6b := mk("fig6b", "Three hops: segment loss, goodput, predicted goodput vs max link-retry delay",
-		[]string{"d (ms)", "Seg loss", "Goodput kb/s", "Eq.2 pred kb/s"})
-	for _, p := range three {
-		t6b.AddRow(f1(p.d.Milliseconds()), pct(p.res.SegLoss), f1(p.res.GoodputKbps), f1(p.pred))
-	}
-	t6c := mk("fig6c", "Three hops: round-trip time vs max link-retry delay",
+	t6a := lossPanel("fig6a", "One hop: segment loss, goodput, predicted goodput vs max link-retry delay", one)
+	t6b := lossPanel("fig6b", "Three hops: segment loss, goodput, predicted goodput vs max link-retry delay", three)
+	t6c := mkTab("fig6c", "Three hops: round-trip time vs max link-retry delay",
 		[]string{"d (ms)", "Median RTT ms", "SRTT ms"})
-	for _, p := range three {
-		t6c.AddRow(f1(p.d.Milliseconds()), f1(p.res.MedianRTT.Milliseconds()), f1(p.res.SRTT.Milliseconds()))
-	}
-	t6d := mk("fig6d", "Three hops: total frames transmitted vs max link-retry delay",
+	t6d := mkTab("fig6d", "Three hops: total frames transmitted vs max link-retry delay",
 		[]string{"d (ms)", "Frames"})
-	for _, p := range three {
-		t6d.AddRow(f1(p.d.Milliseconds()), du(p.res.FramesSent))
-	}
-	t7b := mk("fig7b", "Three hops: TCP loss recovery vs max link-retry delay",
+	t7b := mkTab("fig7b", "Three hops: TCP loss recovery vs max link-retry delay",
 		[]string{"d (ms)", "Timeouts", "Fast retransmissions"})
-	for _, p := range three {
-		t7b.AddRow(f1(p.d.Milliseconds()), du(p.res.Timeouts), du(p.res.FastRtx))
+	for i, sr := range three {
+		d := f1(ds[i].Milliseconds())
+		t6c.AddRow(d,
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.MedianRTTms }), f1),
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
+		t6d.AddRow(d,
+			seriesCell(runSeries(sr, func(r scenario.Result) float64 { return float64(r.FramesSent) }), f0))
+		t7b.AddRow(d,
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts) }), f0),
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.FastRtx) }), f0))
 	}
 	t6b.Note("paper: ≈6%% loss at d=0 from hidden terminals, <1%% by d=30 ms, yet goodput nearly flat — the §7.3 small-window robustness")
 	t6d.Note("paper Fig. 6d: larger d sends fewer total frames (fewer futile retries)")
@@ -247,25 +254,31 @@ type CwndTracePoint struct {
 }
 
 // CwndTrace reproduces Fig. 7a: the congestion window of a three-hop
-// flow with d = 0 (hidden-terminal losses) observed over an interval.
-func CwndTrace(scale Scale) ([]CwndTracePoint, *Table) {
-	opt := stack.DefaultOptions()
-	opt.MAC.RetryDelayMax = 0
-	net := stack.New(7, mesh.Chain(4, 10), opt)
-	sink := app.ListenSink(net.Nodes[0], 80)
-	src := app.StartBulk(net.Nodes[3], net.Nodes[0].Addr, 80)
-	var trace []CwndTracePoint
-	start := scale.dur(30 * sim.Second)
-	window := scale.dur(100 * sim.Second)
-	src.Conn.TraceCwnd = func(now sim.Time, cwnd, ssthresh int) {
-		if now >= sim.Time(start) {
-			trace = append(trace, CwndTracePoint{now, cwnd, ssthresh})
-		}
+// flow with d = 0 (hidden-terminal losses) observed over an interval —
+// a single traced-flow spec whose trajectory comes back in the flow
+// result.
+func CwndTrace(o Opts) ([]CwndTracePoint, *Table) {
+	start := o.scale().dur(30 * sim.Second)
+	window := o.scale().dur(100 * sim.Second)
+	noRetry := scenario.Duration(0)
+	run := o.run([]*scenario.Spec{{
+		Name:     "fig7a",
+		Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: 4},
+		Net:      scenario.NetSpec{RetryDelay: &noRetry},
+		Flows: []scenario.FlowSpec{{
+			From: scenario.NodeID(3), To: scenario.NodeID(0), Trace: true,
+		}},
+		Warmup:   scenario.Duration(start),
+		Duration: scenario.Duration(window),
+		Seeds:    []int64{7},
+	}})[0].Runs[0]
+	fl := run.Flows[0]
+	trace := make([]CwndTracePoint, len(fl.CwndTrace))
+	for i, p := range fl.CwndTrace {
+		trace[i] = CwndTracePoint{T: sim.Time(p.T), Cwnd: p.Cwnd, Ssthresh: p.Ssthresh}
 	}
-	net.Eng.RunUntil(sim.Time(start + window))
-	_ = sink
 
-	maxCwnd := 4 * net.Opt.TCP.MSS
+	maxCwnd := fl.WindowSegs * fl.MSS
 	atMax := 0
 	for _, p := range trace {
 		if p.Cwnd >= maxCwnd {
@@ -281,38 +294,64 @@ func CwndTrace(scale Scale) ([]CwndTracePoint, *Table) {
 	if len(trace) > 0 {
 		t.AddRow("samples at max window", pct(float64(atMax)/float64(len(trace))))
 	}
-	t.AddRow("timeouts", du(src.Conn.Stats.Timeouts))
-	t.AddRow("fast retransmissions", du(src.Conn.Stats.FastRetransmits))
+	t.AddRow("timeouts", du(fl.Timeouts))
+	t.AddRow("fast retransmissions", du(fl.FastRtx))
 	t.Note("paper Fig. 7a: cwnd recovers to the (4-segment) maximum almost immediately after every loss — no sawtooth")
 	return trace, t
 }
 
 // HopSweep reproduces the §7.2 hop-count measurement at d = 40 ms and
-// compares it with the B/min(h,3) radio-scheduling bound.
-func HopSweep(scale Scale) *Table {
+// compares it with the B/min(h,3) radio-scheduling bound: a hops-axis
+// sweep with an "end"-referenced sender, plus the paper's 4-hop outlier
+// cell (which needed a 6-segment window to fill the pipe).
+func HopSweep(o Opts) *Table {
 	t := &Table{
 		ID:      "hopsweep",
 		Title:   "Goodput vs hop count (d = 40 ms)",
 		Columns: []string{"Hops", "Goodput kb/s", "×1-hop", "Bound factor"},
 	}
-	warm, dur := scale.dur(15*sim.Second), scale.dur(90*sim.Second)
-	var oneHop float64
+	warm, dur := o.scale().dur(15*sim.Second), o.scale().dur(90*sim.Second)
+	res := o.run([]*scenario.Spec{
+		{
+			Name:     "hopsweep",
+			Topology: scenario.TopologySpec{Kind: scenario.TopoChain},
+			Flows:    []scenario.FlowSpec{{From: scenario.End(), To: scenario.NodeID(0)}},
+			Sweep:    &scenario.Sweep{Hops: []int{1, 2, 3}, SeedStep: 1},
+			Warmup:   scenario.Duration(warm),
+			Duration: scenario.Duration(dur),
+			Seeds:    o.seeds(201),
+		},
+		{
+			// §7.2: four hops needed a larger window to fill the pipe, so
+			// the last point is its own cell with a 6-segment window.
+			Name:     "hopsweep/hops=4",
+			Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: 5},
+			Net:      scenario.NetSpec{WindowSegs: 6},
+			Flows:    []scenario.FlowSpec{{From: scenario.NodeID(4), To: scenario.NodeID(0)}},
+			Warmup:   scenario.Duration(warm),
+			Duration: scenario.Duration(dur),
+			Seeds:    o.seeds(204),
+		},
+	})
+	var oneHop []float64
 	for hops := 1; hops <= 4; hops++ {
-		opt := stack.DefaultOptions()
-		if hops >= 4 {
-			// §7.2: four hops needed a larger window to fill the pipe.
-			opt.WindowSegs = 6
-		}
-		net := stack.New(int64(200+hops), mesh.Chain(hops+1, 10), opt)
-		res := measureFlow(net, net.Nodes[hops], net.Nodes[0], warm, dur)
+		g := flowSeries(res[hops-1], 0, goodputOf)
 		if hops == 1 {
-			oneHop = res.GoodputKbps
+			oneHop = g
 		}
-		ratio := 0.0
-		if oneHop > 0 {
-			ratio = res.GoodputKbps / oneHop
+		// Pair seed index k of this hop count with seed index k of the
+		// 1-hop cell. The cells run different channel realizations
+		// (SeedStep offsets them), so a multi-seed ±σ on this column is
+		// the spread of ratios of independent runs, not a
+		// common-random-number paired estimate.
+		ratios := make([]float64, len(g))
+		for i, v := range g {
+			if ref := oneHop[i%len(oneHop)]; ref > 0 {
+				ratios[i] = v / ref
+			}
 		}
-		t.AddRow(di(hops), f1(res.GoodputKbps), f2(ratio), f2(model.MultihopFactor(hops)))
+		t.AddRow(di(hops), seriesCell(g, f1), seriesCell(ratios, f2),
+			f2(model.MultihopFactor(hops)))
 	}
 	t.Note("paper §7.2: 64.1 / 28.3 / 19.5 / 17.5 kb/s for 1-4 hops, tracking B/min(h,3)")
 	return t
@@ -325,13 +364,13 @@ func HopSweep(scale Scale) *Table {
 // the same w=7 bottleneck with a paced BBR flow against NewReno. Each
 // row is a declarative twin-leaf scenario run by the scenario
 // subsystem, which computes the per-flow goodputs and the Jain index.
-func Table9(scale Scale) *Table {
+func Table9(o Opts) *Table {
 	t := &Table{
 		ID:      "table9",
 		Title:   "Two simultaneous flows: fairness and efficiency",
 		Columns: []string{"Scenario", "Flow A kb/s", "Flow B kb/s", "Jain index", "Aggregate kb/s"},
 	}
-	warm, dur := scale.dur(20*sim.Second), scale.dur(5*sim.Minute)
+	warm, dur := o.scale().dur(20*sim.Second), o.scale().dur(5*sim.Minute)
 	mk := func(name string, pathHops, windowSegs int, red bool, seed int64, variantA, variantB string) *scenario.Spec {
 		return &scenario.Spec{
 			Name:     name,
@@ -348,24 +387,22 @@ func Table9(scale Scale) *Table {
 			},
 			Warmup:   scenario.Duration(warm),
 			Duration: scenario.Duration(dur),
-			Seeds:    []int64{seed},
+			Seeds:    o.seeds(seed),
 		}
 	}
-	specs := []*scenario.Spec{
+	results := o.run([]*scenario.Spec{
 		mk("1 hop, w=4", 1, 4, false, 300, "", ""),
 		mk("3 hops, w=4", 3, 4, false, 301, "", ""),
 		mk("3 hops, w=7", 3, 7, false, 302, "", ""),
 		mk("3 hops, w=7, RED+ECN", 3, 7, true, 303, "", ""),
 		mk("3 hops, w=7, paced BBR vs NewReno", 3, 7, false, 304, "bbr", "newreno"),
-	}
-	results, err := (&scenario.Runner{}).RunAll(specs)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: table9 specs invalid: %v", err))
-	}
+	})
 	for _, sr := range results {
-		run := sr.Runs[0]
-		t.AddRow(sr.Spec.Name, f1(run.Flows[0].GoodputKbps), f1(run.Flows[1].GoodputKbps),
-			f3(run.Jain), f1(run.AggregateKbps))
+		t.AddRow(sr.Spec.Name,
+			seriesCell(flowSeries(sr, 0, goodputOf), f1),
+			seriesCell(flowSeries(sr, 1, goodputOf), f1),
+			seriesCell(runSeries(sr, func(r scenario.Result) float64 { return r.Jain }), f3),
+			seriesCell(runSeries(sr, func(r scenario.Result) float64 { return r.AggregateKbps }), f1))
 	}
 	t.Note("paper Table 9: fair at w=4; w=7 needs RED/ECN at relays to restore fairness and keep RTT low")
 	t.Note("the mixed row asks whether pacing alone fixes the w=7 unfairness without AQM at the relays")

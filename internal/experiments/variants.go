@@ -22,14 +22,14 @@ var ccVariantRetryDelays = []sim.Duration{0, 10 * sim.Millisecond,
 // loss-response policy suits which loss process, holding the scenario
 // fixed and varying only the algorithm. The whole sweep is a list of
 // declarative specs fanned out by the scenario runner.
-func CCVariants(scale Scale) *Table {
+func CCVariants(o Opts) *Table {
 	t := &Table{
 		ID:    "ccvariants",
 		Title: "Congestion-control variants, three hops: frame-loss and link-retry-delay sweeps",
 		Columns: []string{"Axis", "Variant", "Goodput kb/s",
 			"Timeouts", "Fast rtx", "SRTT ms"},
 	}
-	warm, dur := scale.dur(15*sim.Second), scale.dur(90*sim.Second)
+	warm, dur := o.scale().dur(15*sim.Second), o.scale().dur(90*sim.Second)
 	mkSpec := func(name string, v cc.Variant, per float64, retry *sim.Duration, seed int64) *scenario.Spec {
 		s := &scenario.Spec{
 			Name:     name,
@@ -40,7 +40,7 @@ func CCVariants(scale Scale) *Table {
 			}},
 			Warmup:   scenario.Duration(warm),
 			Duration: scenario.Duration(dur),
-			Seeds:    []int64{seed},
+			Seeds:    o.seeds(seed),
 		}
 		if retry != nil {
 			rd := scenario.Duration(*retry)
@@ -73,15 +73,14 @@ func CCVariants(scale Scale) *Table {
 			axes = append(axes, fmt.Sprintf("d=%.0fms", d.Milliseconds()))
 		}
 	}
-	results, err := (&scenario.Runner{}).RunAll(specs)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: ccvariants specs invalid: %v", err))
-	}
+	results := o.run(specs)
 	for i, sr := range results {
-		run := sr.Runs[0]
-		fl := run.Flows[0]
-		t.AddRow(axes[i], fl.Variant, f1(fl.GoodputKbps),
-			du(fl.Timeouts), du(fl.FastRtx), f1(fl.SRTTms))
+		variant := sr.Runs[0].Flows[0].Variant
+		t.AddRow(axes[i], variant,
+			seriesCell(flowSeries(sr, 0, goodputOf), f1),
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts) }), f0),
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.FastRtx) }), f0),
+			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
 	}
 	t.Note("with a 4-segment window the variants converge at low loss (§7.3 small-window robustness); they separate as corruption losses mount and the backoff policy starts to matter")
 	t.Note("the d-axis reproduces Fig. 6 conditions: at d=0 losses are hidden-terminal collisions, which retry-delay masks by d=40 ms")

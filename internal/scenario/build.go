@@ -10,6 +10,7 @@ import (
 	"tcplp/internal/stats"
 	"tcplp/internal/tcplp"
 	"tcplp/internal/tcplp/cc"
+	"tcplp/internal/uip"
 )
 
 // build translates TopologySpec into a mesh layout.
@@ -68,9 +69,10 @@ type flowRun struct {
 	conn *tcplp.Conn // the sender-side connection
 	bulk *app.Source // bulk/onoff sources (nil for anemometer)
 
-	cfg  tcplp.Config
-	rtts stats.Sample
-	base tcplp.ConnStats // sender stats at the measurement mark
+	cfg   tcplp.Config
+	rtts  stats.Sample
+	base  tcplp.ConnStats // sender stats at the measurement mark
+	trace []CwndPoint     // cwnd observations (Trace flows, post-warmup)
 }
 
 // runContext is one fully built (spec, seed) instance.
@@ -124,6 +126,9 @@ func (rc *runContext) resolve(r NodeRef) *stack.Node {
 	if r.Host {
 		return rc.net.Host
 	}
+	if r.End {
+		return rc.net.Nodes[len(rc.net.Nodes)-1]
+	}
 	return rc.net.Nodes[r.ID]
 }
 
@@ -162,6 +167,18 @@ func (rc *runContext) startFlow(fs FlowSpec) (*flowRun, error) {
 	if fs.From.Host {
 		srcCfg.SendBufSize = 64 * 1024
 	}
+	if fs.Profile != "" {
+		// Table 7 baselines: the sender runs the simplified-stack
+		// profile while the sink above keeps full TCPlp, whose delayed
+		// ACKs penalize stop-and-wait stacks just as real gateway-class
+		// receivers did.
+		p, err := uip.ParseProfile(fs.Profile)
+		if err != nil {
+			return nil, err // unreachable after Validate
+		}
+		srcCfg = p.Config()
+		fr.cfg = srcCfg
+	}
 	switch fs.Pattern {
 	case PatternBulk:
 		fr.bulk = app.StartBulkConfig(src, srcCfg, dst.Addr, fs.Port)
@@ -180,18 +197,30 @@ func (rc *runContext) startFlow(fs FlowSpec) (*flowRun, error) {
 	default:
 		return nil, fmt.Errorf("scenario: unvalidated pattern %q", fs.Pattern)
 	}
+	// RTT samples are collected over the connection's whole life — the
+	// estimator's full history, matching the paper's median-RTT plots —
+	// unlike the byte/energy counters, which cover only the post-warmup
+	// window.
+	fr.conn.TraceRTT = func(s sim.Duration) { fr.rtts.Add(float64(s)) }
 	return fr, nil
 }
 
 // mark opens the measurement window: sinks and counters snapshot their
-// baselines and the energy meters reset, so every metric covers only
-// the post-warmup window.
+// baselines, the energy meters reset, and traced flows start recording
+// their congestion window, so every windowed metric covers only the
+// post-warmup schedule.
 func (rc *runContext) mark() {
 	for _, fr := range rc.flows {
 		fr := fr // go 1.21: the loop variable is shared; the closure needs its own
 		fr.sink.Mark()
 		fr.base = fr.conn.Stats
-		fr.conn.TraceRTT = func(s sim.Duration) { fr.rtts.Add(float64(s)) }
+		if fr.spec.Trace {
+			fr.conn.TraceCwnd = func(now sim.Time, cwnd, ssthresh int) {
+				fr.trace = append(fr.trace, CwndPoint{
+					T: Duration(now), Cwnd: cwnd, Ssthresh: ssthresh,
+				})
+			}
+		}
 	}
 	for _, n := range rc.net.Nodes {
 		n.Radio.ResetEnergy()
@@ -219,14 +248,17 @@ func (rc *runContext) collect() Result {
 			Label:       fr.spec.Label,
 			Variant:     string(fr.cfg.Variant),
 			WindowSegs:  fr.cfg.RecvBufSize / fr.cfg.MSS,
+			MSS:         fr.cfg.MSS,
 			Pattern:     fr.spec.Pattern,
 			GoodputKbps: fr.sink.GoodputKbps(),
 			Bytes:       fr.sink.BytesSinceMark(),
+			SentBytes:   int(st.BytesSent - fr.base.BytesSent),
 			Retransmits: st.Retransmits - fr.base.Retransmits,
 			Timeouts:    st.Timeouts - fr.base.Timeouts,
 			FastRtx:     st.FastRetransmits - fr.base.FastRetransmits,
 			SRTTms:      fr.conn.SRTT().Milliseconds(),
 			MedianRTTms: sim.Duration(fr.rtts.Median()).Milliseconds(),
+			CwndTrace:   fr.trace,
 		}
 		if fr.src.Radio != nil {
 			fres.RadioDC = fr.src.Radio.DutyCycle()

@@ -12,7 +12,7 @@ import (
 // csvHeader lists the per-run flow columns emitted by WriteCSV.
 var csvHeader = []string{
 	"scenario", "seed", "flow", "variant", "window_segs", "pattern",
-	"goodput_kbps", "bytes", "retransmits", "timeouts", "fast_rtx",
+	"goodput_kbps", "bytes", "sent_bytes", "retransmits", "timeouts", "fast_rtx",
 	"srtt_ms", "median_rtt_ms", "radio_dc", "cpu_dc", "jain", "aggregate_kbps",
 }
 
@@ -31,7 +31,7 @@ func WriteCSV(w io.Writer, results []*SpecResult) error {
 				rec := []string{
 					run.Name, strconv.FormatInt(run.Seed, 10),
 					fl.Label, fl.Variant, strconv.Itoa(fl.WindowSegs), fl.Pattern,
-					f(fl.GoodputKbps), strconv.Itoa(fl.Bytes),
+					f(fl.GoodputKbps), strconv.Itoa(fl.Bytes), strconv.Itoa(fl.SentBytes),
 					u(fl.Retransmits), u(fl.Timeouts), u(fl.FastRtx),
 					f(fl.SRTTms), f(fl.MedianRTTms), f(fl.RadioDC), f(fl.CPUDC),
 					f(run.Jain), f(run.AggregateKbps),

@@ -1,20 +1,33 @@
 package scenario
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"tcplp/internal/stats"
 )
 
+// CwndPoint is one congestion-window observation of a traced flow.
+type CwndPoint struct {
+	T        Duration `json:"t"` // absolute simulation time
+	Cwnd     int      `json:"cwnd"`
+	Ssthresh int      `json:"ssthresh"`
+}
+
 // FlowResult is one flow's measurements over one run's window.
 type FlowResult struct {
 	Label       string  `json:"label"`
 	Variant     string  `json:"variant"`
 	WindowSegs  int     `json:"window_segs"`
+	MSS         int     `json:"mss"`
 	Pattern     string  `json:"pattern"`
 	GoodputKbps float64 `json:"goodput_kbps"`
 	Bytes       int     `json:"bytes"`
+	// SentBytes counts sender payload bytes over the window, including
+	// retransmissions — the denominator of the paper's segment-loss
+	// metric (losses / SentBytes·MSS⁻¹).
+	SentBytes   int     `json:"sent_bytes"`
 	Retransmits uint64  `json:"retransmits"`
 	Timeouts    uint64  `json:"timeouts"`
 	FastRtx     uint64  `json:"fast_rtx"`
@@ -22,6 +35,9 @@ type FlowResult struct {
 	MedianRTTms float64 `json:"median_rtt_ms"`
 	RadioDC     float64 `json:"radio_dc"`
 	CPUDC       float64 `json:"cpu_dc"`
+	// CwndTrace holds the flow's cwnd/ssthresh trajectory when the
+	// flow's Trace knob is set (Fig. 7a).
+	CwndTrace []CwndPoint `json:"cwnd_trace,omitempty"`
 }
 
 // Result is one (spec, seed) run: per-flow measurements plus the
@@ -76,8 +92,13 @@ type Runner struct {
 	Workers int
 }
 
-// Run executes one spec over its seed list.
+// Run executes one non-sweep spec over its seed list. A spec carrying a
+// sweep expands to many cells with one result each; use RunAll for it.
 func (r *Runner) Run(spec *Spec) (*SpecResult, error) {
+	if spec.Sweep != nil && !spec.Sweep.empty() {
+		return nil, fmt.Errorf("scenario %q: spec has a sweep (%d cells); use RunAll",
+			spec.Name, len(spec.Expand()))
+	}
 	out, err := r.RunAll([]*Spec{spec})
 	if err != nil {
 		return nil, err
@@ -85,17 +106,22 @@ func (r *Runner) Run(spec *Spec) (*SpecResult, error) {
 	return out[0], nil
 }
 
-// RunAll executes every (spec, seed) pair across the pool and returns
-// one SpecResult per spec, in input order.
+// RunAll expands every sweep, executes every (cell, seed) pair across
+// the pool, and returns one SpecResult per expanded cell, in input
+// order (a spec without a sweep is its own single cell).
 func (r *Runner) RunAll(specs []*Spec) ([]*SpecResult, error) {
-	type job struct{ si, ri int }
-	var jobs []job
-	out := make([]*SpecResult, len(specs))
-	defaulted := make([]*Spec, len(specs))
-	for si, s := range specs {
+	var cells []*Spec
+	for _, s := range specs {
 		if err := s.Validate(); err != nil {
 			return nil, err
 		}
+		cells = append(cells, s.Expand()...)
+	}
+	type job struct{ si, ri int }
+	var jobs []job
+	out := make([]*SpecResult, len(cells))
+	defaulted := make([]*Spec, len(cells))
+	for si, s := range cells {
 		defaulted[si] = s.withDefaults()
 		out[si] = &SpecResult{Spec: s, Runs: make([]Result, len(defaulted[si].Seeds))}
 		for ri := range defaulted[si].Seeds {

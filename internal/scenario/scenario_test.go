@@ -77,7 +77,8 @@ func TestValidateRejects(t *testing.T) {
 		{"no flows", func(s *Spec) { s.Flows = nil }, "no flows"},
 		{"node out of range", func(s *Spec) { s.Flows[0].From = NodeID(99) }, "out of range"},
 		{"self flow", func(s *Spec) { s.Flows[0].To = s.Flows[0].From }, "from == to"},
-		{"bad variant", func(s *Spec) { s.Flows[0].Variant = "vegas" }, "unknown variant"},
+		{"bad variant", func(s *Spec) { s.Flows[0].Variant = "tahoe" }, "unknown variant"},
+		{"bad profile", func(s *Spec) { s.Flows[0].Profile = "lwip" }, "unknown stack profile"},
 		{"bad pattern", func(s *Spec) { s.Flows[0].Pattern = "poisson" }, "unknown pattern"},
 		{"bad per", func(s *Spec) { s.Net.PER = 1.5 }, "out of range"},
 		{"border role", func(s *Spec) { s.Nodes = []NodeSpec{{ID: 0, Sleepy: true}} }, "out of range"},
@@ -105,6 +106,248 @@ func TestValidateRejects(t *testing.T) {
 	}
 	if err := twinMixed(1).Validate(); err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestSweepExpansion pins the cartesian expansion contract: axis order
+// (field order, last fastest), cell naming, Point coordinates, seed
+// stepping, and idempotence of expanded cells.
+func TestSweepExpansion(t *testing.T) {
+	spec := &Spec{
+		Name:     "grid",
+		Topology: TopologySpec{Kind: TopoChain},
+		Flows:    []FlowSpec{{From: End(), To: NodeID(0)}},
+		Seeds:    []int64{100, 200},
+		Sweep: &Sweep{
+			Hops:     []int{1, 3},
+			Variants: []string{"newreno", "bbr"},
+			SeedStep: 10,
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := spec.Expand()
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 2×2", len(cells))
+	}
+	wantNames := []string{
+		"grid/hops=1/cc=newreno", "grid/hops=1/cc=bbr",
+		"grid/hops=3/cc=newreno", "grid/hops=3/cc=bbr",
+	}
+	wantNodes := []int{2, 2, 4, 4}
+	for i, c := range cells {
+		if c.Name != wantNames[i] {
+			t.Fatalf("cell %d name = %q, want %q", i, c.Name, wantNames[i])
+		}
+		if c.Topology.Nodes != wantNodes[i] {
+			t.Fatalf("cell %d nodes = %d, want %d", i, c.Topology.Nodes, wantNodes[i])
+		}
+		if c.Sweep != nil {
+			t.Fatalf("cell %d kept its sweep block", i)
+		}
+		if len(c.Point) != 2 || c.Point[0].Axis != "hops" || c.Point[1].Axis != "cc" {
+			t.Fatalf("cell %d point = %+v", i, c.Point)
+		}
+		wantSeeds := []int64{100 + int64(i)*10, 200 + int64(i)*10}
+		if !reflect.DeepEqual(c.Seeds, wantSeeds) {
+			t.Fatalf("cell %d seeds = %v, want %v", i, c.Seeds, wantSeeds)
+		}
+		if c.Flows[0].Variant != c.Point[1].Value {
+			t.Fatalf("cell %d variant = %q, point %q", i, c.Flows[0].Variant, c.Point[1].Value)
+		}
+		// Expanded cells are fixed points.
+		if again := c.Expand(); len(again) != 1 || again[0] != c {
+			t.Fatalf("cell %d re-expanded to %d specs", i, len(again))
+		}
+	}
+	// The base spec is untouched by expansion.
+	if spec.Flows[0].Variant != "" || spec.Topology.Nodes != 0 || spec.Seeds[0] != 100 {
+		t.Fatalf("expansion mutated the base spec: %+v", spec)
+	}
+	// A sweep spec round-trips through JSON.
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpecs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed[0], spec) {
+		t.Fatalf("sweep round trip mismatch:\n  in:  %+v\n  out: %+v", spec, parsed[0])
+	}
+}
+
+// TestSweepValidate rejects malformed axes before anything runs.
+func TestSweepValidate(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name:     "sweep-bad",
+			Topology: TopologySpec{Kind: TopoChain, Nodes: 2},
+			Flows:    []FlowSpec{{From: NodeID(1), To: NodeID(0)}},
+		}
+	}
+	cases := []struct {
+		name  string
+		sweep Sweep
+		topo  string
+		want  string
+	}{
+		{"hops on star", Sweep{Hops: []int{2}}, TopoStar, "needs a chain or twinleaf"},
+		{"zero hops", Sweep{Hops: []int{0}}, "", "hops value 0"},
+		{"per out of range", Sweep{PER: []float64{1.5}}, "", "out of range"},
+		{"negative d", Sweep{RetryDelay: []Duration{Duration(-sim.Second)}}, "", "negative retry_delay"},
+		{"zero frames", Sweep{SegFrames: []int{0}}, "", "seg_frames value 0"},
+		{"zero window", Sweep{WindowSegs: []int{0}}, "", "window_segs value 0"},
+		{"bad variant", Sweep{Variants: []string{"tahoe"}}, "", "unknown variant"},
+	}
+	for _, c := range cases {
+		s := base()
+		if c.topo != "" {
+			s.Topology.Kind = c.topo
+			s.Topology.Nodes = 3
+		}
+		sw := c.sweep
+		s.Sweep = &sw
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+	// An invalid expanded cell is caught through the sweep path too: a
+	// flow endpoint beyond the smallest hop cell's node count.
+	s := base()
+	s.Sweep = &Sweep{Hops: []int{1, 3}}
+	s.Flows[0].From = NodeID(3) // valid at 3 hops, out of range at 1
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("invalid cell not caught: %v", err)
+	}
+	// The "end" reference fixes exactly that.
+	s.Flows[0].From = End()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunAllExpandsSweep runs a real sweep grid: one result per cell,
+// serial and parallel execution bit-identical, and the axis actually
+// applied (the retry-delay cells see different channels).
+func TestRunAllExpandsSweep(t *testing.T) {
+	spec := &Spec{
+		Name:     "sweep-run",
+		Topology: TopologySpec{Kind: TopoChain},
+		Flows:    []FlowSpec{{From: End(), To: NodeID(0)}},
+		Sweep: &Sweep{
+			Hops:       []int{1, 2},
+			RetryDelay: []Duration{0, Duration(40 * sim.Millisecond)},
+			SeedStep:   1,
+		},
+		Warmup:   Duration(5 * sim.Second),
+		Duration: Duration(20 * sim.Second),
+		Seeds:    []int64{9},
+	}
+	serial, err := (&Runner{Workers: 1}).RunAll([]*Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4 {
+		t.Fatalf("results = %d, want one per cell", len(serial))
+	}
+	parallel, err := (&Runner{Workers: 4}).RunAll([]*Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Runs, parallel[i].Runs) {
+			t.Fatalf("cell %d: serial and parallel differ", i)
+		}
+		if g := serial[i].Runs[0].Flows[0].GoodputKbps; g <= 0 {
+			t.Fatalf("cell %d (%s): goodput %.2f", i, serial[i].Spec.Name, g)
+		}
+	}
+	// Cell seeds stepped: cell i runs seed 9+i.
+	for i, sr := range serial {
+		if sr.Runs[0].Seed != int64(9+i) {
+			t.Fatalf("cell %d seed = %d, want %d", i, sr.Runs[0].Seed, 9+i)
+		}
+	}
+	// The hop axis binds: the 2-hop cells run slower than their 1-hop
+	// twins under the same retry delay.
+	if !(serial[0].Runs[0].Flows[0].GoodputKbps > serial[2].Runs[0].Flows[0].GoodputKbps) {
+		t.Fatalf("hop axis inert: 1-hop %.1f vs 2-hop %.1f",
+			serial[0].Runs[0].Flows[0].GoodputKbps, serial[2].Runs[0].Flows[0].GoodputKbps)
+	}
+	// Run() refuses a sweep spec instead of silently running one cell.
+	if _, err := (&Runner{}).Run(spec); err == nil || !strings.Contains(err.Error(), "use RunAll") {
+		t.Fatalf("Run accepted a sweep spec: %v", err)
+	}
+}
+
+// TestProfileFlow pins the Table 7 stack-profile knob: a uIP-profile
+// sender degenerates to stop-and-wait (window 1) and is massively
+// outrun by a full-TCPlp flow on the same channel realization.
+func TestProfileFlow(t *testing.T) {
+	mk := func(name, profile string) *Spec {
+		return &Spec{
+			Name:     name,
+			Topology: TopologySpec{Kind: TopoChain, Nodes: 2},
+			Flows:    []FlowSpec{{From: NodeID(1), To: NodeID(0), Profile: profile}},
+			Warmup:   Duration(5 * sim.Second),
+			Duration: Duration(30 * sim.Second),
+			Seeds:    []int64{31},
+		}
+	}
+	res, err := (&Runner{}).RunAll([]*Spec{mk("uip", "uip"), mk("full", "")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uipFlow := res[0].Runs[0].Flows[0]
+	full := res[1].Runs[0].Flows[0]
+	if uipFlow.WindowSegs != 1 {
+		t.Fatalf("uip window = %d segs, want 1 (stop-and-wait)", uipFlow.WindowSegs)
+	}
+	if uipFlow.GoodputKbps <= 0 {
+		t.Fatal("uip flow made no progress")
+	}
+	if full.GoodputKbps < 4*uipFlow.GoodputKbps {
+		t.Fatalf("full TCPlp %.1f kb/s not ≥4x uIP %.1f kb/s", full.GoodputKbps, uipFlow.GoodputKbps)
+	}
+}
+
+// TestTraceFlow pins the cwnd tap: a traced flow returns a post-warmup
+// trajectory, an untraced flow returns none, and samples respect the
+// warmup boundary.
+func TestTraceFlow(t *testing.T) {
+	spec := &Spec{
+		Name:     "trace",
+		Topology: TopologySpec{Kind: TopoChain, Nodes: 2},
+		Flows: []FlowSpec{
+			{From: NodeID(1), To: NodeID(0), Port: 80, Trace: true},
+			{From: NodeID(0), To: NodeID(1), Port: 81},
+		},
+		Warmup:   Duration(5 * sim.Second),
+		Duration: Duration(20 * sim.Second),
+		Seeds:    []int64{13},
+	}
+	sr, err := (&Runner{}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, plain := sr.Runs[0].Flows[0], sr.Runs[0].Flows[1]
+	if len(traced.CwndTrace) == 0 {
+		t.Fatal("traced flow recorded no cwnd points")
+	}
+	if len(plain.CwndTrace) != 0 {
+		t.Fatalf("untraced flow recorded %d cwnd points", len(plain.CwndTrace))
+	}
+	for _, p := range traced.CwndTrace {
+		if p.T.D() < 5*sim.Second {
+			t.Fatalf("trace point at %v predates the warmup boundary", p.T.D())
+		}
+		if p.Cwnd <= 0 {
+			t.Fatalf("trace point cwnd = %d", p.Cwnd)
+		}
 	}
 }
 
@@ -260,6 +503,59 @@ func TestExampleSpecRuns(t *testing.T) {
 	}
 	if specs, err = ParseSpecs(data); err != nil || len(specs) != 2 {
 		t.Fatalf("chain_retrydelay: specs=%d err=%v", len(specs), err)
+	}
+}
+
+// TestAllExampleSpecsLoad keeps every checked-in spec loadable: each
+// file under examples/scenarios parses, validates, and expands (CI
+// additionally runs them all at a short duration).
+func TestAllExampleSpecsLoad(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) < 4 {
+		t.Fatalf("example specs missing: %v (err %v)", files, err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, err := ParseSpecs(data)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for _, s := range specs {
+			if cells := s.Expand(); len(cells) == 0 {
+				t.Fatalf("%s: spec %q expanded to nothing", f, s.Name)
+			}
+		}
+	}
+	// And the sweep example actually runs shortened: one grid, one
+	// result per cell, every cell alive.
+	data, err := os.ReadFile(filepath.Join(dir, "fig6_sweep.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := ParseSpecs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		s.Warmup = Duration(2 * sim.Second)
+		s.Duration = Duration(5 * sim.Second)
+		s.Seeds = s.Seeds[:1]
+	}
+	res, err := (&Runner{Workers: 4}).RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 18 { // {1, 3} hops × 9 retry delays
+		t.Fatalf("fig6_sweep cells = %d, want 18", len(res))
+	}
+	for _, sr := range res {
+		if g := sr.Runs[0].Flows[0].GoodputKbps; g <= 0 {
+			t.Fatalf("cell %s: goodput %.2f", sr.Spec.Name, g)
+		}
 	}
 }
 

@@ -18,10 +18,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"tcplp/internal/sim"
 	"tcplp/internal/tcplp/cc"
+	"tcplp/internal/uip"
 )
 
 // Duration is a sim.Duration that marshals as a Go duration string
@@ -35,6 +37,11 @@ func (d Duration) D() sim.Duration { return sim.Duration(d) }
 func (d Duration) MarshalJSON() ([]byte, error) {
 	td := time.Duration(int64(d) * int64(time.Microsecond))
 	return json.Marshal(td.String())
+}
+
+// String renders the duration in Go syntax ("40ms", "1.5s").
+func (d Duration) String() string {
+	return (time.Duration(int64(d)) * time.Microsecond).String()
 }
 
 // UnmarshalJSON accepts "90s"/"250ms" strings or numbers (seconds).
@@ -56,10 +63,13 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// NodeRef names a flow endpoint: a mesh node id, or the wired cloud
-// host behind the border router.
+// NodeRef names a flow endpoint: a mesh node id, the wired cloud host
+// behind the border router, or "end" — the topology's last node, which
+// lets one sweep spec keep addressing the far end of a chain while a
+// hop-count axis regrows it.
 type NodeRef struct {
 	Host bool
+	End  bool
 	ID   int
 }
 
@@ -69,22 +79,29 @@ func NodeID(id int) NodeRef { return NodeRef{ID: id} }
 // Host returns a reference to the wired cloud host.
 func Host() NodeRef { return NodeRef{Host: true} }
 
+// End returns a reference to the topology's last node (a chain's far
+// end; resolved against whatever node count the cell expands to).
+func End() NodeRef { return NodeRef{End: true} }
+
 func (r NodeRef) String() string {
 	if r.Host {
 		return "host"
 	}
+	if r.End {
+		return "end"
+	}
 	return strconv.Itoa(r.ID)
 }
 
-// MarshalJSON renders the reference as a number or "host".
+// MarshalJSON renders the reference as a number, "host", or "end".
 func (r NodeRef) MarshalJSON() ([]byte, error) {
-	if r.Host {
-		return json.Marshal("host")
+	if r.Host || r.End {
+		return json.Marshal(r.String())
 	}
 	return json.Marshal(r.ID)
 }
 
-// UnmarshalJSON accepts a node id or the string "host".
+// UnmarshalJSON accepts a node id or the strings "host" / "end".
 func (r *NodeRef) UnmarshalJSON(b []byte) error {
 	var id int
 	if err := json.Unmarshal(b, &id); err == nil {
@@ -92,11 +109,17 @@ func (r *NodeRef) UnmarshalJSON(b []byte) error {
 		return nil
 	}
 	var s string
-	if err := json.Unmarshal(b, &s); err == nil && s == "host" {
-		*r = NodeRef{Host: true}
-		return nil
+	if err := json.Unmarshal(b, &s); err == nil {
+		switch s {
+		case "host":
+			*r = NodeRef{Host: true}
+			return nil
+		case "end":
+			*r = NodeRef{End: true}
+			return nil
+		}
 	}
-	return fmt.Errorf("scenario: node reference must be a node id or \"host\": %s", b)
+	return fmt.Errorf("scenario: node reference must be a node id, \"host\", or \"end\": %s", b)
 }
 
 // Topology kinds.
@@ -183,8 +206,18 @@ type FlowSpec struct {
 	// Port is the sink's listening port (default 80+index).
 	Port uint16 `json:"port,omitempty"`
 	// Variant is the congestion-control algorithm (newreno, cubic,
-	// westwood, bbr); empty uses the process default.
+	// westwood, bbr, vegas); empty uses the process default.
 	Variant string `json:"variant,omitempty"`
+	// Profile runs the sender under a named simplified-stack profile
+	// (uip, blip, uip50, archrock — Table 7's baselines): the source
+	// connection uses the profile's stripped configuration while the
+	// sink stays full TCPlp, whose delayed ACKs penalize stop-and-wait
+	// stacks exactly as the paper's gateway-class receivers did. A
+	// profile overrides variant/window_segs/pacing for the flow.
+	Profile string `json:"profile,omitempty"`
+	// Trace records the sender's congestion-window trajectory over the
+	// measurement window into FlowResult.CwndTrace (Fig. 7a).
+	Trace bool `json:"trace,omitempty"`
 	// WindowSegs overrides the network window for this flow, in
 	// segments, applied to both the sender's buffers and the sink's
 	// advertised window.
@@ -209,14 +242,63 @@ type FlowSpec struct {
 	Batch int `json:"batch,omitempty"`
 }
 
+// AxisValue is one coordinate of an expanded sweep cell, e.g.
+// {Axis: "d", Value: "40ms"}.
+type AxisValue struct {
+	Axis  string `json:"axis"`
+	Value string `json:"value"`
+}
+
+// Sweep expands one spec into a cartesian grid of cells, one run set
+// per combination of axis values — the sweep is data, not a bespoke
+// driver loop. Axes are applied in field order with the last-listed
+// axis varying fastest; each expanded cell records its coordinates in
+// Spec.Point and appends them to its name.
+type Sweep struct {
+	// Hops regrows the topology per cell: a chain gets hops+1 nodes, a
+	// twinleaf a hops-long relay path. Use the "end" node reference in
+	// flows so endpoints follow the far end of the chain.
+	Hops []int `json:"hops,omitempty"`
+	// PER sweeps the uniform per-frame corruption probability.
+	PER []float64 `json:"per,omitempty"`
+	// RetryDelay sweeps the §7.1 link-retry delay d ("0s" gives
+	// hidden-terminal conditions).
+	RetryDelay []Duration `json:"retry_delay,omitempty"`
+	// SegFrames sweeps the TCP MSS in 802.15.4 frames (Fig. 4).
+	SegFrames []int `json:"seg_frames,omitempty"`
+	// WindowSegs sweeps the network default window in segments (Fig. 5);
+	// flows with an explicit per-flow window keep it.
+	WindowSegs []int `json:"window_segs,omitempty"`
+	// Variants sweeps the congestion-control algorithm, overriding every
+	// flow's variant per cell.
+	Variants []string `json:"variants,omitempty"`
+	// SeedStep offsets every seed of cell i by i·SeedStep, reproducing
+	// per-condition seeding; 0 (the default) holds the channel
+	// realization fixed across cells so rows differ only by the axis.
+	SeedStep int64 `json:"seed_step,omitempty"`
+}
+
+// empty reports whether no axis has any values.
+func (sw *Sweep) empty() bool {
+	return len(sw.Hops) == 0 && len(sw.PER) == 0 && len(sw.RetryDelay) == 0 &&
+		len(sw.SegFrames) == 0 && len(sw.WindowSegs) == 0 && len(sw.Variants) == 0
+}
+
 // Spec is one declarative scenario: a topology, link conditions, node
-// roles, flows, a measurement schedule, and the seeds to run.
+// roles, flows, a measurement schedule, and the seeds to run. A spec
+// with a Sweep block is a whole grid of scenarios in one object.
 type Spec struct {
 	Name     string       `json:"name"`
 	Topology TopologySpec `json:"topology"`
 	Net      NetSpec      `json:"net,omitempty"`
 	Nodes    []NodeSpec   `json:"nodes,omitempty"`
 	Flows    []FlowSpec   `json:"flows"`
+	// Sweep expands this spec into a cartesian grid of cells; the
+	// Runner runs every cell (see Expand).
+	Sweep *Sweep `json:"sweep,omitempty"`
+	// Point is set on expanded cells: the sweep coordinates this cell
+	// was instantiated at, in axis order.
+	Point []AxisValue `json:"point,omitempty"`
 	// Warmup runs before the measurement window opens; 0 (or omitted)
 	// measures from t=0.
 	Warmup Duration `json:"warmup,omitempty"`
@@ -254,6 +336,175 @@ func ParseSpecs(data []byte) ([]*Spec, error) {
 	return many, nil
 }
 
+// sweepOpt is one axis value prepared for expansion: its printable
+// coordinate plus the mutation it applies to a cell.
+type sweepOpt struct {
+	av    AxisValue
+	apply func(*Spec)
+}
+
+// axes lists the sweep's populated dimensions in field order.
+func (sw *Sweep) axes() [][]sweepOpt {
+	var out [][]sweepOpt
+	add := func(opts []sweepOpt) {
+		if len(opts) > 0 {
+			out = append(out, opts)
+		}
+	}
+	var hops []sweepOpt
+	for _, h := range sw.Hops {
+		h := h
+		hops = append(hops, sweepOpt{AxisValue{"hops", strconv.Itoa(h)}, func(c *Spec) {
+			if c.Topology.Kind == TopoTwinLeaf {
+				c.Topology.PathHops = h
+			} else { // chain (validated)
+				c.Topology.Nodes = h + 1
+			}
+		}})
+	}
+	add(hops)
+	var pers []sweepOpt
+	for _, p := range sw.PER {
+		p := p
+		// 6 significant digits keep labels like 7% from leaking float
+		// noise (0.07·100 is not exactly 7 in binary).
+		pers = append(pers, sweepOpt{AxisValue{"per", strconv.FormatFloat(p*100, 'g', 6, 64) + "%"},
+			func(c *Spec) { c.Net.PER = p }})
+	}
+	add(pers)
+	var ds []sweepOpt
+	for _, d := range sw.RetryDelay {
+		d := d
+		ds = append(ds, sweepOpt{AxisValue{"d", d.String()},
+			func(c *Spec) { c.Net.RetryDelay = &d }})
+	}
+	add(ds)
+	var frames []sweepOpt
+	for _, f := range sw.SegFrames {
+		f := f
+		frames = append(frames, sweepOpt{AxisValue{"mss", strconv.Itoa(f) + "f"},
+			func(c *Spec) { c.Net.SegFrames = f }})
+	}
+	add(frames)
+	var wins []sweepOpt
+	for _, w := range sw.WindowSegs {
+		w := w
+		wins = append(wins, sweepOpt{AxisValue{"w", strconv.Itoa(w)},
+			func(c *Spec) { c.Net.WindowSegs = w }})
+	}
+	add(wins)
+	var vars []sweepOpt
+	for _, v := range sw.Variants {
+		v := v
+		vars = append(vars, sweepOpt{AxisValue{"cc", v}, func(c *Spec) {
+			for i := range c.Flows {
+				c.Flows[i].Variant = v
+			}
+		}})
+	}
+	add(vars)
+	return out
+}
+
+// Expand returns the cartesian grid of cells a sweep spec describes, in
+// deterministic order: axes in Sweep field order, the last-listed axis
+// varying fastest. A spec without a sweep expands to itself. Each cell
+// drops the Sweep block, appends "/axis=value" per coordinate to its
+// name, records the coordinates in Point, and — when SeedStep is set —
+// offsets every seed by cellIndex·SeedStep.
+func (s *Spec) Expand() []*Spec {
+	if s.Sweep == nil || s.Sweep.empty() {
+		return []*Spec{s}
+	}
+	axes := s.Sweep.axes()
+	var cells []*Spec
+	picked := make([]sweepOpt, len(axes))
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(axes) {
+			cells = append(cells, s.cell(len(cells), picked))
+			return
+		}
+		for _, o := range axes[depth] {
+			picked[depth] = o
+			rec(depth + 1)
+		}
+	}
+	rec(0)
+	return cells
+}
+
+// cell instantiates one expansion point of a sweep spec.
+func (s *Spec) cell(i int, picked []sweepOpt) *Spec {
+	c := *s
+	c.Sweep = nil
+	c.Point = nil
+	c.Flows = append([]FlowSpec(nil), s.Flows...)
+	c.Nodes = append([]NodeSpec(nil), s.Nodes...)
+	c.Seeds = append([]int64(nil), s.Seeds...)
+	if step := s.Sweep.SeedStep; step != 0 {
+		if len(c.Seeds) == 0 {
+			c.Seeds = []int64{1}
+		}
+		for k := range c.Seeds {
+			c.Seeds[k] += int64(i) * step
+		}
+	}
+	parts := make([]string, 0, len(picked))
+	for _, o := range picked {
+		o.apply(&c)
+		c.Point = append(c.Point, o.av)
+		parts = append(parts, o.av.Axis+"="+o.av.Value)
+	}
+	if len(parts) > 0 {
+		c.Name = s.Name + "/" + strings.Join(parts, "/")
+	}
+	return &c
+}
+
+// validateSweep checks the axis values themselves; the expanded cells
+// are validated individually afterwards.
+func (s *Spec) validateSweep() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: sweep: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	sw := s.Sweep
+	if len(sw.Hops) > 0 && s.Topology.Kind != TopoChain && s.Topology.Kind != TopoTwinLeaf {
+		return bad("hops axis needs a chain or twinleaf topology, not %q", s.Topology.Kind)
+	}
+	for _, h := range sw.Hops {
+		if h < 1 {
+			return bad("hops value %d < 1", h)
+		}
+	}
+	for _, p := range sw.PER {
+		if p < 0 || p >= 1 {
+			return bad("per value %v out of range [0,1)", p)
+		}
+	}
+	for _, d := range sw.RetryDelay {
+		if d < 0 {
+			return bad("negative retry_delay value %v", d)
+		}
+	}
+	for _, f := range sw.SegFrames {
+		if f < 1 {
+			return bad("seg_frames value %d < 1", f)
+		}
+	}
+	for _, w := range sw.WindowSegs {
+		if w < 1 {
+			return bad("window_segs value %d < 1", w)
+		}
+	}
+	for _, v := range sw.Variants {
+		if _, err := cc.Parse(v); err != nil {
+			return bad("%v", err)
+		}
+	}
+	return nil
+}
+
 // nodeCount returns the mesh node count the topology will instantiate.
 func (t TopologySpec) nodeCount() int {
 	switch t.Kind {
@@ -274,6 +525,20 @@ func (s *Spec) Validate() error {
 	bad := func(format string, args ...any) error {
 		return fmt.Errorf("scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
 	}
+	if s.Sweep != nil && !s.Sweep.empty() {
+		// A sweep spec is checked axis-by-axis, then cell-by-cell: the
+		// base topology may be incomplete (a hops axis supplies the node
+		// count), so only the expanded cells are fully validated.
+		if err := s.validateSweep(); err != nil {
+			return err
+		}
+		for _, c := range s.Expand() {
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	switch s.Topology.Kind {
 	case TopoChain, TopoStar:
 		if s.Topology.Nodes < 2 {
@@ -292,7 +557,7 @@ func (s *Spec) Validate() error {
 		return bad("no flows")
 	}
 	checkRef := func(r NodeRef) error {
-		if r.Host {
+		if r.Host || r.End {
 			return nil
 		}
 		if r.ID < 0 || r.ID >= n {
@@ -316,6 +581,11 @@ func (s *Spec) Validate() error {
 		}
 		if _, err := cc.Parse(f.Variant); err != nil {
 			return bad("flow %d: %v", i, err)
+		}
+		if f.Profile != "" {
+			if _, err := uip.ParseProfile(f.Profile); err != nil {
+				return bad("flow %d: %v", i, err)
+			}
 		}
 		switch f.Pattern {
 		case "", PatternBulk, PatternOnOff, PatternAnemometer:

@@ -82,14 +82,39 @@ func JainIndex(xs []float64) float64 {
 
 // StdDev returns the population standard deviation.
 func (s *Sample) StdDev() float64 {
-	if len(s.xs) == 0 {
-		return 0
+	_, sd := MeanStdDev(s.xs)
+	return sd
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean, 1.96·σ/√n; 0 for fewer than two observations.
+func (s *Sample) CI95() float64 { return CI95(s.xs) }
+
+// MeanStdDev returns the arithmetic mean and population standard
+// deviation of xs in one pass (0, 0 for an empty input).
+func MeanStdDev(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
 	}
-	m := s.Mean()
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
 	sum := 0.0
-	for _, x := range s.xs {
-		d := x - m
+	for _, x := range xs {
+		d := x - mean
 		sum += d * d
 	}
-	return math.Sqrt(sum / float64(len(s.xs)))
+	return mean, math.Sqrt(sum / float64(len(xs)))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean of xs, 1.96·σ/√n. Fewer than two observations
+// carry no spread information, so the result is 0.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	_, sd := MeanStdDev(xs)
+	return 1.96 * sd / math.Sqrt(float64(len(xs)))
 }

@@ -61,6 +61,54 @@ func TestJainIndex(t *testing.T) {
 	}
 }
 
+func TestMeanStdDev(t *testing.T) {
+	if m, sd := MeanStdDev(nil); m != 0 || sd != 0 {
+		t.Fatalf("empty = %v, %v", m, sd)
+	}
+	if m, sd := MeanStdDev([]float64{7}); m != 7 || sd != 0 {
+		t.Fatalf("single = %v, %v", m, sd)
+	}
+	m, sd := MeanStdDev([]float64{4, 1, 3, 2, 5})
+	if m != 3 || math.Abs(sd-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("mean=%v std=%v", m, sd)
+	}
+	// Must agree with the Sample methods on the same data.
+	var s Sample
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.Mean() != m || s.StdDev() != sd {
+		t.Fatalf("Sample disagrees: %v/%v vs %v/%v", s.Mean(), s.StdDev(), m, sd)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if ci := CI95(nil); ci != 0 {
+		t.Fatalf("empty = %v", ci)
+	}
+	// A single observation has no spread information.
+	if ci := CI95([]float64{42}); ci != 0 {
+		t.Fatalf("single = %v", ci)
+	}
+	// σ = √2, n = 5: half-width 1.96·√2/√5.
+	xs := []float64{4, 1, 3, 2, 5}
+	want := 1.96 * math.Sqrt(2) / math.Sqrt(5)
+	if ci := CI95(xs); math.Abs(ci-want) > 1e-12 {
+		t.Fatalf("ci = %v, want %v", ci, want)
+	}
+	var s Sample
+	for _, v := range xs {
+		s.Add(v)
+	}
+	if s.CI95() != CI95(xs) {
+		t.Fatal("Sample.CI95 disagrees with package CI95")
+	}
+	// Identical observations: zero-width interval.
+	if ci := CI95([]float64{3, 3, 3, 3}); ci != 0 {
+		t.Fatalf("constant sample ci = %v", ci)
+	}
+}
+
 // Property: quantiles are monotone in q and bounded by min/max.
 func TestQuickQuantileMonotone(t *testing.T) {
 	f := func(seed int64, n uint8) bool {

@@ -7,12 +7,14 @@
 // The split mirrors the Linux/ns-3 module boundary: the connection keeps
 // the loss-recovery machinery (what to retransmit, when recovery ends)
 // while the algorithm decides window sizes — how fast to grow and how
-// far to back off. Four variants are provided: NewReno (RFC 5681/6582,
+// far to back off. Five variants are provided: NewReno (RFC 5681/6582,
 // behaviour-identical to the original inline implementation), CUBIC
 // (RFC 8312), Westwood+ (bandwidth-estimate-driven backoff for lossy
-// wireless links), and BBR (model-based: a windowed-max bandwidth
-// estimate and windowed-min RTT drive both the window and a pacing
-// rate).
+// wireless links), BBR (model-based: a windowed-max bandwidth estimate
+// and windowed-min RTT drive both the window and a pacing rate), and
+// Vegas (delay-based: queue occupancy estimated from RTT inflation
+// drives the window, the natural fit for duty-cycled paths where RTT,
+// not loss, is the first congestion signal).
 //
 // An Algorithm may additionally implement Pacer; the connection then
 // spreads segment releases across the RTT at the returned rate instead
@@ -36,11 +38,12 @@ const (
 	Cubic    Variant = "cubic"
 	Westwood Variant = "westwood"
 	Bbr      Variant = "bbr"
+	Vegas    Variant = "vegas"
 )
 
 // Variants lists the registered algorithms in presentation order (kept
 // in sync with the constructor registry by TestVariantsRoundTrip).
-func Variants() []Variant { return []Variant{NewReno, Cubic, Westwood, Bbr} }
+func Variants() []Variant { return []Variant{NewReno, Cubic, Westwood, Bbr, Vegas} }
 
 // Parse resolves a user-supplied variant name, accepting the common
 // aliases ("reno", "westwood+", ...). An empty string selects NewReno.
@@ -54,8 +57,10 @@ func Parse(s string) (Variant, error) {
 		return Westwood, nil
 	case "bbr":
 		return Bbr, nil
+	case "vegas":
+		return Vegas, nil
 	}
-	return "", fmt.Errorf("cc: unknown variant %q (have newreno, cubic, westwood, bbr)", s)
+	return "", fmt.Errorf("cc: unknown variant %q (have newreno, cubic, westwood, bbr, vegas)", s)
 }
 
 // DefaultMaxWindow caps congestion-avoidance growth when Params leaves
@@ -132,6 +137,7 @@ var registry = map[Variant]func(Params) Algorithm{
 	Cubic:    func(p Params) Algorithm { return newCubic(p) },
 	Westwood: func(p Params) Algorithm { return newWestwood(p) },
 	Bbr:      func(p Params) Algorithm { return newBBR(p) },
+	Vegas:    func(p Params) Algorithm { return newVegas(p) },
 }
 
 // Valid reports whether v names a registered algorithm (or is empty,

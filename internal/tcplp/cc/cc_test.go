@@ -27,6 +27,7 @@ func TestParse(t *testing.T) {
 		"cubic": Cubic, "CUBIC": Cubic,
 		"westwood": Westwood, "westwood+": Westwood, "WestwoodPlus": Westwood,
 		"bbr": Bbr, "BBR": Bbr,
+		"vegas": Vegas, "Vegas": Vegas,
 	}
 	for in, want := range cases {
 		got, err := Parse(in)
@@ -34,10 +35,10 @@ func TestParse(t *testing.T) {
 			t.Fatalf("Parse(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	if _, err := Parse("vegas"); err == nil {
+	if _, err := Parse("tahoe"); err == nil {
 		t.Fatal("Parse accepted an unknown variant")
 	}
-	if _, err := New("vegas", Params{InitialWindow: iw}); err == nil {
+	if _, err := New("tahoe", Params{InitialWindow: iw}); err == nil {
 		t.Fatal("New accepted an unknown variant")
 	}
 }

@@ -1,0 +1,127 @@
+package cc
+
+import (
+	"testing"
+
+	"tcplp/internal/sim"
+)
+
+// ackWindow feeds one window's worth of full-segment ACKs at the given
+// smoothed RTT, advancing time across one RTT.
+func ackWindow(a Algorithm, now sim.Time, srtt sim.Duration) sim.Time {
+	acks := max(a.Cwnd()/mss, 1)
+	for i := 0; i < acks; i++ {
+		now = now.Add(srtt / sim.Duration(acks))
+		a.OnAck(now, mss, mss, srtt)
+	}
+	return now
+}
+
+// enterCA drives a vegas instance out of slow start via a loss so the
+// congestion-avoidance path is under test.
+func enterCA(t *testing.T) (Algorithm, sim.Time) {
+	t.Helper()
+	a := mk(t, Vegas)
+	now := sim.Time(sim.Second)
+	a.OnDupAck(now, mss, 8*mss)
+	a.OnExitRecovery(now.Add(100*sim.Millisecond), mss, 8*mss, a.Ssthresh(), 100*sim.Millisecond)
+	if a.Cwnd() >= a.Ssthresh()+mss {
+		t.Fatalf("not in congestion avoidance: cwnd=%d ssthresh=%d", a.Cwnd(), a.Ssthresh())
+	}
+	return a, now.Add(100 * sim.Millisecond)
+}
+
+// At the base RTT there is no queue, so Vegas probes upward by one
+// segment per window — and the growth is delay-gated, not unbounded.
+func TestVegasGrowsAtBaseRTT(t *testing.T) {
+	a, now := enterCA(t)
+	const rtt = 100 * sim.Millisecond
+	before := a.Cwnd()
+	now = ackWindow(a, now, rtt)
+	if a.Cwnd() != before+mss {
+		t.Fatalf("one window at base RTT grew cwnd %d → %d, want +1 MSS", before, a.Cwnd())
+	}
+	// Several more windows: still exactly one segment per window.
+	for i := 0; i < 3; i++ {
+		prev := a.Cwnd()
+		now = ackWindow(a, now, rtt)
+		if a.Cwnd() != prev+mss {
+			t.Fatalf("window %d: cwnd %d → %d, want +1 MSS", i, prev, a.Cwnd())
+		}
+	}
+}
+
+// When the RTT inflates well past the baseline (a queue is building),
+// Vegas backs the window off without any loss having occurred — the
+// defining delay-based behaviour, absent from every loss-based variant.
+func TestVegasBacksOffOnRTTInflation(t *testing.T) {
+	a, now := enterCA(t)
+	const base = 100 * sim.Millisecond
+	now = ackWindow(a, now, base) // establish the baseline
+	before := a.Cwnd()
+	// Tripled RTT: diff = cwnd·(rtt−base)/rtt = 2/3·cwnd segments, past
+	// beta, so each window of ACKs now deflates the window by one segment.
+	now = ackWindow(a, now, 3*base)
+	now = ackWindow(a, now, 3*base)
+	if a.Cwnd() >= before {
+		t.Fatalf("RTT inflation did not shrink cwnd: %d → %d", before, a.Cwnd())
+	}
+	// And it never collapses below the 2-MSS floor.
+	for i := 0; i < 50; i++ {
+		now = ackWindow(a, now, 4*base)
+	}
+	if a.Cwnd() < 2*mss {
+		t.Fatalf("cwnd %d fell below the 2-MSS floor", a.Cwnd())
+	}
+}
+
+// Between alpha and beta segments of queue, Vegas holds the window.
+func TestVegasHoldsInsideBand(t *testing.T) {
+	a, now := enterCA(t)
+	const base = 100 * sim.Millisecond
+	now = ackWindow(a, now, base)
+	// Pick an RTT so diff lands between alpha and beta:
+	// diff = cwnd·(rtt−base)/rtt/mss = 3 → rtt = base·cwnd/(cwnd−3·mss).
+	segs := a.Cwnd() / mss
+	rtt := base * sim.Duration(segs) / sim.Duration(segs-3)
+	before := a.Cwnd()
+	now = ackWindow(a, now, rtt)
+	now = ackWindow(a, now, rtt)
+	_ = now
+	if a.Cwnd() != before {
+		t.Fatalf("cwnd %d → %d inside the [alpha, beta] band, want hold", before, a.Cwnd())
+	}
+}
+
+// Slow start exits early when the delay signal crosses gamma, well
+// before a loss forces it.
+func TestVegasSlowStartExitsOnDelay(t *testing.T) {
+	a := mk(t, Vegas)
+	now := sim.Time(0)
+	const base = 100 * sim.Millisecond
+	now = ackWindow(a, now, base)
+	if a.Cwnd() != 2*iw {
+		t.Fatalf("clean slow start did not double: %d", a.Cwnd())
+	}
+	// Inflate the RTT: the next ACK must convert ssthresh to the current
+	// window and stop the exponential growth.
+	a.OnAck(now.Add(base), mss, mss, 3*base)
+	if a.Ssthresh() != a.Cwnd() {
+		t.Fatalf("delay did not end slow start: cwnd=%d ssthresh=%d", a.Cwnd(), a.Ssthresh())
+	}
+	grown := a.Cwnd()
+	a.OnAck(now.Add(2*base), mss, mss, 3*base)
+	if a.Cwnd() > grown+mss {
+		t.Fatalf("still growing exponentially after exit: %d → %d", grown, a.Cwnd())
+	}
+}
+
+// Losses use the gentler 3/4 decrease, not Reno's half.
+func TestVegasLossBackoff(t *testing.T) {
+	a := mk(t, Vegas)
+	flight := 8 * mss
+	a.OnDupAck(sim.Time(sim.Second), mss, flight)
+	if want := 3 * flight / 4; a.Ssthresh() != want {
+		t.Fatalf("ssthresh = %d, want 3/4 flight = %d", a.Ssthresh(), want)
+	}
+}

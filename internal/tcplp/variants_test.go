@@ -36,7 +36,7 @@ func TestTransferAllVariants(t *testing.T) {
 // rejected at stack setup, not discovered mid-simulation.
 func TestUnknownVariantPanics(t *testing.T) {
 	cfg := testCfg()
-	cfg.Variant = "vegas"
+	cfg.Variant = "tahoe"
 	defer func() {
 		if recover() == nil {
 			t.Fatal("NewStack with unknown variant did not panic")
@@ -52,7 +52,7 @@ func TestListenerBadVariantRefusesConnection(t *testing.T) {
 	lst := l.b.Listen(80, func(c *Conn) { t.Fatal("accepted a connection with a bad variant") })
 	lst.ConfigFor = func() Config {
 		cfg := testCfg()
-		cfg.Variant = "vegas"
+		cfg.Variant = "tahoe"
 		return cfg
 	}
 	var closedErr error

@@ -13,6 +13,9 @@
 package uip
 
 import (
+	"fmt"
+	"strings"
+
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
 	"tcplp/internal/tcplp"
@@ -85,3 +88,34 @@ func (p Profile) Config() tcplp.Config {
 
 // Profiles lists every baseline for the Table 7 sweep.
 func Profiles() []Profile { return []Profile{UIP, BLIP, Hewage, ArchRock} }
+
+// Key returns the profile's identifier as used in scenario specs.
+func (p Profile) Key() string {
+	switch p {
+	case UIP:
+		return "uip"
+	case BLIP:
+		return "blip"
+	case Hewage:
+		return "uip50"
+	case ArchRock:
+		return "archrock"
+	}
+	return "?"
+}
+
+// ParseProfile resolves a profile name used in scenario specs,
+// accepting the Key form and common aliases.
+func ParseProfile(s string) (Profile, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "uip":
+		return UIP, nil
+	case "blip":
+		return BLIP, nil
+	case "uip50", "uip-50", "uip[50]", "hewage":
+		return Hewage, nil
+	case "archrock", "arch-rock":
+		return ArchRock, nil
+	}
+	return 0, fmt.Errorf("uip: unknown stack profile %q (have uip, blip, uip50, archrock)", s)
+}
