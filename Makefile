@@ -1,0 +1,28 @@
+# Convenience targets around the go toolchain and the plotting recipe.
+
+GO ?= go
+
+.PHONY: build test race bench-smoke plot
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Render a sweep spec into a paper-style figure:
+#   make plot SPEC=examples/scenarios/fig6_sweep.json OUT=fig6
+# Produces $(OUT).csv and $(OUT).png (needs gnuplot).
+SPEC ?= examples/scenarios/fig6_sweep.json
+OUT  ?= sweep
+
+plot:
+	$(GO) run ./cmd/tcplp-bench -scenario $(SPEC) -format csv > $(OUT).csv
+	gnuplot -e "csv='$(OUT).csv'; out='$(OUT).png'" tools/plot.gp
+	@echo "wrote $(OUT).csv and $(OUT).png"

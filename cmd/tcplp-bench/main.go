@@ -16,9 +16,11 @@
 //	tcplp-bench -list
 //	tcplp-bench -exp fig4 [-scale 0.25] [-markdown]
 //	tcplp-bench -exp fig6 -workers 8 -seeds 5     # parallel, with error bars
+//	tcplp-bench -exp fig9 -seeds 5 -ci            # Student-t 95% CI cells
 //	tcplp-bench -exp all -scale 0.1
 //	tcplp-bench -exp ccvariants -window 8
 //	tcplp-bench -scenario examples/scenarios/twinleaf_mixed.json
+//	tcplp-bench -scenario examples/scenarios/interference.json   # TCP vs CoAP
 //	tcplp-bench -scenario sweep.json -workers 8 -format csv > out.csv
 //	tcplp-bench -scenario spec.json -duration 5s -warmup 1s  # smoke run
 //
@@ -48,6 +50,7 @@ func main() {
 		variant  = flag.String("variant", "", "congestion-control variant for all experiments (newreno|cubic|westwood|bbr|vegas)")
 		window   = flag.Int("window", 0, "send/receive window in segments for all experiments (default 4)")
 		seeds    = flag.Int("seeds", 0, "independent seeds per measurement point (experiments: mean ± σ tables; scenarios: overrides the spec's seed list)")
+		ci       = flag.Bool("ci", false, "render multi-seed cells as mean ± Student-t 95% CI instead of mean ± σ")
 		workers  = flag.Int("workers", 0, "worker pool size for the scenario runner (0 = all CPUs)")
 		scenFile = flag.String("scenario", "", "run a JSON scenario spec file instead of an experiment")
 		format   = flag.String("format", "summary", "scenario output: summary|csv|json")
@@ -105,10 +108,14 @@ func main() {
 		return
 	}
 
+	if *ci && *seeds < 2 {
+		fmt.Fprintln(os.Stderr, "note: -ci needs -seeds >= 2 to have anything to put an interval on")
+	}
 	opts := experiments.Opts{
 		Scale:   experiments.Scale(*scale),
 		Seeds:   *seeds,
 		Workers: *workers,
+		CI:      *ci,
 	}
 	run := func(e experiments.Experiment) {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Desc)

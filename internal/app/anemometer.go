@@ -70,8 +70,30 @@ type Sensor struct {
 	queue   []byte // queued readings, back-to-back
 	seq     uint32
 	started bool
+	stopped bool
+	genTime map[uint32]sim.Time // queued-reading generation times, by seq
 
 	Stats SensorStats
+}
+
+// genTimeHorizon bounds how long a generation timestamp is retained
+// for latency measurement: readings still undelivered after this long
+// (lost datagrams, abandoned exchanges, collectors that never consume
+// timestamps) are pruned so day-long runs don't accumulate one map
+// entry per lost reading. Far above any real delivery latency — even a
+// full CoAP queue behind repeated CON give-ups drains in well under an
+// hour.
+const genTimeHorizon = sim.Hour
+
+// pruneGenTimes drops timestamps past the horizon; called every 1024
+// samples so the sweep cost stays negligible.
+func (s *Sensor) pruneGenTimes() {
+	cutoff := s.eng.Now().Add(-genTimeHorizon)
+	for seq, t := range s.genTime {
+		if t < cutoff {
+			delete(s.genTime, seq)
+		}
+	}
 }
 
 // NewSensor builds a sensor over a transport.
@@ -81,6 +103,7 @@ func NewSensor(eng *sim.Engine, tr Transport, queueCap int) *Sensor {
 		transport: tr,
 		Interval:  DefaultInterval,
 		QueueCap:  queueCap,
+		genTime:   map[uint32]sim.Time{},
 	}
 }
 
@@ -93,7 +116,25 @@ func (s *Sensor) Start() {
 	s.eng.Schedule(s.Interval, s.sample)
 }
 
+// Stop ceases sampling (queued readings still drain as the transport
+// accepts them).
+func (s *Sensor) Stop() { s.stopped = true }
+
+// TakeGenTime returns and forgets the generation time of a queued
+// reading — the collector side uses it to compute per-reading
+// generation→delivery latency.
+func (s *Sensor) TakeGenTime(seq uint32) (sim.Time, bool) {
+	t, ok := s.genTime[seq]
+	if ok {
+		delete(s.genTime, seq)
+	}
+	return t, ok
+}
+
 func (s *Sensor) sample() {
+	if s.stopped {
+		return
+	}
 	s.Stats.Generated++
 	s.seq++
 	if len(s.queue)/ReadingSize >= s.QueueCap {
@@ -101,6 +142,10 @@ func (s *Sensor) sample() {
 	} else {
 		s.queue = append(s.queue, s.makeReading()...)
 		s.Stats.Queued++
+		s.genTime[s.seq] = s.eng.Now()
+	}
+	if s.seq%1024 == 0 {
+		s.pruneGenTimes()
 	}
 	s.drain()
 	s.eng.Schedule(s.Interval, s.sample)
@@ -198,9 +243,16 @@ type CoAPTransport struct {
 	blockNum uint32
 }
 
-// NewCoAPTransport builds a CoAP transport over the node's UDP stack.
+// NewCoAPTransport builds a CoAP transport over the node's UDP stack,
+// targeting the collector's default CoAP port.
 func NewCoAPTransport(node *stack.Node, collector ip6.Addr, confirmable bool, msgSize int) *CoAPTransport {
-	cl := coap.NewClient(node.Eng(), node.UDP, collector, coap.DefaultPort)
+	return NewCoAPTransportPort(node, collector, coap.DefaultPort, confirmable, msgSize)
+}
+
+// NewCoAPTransportPort is NewCoAPTransport with an explicit server port,
+// letting several flows of one mesh run separate collectors.
+func NewCoAPTransportPort(node *stack.Node, collector ip6.Addr, port uint16, confirmable bool, msgSize int) *CoAPTransport {
+	cl := coap.NewClient(node.Eng(), node.UDP, collector, port)
 	if node.Sleep != nil {
 		sc := node.Sleep
 		cl.OnExpectingChange = func(on bool) { sc.SetExpecting(on) }

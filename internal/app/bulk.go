@@ -36,6 +36,12 @@ func ListenSinkConfig(node *stack.Node, port uint16, cfg tcplp.Config) *Sink {
 }
 
 func listenSink(node *stack.Node, port uint16, cfg *tcplp.Config) *Sink {
+	return listenSinkData(node, port, cfg, nil)
+}
+
+// listenSinkData is listenSink with an optional per-chunk hook invoked
+// on every drained chunk (the reading-parsing collector rides on it).
+func listenSinkData(node *stack.Node, port uint16, cfg *tcplp.Config, onData func([]byte)) *Sink {
 	s := &Sink{eng: node.Eng()}
 	l := node.TCP.Listen(port, func(c *tcplp.Conn) {
 		s.Conn = c
@@ -47,6 +53,9 @@ func listenSink(node *stack.Node, port uint16, cfg *tcplp.Config) *Sink {
 					break
 				}
 				s.Received += n
+				if onData != nil {
+					onData(buf[:n])
+				}
 			}
 			if c.EOF() {
 				c.Close()

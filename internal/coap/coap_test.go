@@ -177,6 +177,78 @@ func TestRetransmissionRecoversLoss(t *testing.T) {
 	}
 }
 
+// TestExponentialBackoffUnderLoss pins the CON retransmission schedule:
+// with the channel blacked out, successive retransmissions must be
+// spaced by exactly doubling intervals (RFC 7252 binary exponential
+// backoff over the dithered initial RTO).
+func TestExponentialBackoffUnderLoss(t *testing.T) {
+	p := newPipe(7, 20*sim.Millisecond)
+	var txTimes []sim.Time
+	p.a.Output = func(pkt *ip6.Packet) {
+		txTimes = append(txTimes, p.eng.Now())
+		// Blackout: nothing reaches the server.
+	}
+	cl := NewClient(p.eng, p.a, ip6.AddrFromID(1), DefaultPort)
+	cl.Post("t", []byte("x"), true, nil, nil)
+	p.eng.RunUntil(sim.Time(5 * sim.Minute))
+	if len(txTimes) != 1+MaxRetransmit {
+		t.Fatalf("transmissions = %d, want %d", len(txTimes), 1+MaxRetransmit)
+	}
+	first := txTimes[1].Sub(txTimes[0])
+	if first < AckTimeout || float64(first) > float64(AckTimeout)*AckRandomFactor {
+		t.Fatalf("initial RTO %v outside [ACK_TIMEOUT, ACK_TIMEOUT*1.5]", first)
+	}
+	for i := 2; i < len(txTimes); i++ {
+		gap := txTimes[i].Sub(txTimes[i-1])
+		prev := txTimes[i-1].Sub(txTimes[i-2])
+		if gap != 2*prev {
+			t.Fatalf("retransmission %d gap %v, want exactly double %v", i, gap, prev)
+		}
+	}
+}
+
+// TestDedupUnderSustainedAckLoss drives the §9.1 server contract under
+// loss: every retransmitted CON is answered from the message-ID dedup
+// cache, the handler runs once, and the exchange still completes.
+func TestDedupUnderSustainedAckLoss(t *testing.T) {
+	p := newPipe(8, 20*sim.Millisecond)
+	ackDrops := 3
+	origOut := p.b.Output
+	p.b.Output = func(pkt *ip6.Packet) {
+		if ackDrops > 0 {
+			ackDrops--
+			return
+		}
+		origOut(pkt)
+	}
+	srv := NewServer(p.eng, p.b, DefaultPort)
+	delivered := 0
+	srv.OnPost = func(ip6.Addr, []byte, *Block1) Code { delivered++; return CodeChanged }
+	cl := NewClient(p.eng, p.a, ip6.AddrFromID(1), DefaultPort)
+	ok := false
+	cl.Post("t", []byte("x"), true, nil, func(s bool) { ok = s })
+	p.eng.RunUntil(sim.Time(5 * sim.Minute))
+	if !ok {
+		t.Fatal("exchange failed despite retransmission budget")
+	}
+	if delivered != 1 {
+		t.Fatalf("handler ran %d times, want 1 (message-ID dedup)", delivered)
+	}
+	if srv.Stats.Duplicates != 3 {
+		t.Fatalf("duplicates = %d, want 3 (one per lost ACK)", srv.Stats.Duplicates)
+	}
+	if cl.Stats.Retransmissions != 3 {
+		t.Fatalf("retransmissions = %d, want 3", cl.Stats.Retransmissions)
+	}
+	// A fresh message ID is a fresh exchange, not a duplicate.
+	delivered = 0
+	cl.Post("t", []byte("y"), true, nil, nil)
+	p.eng.RunUntil(sim.Time(10 * sim.Minute))
+	if delivered != 1 || srv.Stats.Duplicates != 3 {
+		t.Fatalf("second exchange: delivered=%d duplicates=%d", delivered, srv.Stats.Duplicates)
+	}
+}
+
 func TestGiveUpAfterMaxRetransmit(t *testing.T) {
 	p := newPipe(3, 20*sim.Millisecond)
 	p.drop = func() bool { return true } // blackout

@@ -1,63 +1,50 @@
 package experiments
 
 import (
-	"tcplp/internal/app"
-	"tcplp/internal/mesh"
+	"tcplp/internal/scenario"
 	"tcplp/internal/sim"
-	"tcplp/internal/stack"
-	"tcplp/internal/stats"
 )
 
-// dutyCycledFlow runs one bulk flow between a duty-cycled leaf (node 1)
-// and the wired host, with a fixed or adaptive sleep interval and the
-// §9.2 fast-poll hint disabled (Appendix C studies the raw protocol).
-func dutyCycledFlow(seed int64, uplink bool, sleep sim.Duration, adaptive bool,
-	windowSegs int, warm, dur sim.Duration) (float64, *stats.Sample, float64) {
+// The Appendix C duty-cycled-link study runs through the scenario
+// subsystem too: each measurement is a two-node chain whose leaf is a
+// sleepy node with the fast-poll hint disabled (Appendix C studies the
+// raw protocol), driving one bulk flow to or from the wired host. The
+// renderers reproduce the bespoke loop bit-for-bit
+// (testdata/equiv_fig12..fig14).
 
-	opt := stack.DefaultOptions()
-	opt.WindowSegs = windowSegs
-	net := stack.New(seed, mesh.Chain(2, 10), opt)
-	host := net.AttachHost()
-	sc := net.MakeSleepyLeaf(1)
-	sc.FastInterval = 0 // no expecting-driven fast polls
+// dutyCycledSpec builds one such run: uplink (leaf → host) or downlink,
+// a fixed or adaptive sleep interval, and the window in segments.
+func dutyCycledSpec(name string, uplink bool, sleep sim.Duration, adaptive bool,
+	windowSegs int, warm, dur sim.Duration, seeds []int64) *scenario.Spec {
+
+	noFastPoll := scenario.Duration(0)
+	ns := scenario.NodeSpec{
+		ID: 1, Sleepy: true,
+		FastInterval:   &noFastPoll,
+		NoFastPollHint: true,
+	}
 	if adaptive {
-		sc.Adaptive = true
-		sc.Min = 20 * sim.Millisecond
-		sc.Max = 5 * sim.Second
-		sc.SleepInterval = 5 * sim.Second
+		ns.Adaptive = true
+		ns.MinInterval = scenario.Duration(20 * sim.Millisecond)
+		ns.MaxInterval = scenario.Duration(5 * sim.Second)
+		ns.SleepInterval = scenario.Duration(5 * sim.Second)
 	} else {
-		sc.SleepInterval = sleep
+		ns.SleepInterval = scenario.Duration(sleep)
 	}
-	// The TCP-expecting hook is also disabled: poll cadence is under
-	// test.
-	net.Nodes[1].TCP.OnExpectingChange = nil
-	sc.Start()
-
-	from, to := net.Nodes[1], host
+	flow := scenario.FlowSpec{From: scenario.NodeID(1), To: scenario.Host()}
 	if !uplink {
-		from, to = host, net.Nodes[1]
+		flow = scenario.FlowSpec{From: scenario.Host(), To: scenario.NodeID(1)}
 	}
-	sink := app.ListenSink(to, 80)
-	src := app.StartBulk(from, to.Addr, 80)
-	rtts := &stats.Sample{}
-	src.Conn.TraceRTT = func(s sim.Duration) { rtts.Add(float64(s) / float64(sim.Millisecond)) }
-
-	net.Eng.RunFor(warm)
-	sink.Mark()
-	net.Eng.RunFor(dur)
-	goodput := sink.GoodputKbps()
-	src.Stop()
-
-	// Idle duty cycle: stop traffic, let the controller settle back, and
-	// measure.
-	idleDC := 0.0
-	if adaptive {
-		net.Eng.RunFor(30 * sim.Second) // back off to Max
-		net.Nodes[1].Radio.ResetEnergy()
-		net.Eng.RunFor(2 * sim.Minute)
-		idleDC = net.Nodes[1].Radio.DutyCycle()
+	return &scenario.Spec{
+		Name:     name,
+		Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: 2},
+		Net:      scenario.NetSpec{WindowSegs: windowSegs},
+		Nodes:    []scenario.NodeSpec{ns},
+		Flows:    []scenario.FlowSpec{flow},
+		Warmup:   scenario.Duration(warm),
+		Duration: scenario.Duration(dur),
+		Seeds:    seeds,
 	}
-	return goodput, rtts, idleDC
 }
 
 // Fig12 sweeps a fixed sleep interval and reports TCP RTT and goodput in
@@ -74,10 +61,21 @@ func Fig12(o Opts) *Table {
 		20 * sim.Millisecond, 50 * sim.Millisecond, 100 * sim.Millisecond,
 		250 * sim.Millisecond, 500 * sim.Millisecond, sim.Second, 2 * sim.Second,
 	}
+	var specs []*scenario.Spec
 	for i, iv := range intervals {
-		upG, upR, _ := dutyCycledFlow(int64(800+i), true, iv, false, 4, warm, dur)
-		dnG, dnR, _ := dutyCycledFlow(int64(850+i), false, iv, false, 4, warm, dur)
-		t.AddRow(iv.String(), f1(upG), f1(upR.Mean()), f1(dnG), f1(dnR.Mean()))
+		specs = append(specs,
+			dutyCycledSpec("fig12-up-"+iv.String(), true, iv, false, 4, warm, dur, o.seeds(int64(800+i))),
+			dutyCycledSpec("fig12-down-"+iv.String(), false, iv, false, 4, warm, dur, o.seeds(int64(850+i))))
+	}
+	res := o.run(specs)
+	meanRTT := func(f scenario.FlowResult) float64 { return f.MeanRTTms }
+	for i, iv := range intervals {
+		up, down := res[2*i], res[2*i+1]
+		t.AddRow(iv.String(),
+			o.cell(flowSeries(up, 0, goodputOf), f1),
+			o.cell(flowSeries(up, 0, meanRTT), f1),
+			o.cell(flowSeries(down, 0, goodputOf), f1),
+			o.cell(flowSeries(down, 0, meanRTT), f1))
 	}
 	t.Note("paper Fig. 12: ≈full goodput at 20 ms; throughput collapses as the interval exceeds what the 4-segment window can cover (uplink RTT ≈ sleep interval from self-clocking)")
 	return t
@@ -93,17 +91,26 @@ func Fig13(o Opts) *Table {
 		Columns: []string{"Direction", "p10 ms", "Median ms", "p90 ms", "Max ms"},
 	}
 	warm, dur := scale.dur(30*sim.Second), scale.dur(4*sim.Minute)
-	_, up, _ := dutyCycledFlow(900, true, 2*sim.Second, false, 4, warm, dur)
-	_, dn, _ := dutyCycledFlow(901, false, 2*sim.Second, false, 4, warm, dur)
-	t.AddRow("uplink", f1(up.Quantile(0.1)), f1(up.Median()), f1(up.Quantile(0.9)), f1(up.Max()))
-	t.AddRow("downlink", f1(dn.Quantile(0.1)), f1(dn.Median()), f1(dn.Quantile(0.9)), f1(dn.Max()))
+	res := o.run([]*scenario.Spec{
+		dutyCycledSpec("fig13-up", true, 2*sim.Second, false, 4, warm, dur, o.seeds(900)),
+		dutyCycledSpec("fig13-down", false, 2*sim.Second, false, 4, warm, dur, o.seeds(901)),
+	})
+	add := func(label string, sr *scenario.SpecResult) {
+		t.AddRow(label,
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.RTTp10ms }), f1),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.MedianRTTms }), f1),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.RTTp90ms }), f1),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.RTTMaxms }), f1))
+	}
+	add("uplink", res[0])
+	add("downlink", res[1])
 	t.Note("paper Fig. 13: uplink RTT ≈ the sleep interval (self-clocking); downlink clusters at multiples of it")
 	return t
 }
 
 // Fig14 evaluates the Trickle-based adaptive sleep interval of Appendix
-// C.2: goodput with 6-segment buffers, and the idle duty cycle after
-// traffic stops.
+// C.2: goodput with 6-segment buffers, and — via the spec's idle phase —
+// the duty cycle after traffic stops.
 func Fig14(o Opts) *Table {
 	scale := o.scale()
 	t := &Table{
@@ -112,10 +119,26 @@ func Fig14(o Opts) *Table {
 		Columns: []string{"Direction", "Goodput kb/s", "Median RTT ms", "Idle duty cycle"},
 	}
 	warm, dur := scale.dur(20*sim.Second), scale.dur(2*sim.Minute)
-	upG, upR, upIdle := dutyCycledFlow(910, true, 0, true, 6, warm, dur)
-	dnG, dnR, dnIdle := dutyCycledFlow(911, false, 0, true, 6, warm, dur)
-	t.AddRow("uplink", f1(upG), f1(upR.Median()), pct(upIdle))
-	t.AddRow("downlink", f1(dnG), f1(dnR.Median()), pct(dnIdle))
+	mk := func(name string, uplink bool, seed int64) *scenario.Spec {
+		s := dutyCycledSpec(name, uplink, 0, true, 6, warm, dur, o.seeds(seed))
+		// The idle probe is unscaled, like the bespoke loop: back off to
+		// smax for 30 s, then measure two idle minutes.
+		s.IdleSettle = scenario.Duration(30 * sim.Second)
+		s.IdleWindow = scenario.Duration(2 * sim.Minute)
+		return s
+	}
+	res := o.run([]*scenario.Spec{
+		mk("fig14-up", true, 910),
+		mk("fig14-down", false, 911),
+	})
+	add := func(label string, sr *scenario.SpecResult) {
+		t.AddRow(label,
+			o.cell(flowSeries(sr, 0, goodputOf), f1),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.MedianRTTms }), f1),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.IdleRadioDC }), pct))
+	}
+	add("uplink", res[0])
+	add("downlink", res[1])
 	t.Note("paper §C.2: 68.6 kb/s up / 55.6 kb/s down with a ≈0.1%% idle duty cycle")
 	return t
 }

@@ -1,229 +1,127 @@
 package experiments
 
 import (
-	"tcplp/internal/app"
-	"tcplp/internal/coap"
-	"tcplp/internal/ip6"
-	"tcplp/internal/mesh"
-	"tcplp/internal/netem"
+	"fmt"
+
+	"tcplp/internal/scenario"
+	"tcplp/internal/scenario/flows"
 	"tcplp/internal/sim"
-	"tcplp/internal/stack"
 )
 
-// Protocol selects the anemometer transport.
-type Protocol int
-
-// Protocols compared in §9.
-const (
-	ProtoTCPlp Protocol = iota
-	ProtoCoAP
-	ProtoCoCoA
-	ProtoCoAPNon // nonconfirmable (unreliable) CoAP
-)
-
-func (p Protocol) String() string {
-	switch p {
-	case ProtoTCPlp:
-		return "TCPlp"
-	case ProtoCoAP:
-		return "CoAP"
-	case ProtoCoCoA:
-		return "CoCoA"
-	case ProtoCoAPNon:
-		return "CoAP-NON"
-	}
-	return "?"
-}
+// The §9 application study — anemometer telemetry over TCPlp, CoAP,
+// CoCoA, and unreliable transports — runs entirely through the
+// scenario subsystem's protocol drivers: each table row is a
+// declarative office-topology spec with sleepy sensor nodes and one
+// anemometer flow per sensor, fanned out by the parallel runner. The
+// renderers below reproduce the bespoke harness's pooled arithmetic
+// bit-for-bit (pinned by testdata/equiv_fig8..table8).
 
 // SensorNodes are the anemometer stand-ins in the office topology
 // (paper: nodes 12-15, 1-based with node 1 the border router).
 var SensorNodes = []int{11, 12, 13, 14}
 
-// anemRun configures one §9 application run.
-type anemRun struct {
-	proto        Protocol
-	batch        bool
-	injectedLoss float64
-	interference bool
-	warm, dur    sim.Duration
-	seed         int64
-	// hourly enables per-hour duty-cycle sampling (Fig. 10).
-	hourly bool
-	// nodes overrides SensorNodes (Fig. 10 splits them between
-	// protocols).
-	nodes []int
+// anemProto names one transport configuration of the §9 comparison.
+type anemProto struct {
+	protocol    string // scenario FlowSpec protocol
+	rto         string // coap RTO policy
+	confirmable bool
 }
 
-// anemResult is the measured outcome.
-type anemResult struct {
-	Reliability float64
-	RadioDC     float64 // mean over sensor nodes
-	CPUDC       float64
-	RtxPer10Min float64 // transport retransmissions per 10 min per node
-	RTOsPer10   float64 // for TCP: timeout-driven subset
-	HourlyDC    []float64
+var (
+	protoTCPlp   = anemProto{protocol: "tcp"}
+	protoCoAP    = anemProto{protocol: "coap", confirmable: true}
+	protoCoCoA   = anemProto{protocol: "coap", rto: "cocoa", confirmable: true}
+	protoCoAPNon = anemProto{protocol: "coap"}
+)
+
+// anemSpec builds one §9 office run: the given sensor nodes become
+// duty-cycled leaves (4 min sleep, 100 ms fast poll) each driving an
+// anemometer flow to the cloud host over the chosen transport.
+func anemSpec(name string, p anemProto, batch bool, nodes []int,
+	injectedLoss float64, interference bool, warm, dur sim.Duration, seeds []int64) *scenario.Spec {
+
+	fast := scenario.Duration(100 * sim.Millisecond)
+	s := &scenario.Spec{
+		Name:     name,
+		Topology: scenario.TopologySpec{Kind: scenario.TopoOffice},
+		Net: scenario.NetSpec{
+			InjectedLoss: injectedLoss,
+		},
+		Warmup:   scenario.Duration(warm),
+		Duration: scenario.Duration(dur),
+		Seeds:    seeds,
+	}
+	if interference {
+		s.Net.Interference = 1.0
+	}
+	for _, id := range nodes {
+		f := fast
+		s.Nodes = append(s.Nodes, scenario.NodeSpec{
+			ID: id, Sleepy: true,
+			SleepInterval: scenario.Duration(4 * sim.Minute),
+			FastInterval:  &f,
+		})
+		fs := scenario.FlowSpec{
+			From:     scenario.NodeID(id),
+			To:       scenario.Host(),
+			Protocol: p.protocol,
+			Pattern:  scenario.PatternAnemometer,
+		}
+		if p.protocol == "coap" {
+			c := p.confirmable
+			fs.Confirmable = &c
+			fs.RTO = p.rto
+		}
+		if batch {
+			fs.Batch = 64
+		}
+		s.Flows = append(s.Flows, fs)
+	}
+	return s
 }
 
-// runAnemometer builds the office network, attaches the cloud collector,
-// runs the sensors, and measures.
-func runAnemometer(cfg anemRun) anemResult {
-	opt := stack.DefaultOptions()
-	net := stack.New(cfg.seed, mesh.Office(), opt)
-	host := net.AttachHost()
-	if cfg.injectedLoss > 0 {
-		net.Border().DropFilter = netem.UniformLoss(cfg.injectedLoss, cfg.seed+1)
+// anemRel pools one run's reliability exactly as §9.2 defines it: the
+// shared delivery-ratio formula over reading counts summed across the
+// sensors (the ratio of sums, not the mean of per-flow ratios).
+func anemRel(run scenario.Result) float64 {
+	var gen, deliv, backlog uint64
+	for _, fl := range run.Flows {
+		gen += fl.Generated
+		deliv += fl.Delivered
+		backlog += fl.Backlog
 	}
-	if cfg.interference {
-		for _, in := range netem.AddOfficeInterference(net, 1.0) {
-			in.Start()
-		}
-	}
+	return flows.DeliveryRatio(gen, deliv, backlog)
+}
 
-	nodes := cfg.nodes
-	if nodes == nil {
-		nodes = SensorNodes
+// anemRadioDC / anemCPUDC are the mean duty cycles across sensor nodes.
+func anemRadioDC(run scenario.Result) float64 {
+	dc := 0.0
+	for _, fl := range run.Flows {
+		dc += fl.RadioDC
 	}
-	credit := map[ip6.Addr]*app.SensorStats{}
-	app.NewCollector(host, 80, credit)
+	return dc / float64(len(run.Flows))
+}
 
-	info := stack.SegmentSizing(5, true)
-	var sensors []*app.Sensor
-	var tcpTransports []*app.TCPTransport
-	var coapTransports []*app.CoAPTransport
-	for _, id := range nodes {
-		node := net.Nodes[id]
-		sc := net.MakeSleepyLeaf(id)
-		sc.SleepInterval = 4 * sim.Minute
-		sc.FastInterval = 100 * sim.Millisecond
-		sc.Start()
+func anemCPUDC(run scenario.Result) float64 {
+	dc := 0.0
+	for _, fl := range run.Flows {
+		dc += fl.CPUDC
+	}
+	return dc / float64(len(run.Flows))
+}
 
-		var tr app.Transport
-		queueCap := app.TCPQueueCap
-		switch cfg.proto {
-		case ProtoTCPlp:
-			tt := app.NewTCPTransport(node, host.Addr, 80)
-			tcpTransports = append(tcpTransports, tt)
-			tr = tt
-		default:
-			queueCap = app.CoAPQueueCap
-			confirmable := cfg.proto != ProtoCoAPNon
-			ct := app.NewCoAPTransport(node, host.Addr, confirmable, info.SegmentPayload/app.ReadingSize*app.ReadingSize)
-			if cfg.proto == ProtoCoCoA {
-				ct.Client.Policy = coap.NewCoCoA()
-			}
-			coapTransports = append(coapTransports, ct)
-			tr = ct
-		}
-		s := app.NewSensor(net.Eng, tr, queueCap)
-		if cfg.batch {
-			s.Batch = app.DefaultBatch
-		}
-		switch v := tr.(type) {
-		case *app.TCPTransport:
-			v.Attach(s)
-		case *app.CoAPTransport:
-			v.Attach(s)
-		}
-		credit[node.Addr] = &s.Stats
-		sensors = append(sensors, s)
-		s.Start()
+// anemPer10 normalizes a summed per-flow counter to events per 10
+// minutes per node.
+func anemPer10(run scenario.Result, dur sim.Duration, count func(scenario.FlowResult) uint64) float64 {
+	per10 := dur.Seconds() / 600
+	if per10 <= 0 {
+		return 0
 	}
-
-	net.Eng.RunFor(cfg.warm)
-	// Begin the measurement window.
-	var genBase, delivBase uint64
-	for _, s := range sensors {
-		genBase += s.Stats.Generated
-		delivBase += s.Stats.Delivered
+	var total uint64
+	for _, fl := range run.Flows {
+		total += count(fl)
 	}
-	var rtxBase uint64
-	var rtoBase uint64
-	for _, tt := range tcpTransports {
-		rtxBase += tt.Conn.Stats.Retransmits
-		rtoBase += tt.Conn.Stats.Timeouts
-	}
-	for _, ct := range coapTransports {
-		rtxBase += ct.Client.Stats.Retransmissions
-	}
-	for _, id := range nodes {
-		net.Nodes[id].Radio.ResetEnergy()
-		net.Nodes[id].CPU.Reset()
-	}
-
-	var hourly []float64
-	if cfg.hourly {
-		hours := int(cfg.dur / sim.Hour)
-		for h := 1; h <= hours; h++ {
-			h := h
-			net.Eng.Schedule(sim.Duration(h)*sim.Hour, func() {
-				dc := 0.0
-				for _, id := range nodes {
-					dc += net.Nodes[id].Radio.DutyCycle()
-					net.Nodes[id].Radio.ResetEnergy()
-				}
-				hourly = append(hourly, dc/float64(len(nodes)))
-			})
-		}
-	}
-
-	net.Eng.RunFor(cfg.dur)
-
-	var gen, deliv uint64
-	for _, s := range sensors {
-		gen += s.Stats.Generated
-		deliv += s.Stats.Delivered
-	}
-	gen -= genBase
-	deliv -= delivBase
-	// Readings still queued or in flight when the window closes are not
-	// losses; exclude the end-of-window backlog from the denominator
-	// (batching holds up to a full batch back at any instant).
-	var backlog uint64
-	for _, s := range sensors {
-		backlog += uint64(s.QueueDepth())
-	}
-	for _, tt := range tcpTransports {
-		backlog += uint64(tt.Conn.BufferedBytes() / app.ReadingSize)
-	}
-	for _, ct := range coapTransports {
-		backlog += uint64(ct.Client.Pending() * ct.MessageSize / app.ReadingSize)
-	}
-	if backlog > gen-deliv {
-		backlog = gen - deliv
-	}
-	gen -= backlog
-	var rtx, rto uint64
-	for _, tt := range tcpTransports {
-		rtx += tt.Conn.Stats.Retransmits
-		rto += tt.Conn.Stats.Timeouts
-	}
-	for _, ct := range coapTransports {
-		rtx += ct.Client.Stats.Retransmissions
-	}
-	rtx -= rtxBase
-	rto -= rtoBase
-
-	res := anemResult{HourlyDC: hourly}
-	if gen > 0 {
-		res.Reliability = float64(deliv) / float64(gen)
-		if res.Reliability > 1 {
-			res.Reliability = 1
-		}
-	}
-	if !cfg.hourly {
-		for _, id := range nodes {
-			res.RadioDC += net.Nodes[id].Radio.DutyCycle()
-			res.CPUDC += net.Nodes[id].CPU.DutyCycle()
-		}
-		res.RadioDC /= float64(len(nodes))
-		res.CPUDC /= float64(len(nodes))
-	}
-	per10 := cfg.dur.Seconds() / 600
-	if per10 > 0 {
-		res.RtxPer10Min = float64(rtx) / per10 / float64(len(nodes))
-		res.RTOsPer10 = float64(rto) / per10 / float64(len(nodes))
-	}
-	return res
+	return float64(total) / per10 / float64(len(run.Flows))
 }
 
 // Fig8 compares batching vs per-reading transmission for CoAP, CoCoA,
@@ -236,20 +134,36 @@ func Fig8(o Opts) *Table {
 		Columns: []string{"Protocol", "Batching", "Reliability", "Radio DC", "CPU DC"},
 	}
 	warm, dur := scale.dur(2*sim.Minute), scale.dur(30*sim.Minute)
+	type row struct {
+		name  string
+		proto anemProto
+		batch bool
+	}
+	var rows []row
 	seed := int64(400)
-	for _, proto := range []Protocol{ProtoCoAP, ProtoCoCoA, ProtoTCPlp} {
+	var specs []*scenario.Spec
+	for _, p := range []struct {
+		name  string
+		proto anemProto
+	}{{"CoAP", protoCoAP}, {"CoCoA", protoCoCoA}, {"TCPlp", protoTCPlp}} {
 		for _, batch := range []bool{false, true} {
 			seed++
-			r := runAnemometer(anemRun{
-				proto: proto, batch: batch,
-				warm: warm, dur: dur, seed: seed,
-			})
-			label := "no"
-			if batch {
-				label = "yes"
-			}
-			t.AddRow(proto.String(), label, pct(r.Reliability), pct(r.RadioDC), pct(r.CPUDC))
+			rows = append(rows, row{p.name, p.proto, batch})
+			specs = append(specs, anemSpec(
+				fmt.Sprintf("fig8-%s-batch%v", p.name, batch),
+				p.proto, batch, SensorNodes, 0, false, warm, dur, o.seeds(seed)))
 		}
+	}
+	res := o.run(specs)
+	for i, r := range rows {
+		label := "no"
+		if r.batch {
+			label = "yes"
+		}
+		t.AddRow(r.name, label,
+			o.cell(runSeries(res[i], anemRel), pct),
+			o.cell(runSeries(res[i], anemRadioDC), pct),
+			o.cell(runSeries(res[i], anemCPUDC), pct))
 	}
 	t.Note("paper Fig. 8: all three protocols ≈100%% reliable and comparable; batching cuts both duty cycles sharply")
 	return t
@@ -270,32 +184,50 @@ func Fig9(o Opts) []*Table {
 		Columns: []string{"Loss", "TCPlp", "CoCoA", "CoAP"}}
 	warm, dur := scale.dur(2*sim.Minute), scale.dur(20*sim.Minute)
 	losses := []float64{0, 0.03, 0.06, 0.09, 0.12, 0.15, 0.18, 0.21}
+	protos := []struct {
+		name  string
+		proto anemProto
+	}{{"TCPlp", protoTCPlp}, {"CoCoA", protoCoCoA}, {"CoAP", protoCoAP}}
 	seed := int64(500)
+	var specs []*scenario.Spec
 	for _, loss := range losses {
-		results := map[Protocol]anemResult{}
-		for _, proto := range []Protocol{ProtoTCPlp, ProtoCoCoA, ProtoCoAP} {
+		for _, p := range protos {
 			seed++
-			results[proto] = runAnemometer(anemRun{
-				proto: proto, batch: true, injectedLoss: loss,
-				warm: warm, dur: dur, seed: seed,
-			})
+			specs = append(specs, anemSpec(
+				fmt.Sprintf("fig9-loss%.0f-%s", loss*100, p.name),
+				p.proto, true, SensorNodes, loss, false, warm, dur, o.seeds(seed)))
+		}
+	}
+	res := o.run(specs)
+	rtxOf := func(fl scenario.FlowResult) uint64 { return fl.Retransmits }
+	rtoOf := func(fl scenario.FlowResult) uint64 { return fl.Timeouts }
+	for li, loss := range losses {
+		byProto := map[string]*scenario.SpecResult{}
+		for pi, p := range protos {
+			byProto[p.name] = res[li*len(protos)+pi]
 		}
 		l := pct(loss)
-		rel.AddRow(l, pct(results[ProtoTCPlp].Reliability),
-			pct(results[ProtoCoCoA].Reliability), pct(results[ProtoCoAP].Reliability))
-		rtx.AddRow(l, f1(results[ProtoTCPlp].RtxPer10Min), f1(results[ProtoTCPlp].RTOsPer10),
-			f1(results[ProtoCoCoA].RtxPer10Min), f1(results[ProtoCoAP].RtxPer10Min))
-		radio.AddRow(l, pct(results[ProtoTCPlp].RadioDC),
-			pct(results[ProtoCoCoA].RadioDC), pct(results[ProtoCoAP].RadioDC))
-		cpu.AddRow(l, pct(results[ProtoTCPlp].CPUDC),
-			pct(results[ProtoCoCoA].CPUDC), pct(results[ProtoCoAP].CPUDC))
+		relOf := func(sr *scenario.SpecResult) string { return o.cell(runSeries(sr, anemRel), pct) }
+		rel.AddRow(l, relOf(byProto["TCPlp"]), relOf(byProto["CoCoA"]), relOf(byProto["CoAP"]))
+		per10 := func(sr *scenario.SpecResult, count func(scenario.FlowResult) uint64) string {
+			return o.cell(runSeries(sr, func(r scenario.Result) float64 {
+				return anemPer10(r, dur, count)
+			}), f1)
+		}
+		rtx.AddRow(l, per10(byProto["TCPlp"], rtxOf), per10(byProto["TCPlp"], rtoOf),
+			per10(byProto["CoCoA"], rtxOf), per10(byProto["CoAP"], rtxOf))
+		radioOf := func(sr *scenario.SpecResult) string { return o.cell(runSeries(sr, anemRadioDC), pct) }
+		radio.AddRow(l, radioOf(byProto["TCPlp"]), radioOf(byProto["CoCoA"]), radioOf(byProto["CoAP"]))
+		cpuOf := func(sr *scenario.SpecResult) string { return o.cell(runSeries(sr, anemCPUDC), pct) }
+		cpu.AddRow(l, cpuOf(byProto["TCPlp"]), cpuOf(byProto["CoCoA"]), cpuOf(byProto["CoAP"]))
 	}
 	rel.Note("paper Fig. 9a: TCP and CoAP near 100%% through 15%% loss; CoCoA collapses from RTT inflation")
 	return []*Table{rel, rtx, radio, cpu}
 }
 
-// Fig10 runs TCPlp and CoAP simultaneously for a full day under diurnal
-// interference and reports hourly radio duty cycles.
+// Fig10 runs TCPlp and CoAP for a full day under diurnal interference
+// and reports hourly radio duty cycles, split across the sensor nodes
+// exactly as the paper does (§9.5) so both see the same conditions.
 func Fig10(o Opts) *Table {
 	scale := o.scale()
 	t := &Table{
@@ -309,23 +241,30 @@ func Fig10(o Opts) *Table {
 		hours = 1
 		dur = sim.Hour
 	}
-	// Run both protocols in the same network instance, split across the
-	// sensor nodes exactly as the paper does (§9.5), so they see the
-	// same interference.
-	tcpRes := runAnemometer(anemRun{
-		proto: ProtoTCPlp, batch: true, interference: true,
-		warm: 0, dur: dur, seed: 600, hourly: true, nodes: []int{11, 13},
+	mk := func(name string, p anemProto, nodes []int) *scenario.Spec {
+		s := anemSpec(name, p, true, nodes, 0, true, 0, dur, o.seeds(600))
+		s.DCSample = scenario.Duration(sim.Hour)
+		return s
+	}
+	res := o.run([]*scenario.Spec{
+		mk("fig10-tcplp", protoTCPlp, []int{11, 13}),
+		mk("fig10-coap", protoCoAP, []int{12, 14}),
 	})
-	coapRes := runAnemometer(anemRun{
-		proto: ProtoCoAP, batch: true, interference: true,
-		warm: 0, dur: dur, seed: 600, hourly: true, nodes: []int{12, 14},
-	})
-	n := len(tcpRes.HourlyDC)
-	if len(coapRes.HourlyDC) < n {
-		n = len(coapRes.HourlyDC)
+	dcSeries := func(sr *scenario.SpecResult, h int) []float64 {
+		out := make([]float64, 0, len(sr.Runs))
+		for _, run := range sr.Runs {
+			if h < len(run.DCSamples) {
+				out = append(out, run.DCSamples[h])
+			}
+		}
+		return out
+	}
+	n := len(res[0].Runs[0].DCSamples)
+	if m := len(res[1].Runs[0].DCSamples); m < n {
+		n = m
 	}
 	for h := 0; h < n; h++ {
-		t.AddRow(di(h), pct(tcpRes.HourlyDC[h]), pct(coapRes.HourlyDC[h]))
+		t.AddRow(di(h), o.cell(dcSeries(res[0], h), pct), o.cell(dcSeries(res[1], h), pct))
 	}
 	t.Note("paper Fig. 10: CoAP cheaper at night; TCPlp comparable or better during working-hours interference")
 	return t
@@ -343,20 +282,26 @@ func Table8(o Opts) *Table {
 	warm, dur := scale.dur(10*sim.Minute), scale.dur(24*sim.Hour)
 	rows := []struct {
 		name  string
-		proto Protocol
+		proto anemProto
 		batch bool
 	}{
-		{"TCPlp", ProtoTCPlp, true},
-		{"CoAP", ProtoCoAP, true},
-		{"Unreliable, no batch", ProtoCoAPNon, false},
-		{"Unreliable, batch", ProtoCoAPNon, true},
+		{"TCPlp", protoTCPlp, true},
+		{"CoAP", protoCoAP, true},
+		{"Unreliable, no batch", protoCoAPNon, false},
+		{"Unreliable, batch", protoCoAPNon, true},
 	}
+	var specs []*scenario.Spec
 	for i, r := range rows {
-		res := runAnemometer(anemRun{
-			proto: r.proto, batch: r.batch, interference: true,
-			warm: warm, dur: dur, seed: int64(700 + i),
-		})
-		t.AddRow(r.name, pct(res.Reliability), pct(res.RadioDC), pct(res.CPUDC))
+		specs = append(specs, anemSpec(
+			fmt.Sprintf("table8-%d", i),
+			r.proto, r.batch, SensorNodes, 0, true, warm, dur, o.seeds(int64(700+i))))
+	}
+	res := o.run(specs)
+	for i, r := range rows {
+		t.AddRow(r.name,
+			o.cell(runSeries(res[i], anemRel), pct),
+			o.cell(runSeries(res[i], anemRadioDC), pct),
+			o.cell(runSeries(res[i], anemCPUDC), pct))
 	}
 	t.Note("paper Table 8: reliability costs ≈3x duty cycle vs the unreliable baseline; TCPlp 99.3%%, CoAP 99.5%%")
 	return t

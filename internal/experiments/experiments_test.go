@@ -319,6 +319,36 @@ func TestGoldenEquivalence(t *testing.T) {
 	check("equiv_table7.txt", Table7(quick))
 }
 
+// TestGoldenEquivalenceApps pins the protocol-driver port of the §9
+// application study and the Appendix C duty-cycled study: the golden
+// files were rendered by the bespoke anemometer/CoAP harness and the
+// hand-rolled duty-cycled loop before their deletion, and the
+// spec-driven ports must reproduce them byte for byte.
+func TestGoldenEquivalenceApps(t *testing.T) {
+	check := func(name string, tabs ...*Table) {
+		t.Helper()
+		want, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tab := range tabs {
+			b.WriteString(tab.String())
+		}
+		if got := b.String(); got != string(want) {
+			t.Errorf("%s: ported tables diverge from the bespoke implementation\n--- got ---\n%s--- want ---\n%s",
+				name, got, want)
+		}
+	}
+	check("equiv_fig8.txt", Fig8(Opts{Scale: 0.1}))
+	check("equiv_fig9.txt", Fig9(Opts{Scale: 0.05})...)
+	check("equiv_fig10.txt", Fig10(Opts{Scale: 0.1}))
+	check("equiv_table8.txt", Table8(Opts{Scale: 0.02}))
+	check("equiv_fig12.txt", Fig12(Opts{Scale: 0.2}))
+	check("equiv_fig13.txt", Fig13(Opts{Scale: 0.2}))
+	check("equiv_fig14.txt", Fig14(Opts{Scale: 0.3}))
+}
+
 // TestFig6WorkersBitIdentical is the parallelization contract at the
 // experiment level: the same fig6 sweep through a serial and a wide
 // worker pool must render byte-identical tables.
@@ -351,6 +381,40 @@ func TestMultiSeedErrorBars(t *testing.T) {
 	tab = Fig5(Opts{Scale: 0.05})
 	if strings.Contains(tab.Rows[0][2], "±") {
 		t.Fatalf("single-seed cell %q carries an error bar", tab.Rows[0][2])
+	}
+}
+
+// TestCICells pins the -ci rendering: the same runs render a wider
+// spread than ± σ (the Student-t interval at 3 seeds is 2.48·s/√3 ≈
+// 1.75σ) around the identical mean.
+func TestCICells(t *testing.T) {
+	o := Opts{Scale: 0.05, Seeds: 3, Workers: 4}
+	sigma := Fig5(o)
+	o.CI = true
+	ci := Fig5(o)
+	widened := false
+	for i := range sigma.Rows {
+		ms, ss, okS := strings.Cut(sigma.Rows[i][2], " ± ")
+		mc, sc, okC := strings.Cut(ci.Rows[i][2], " ± ")
+		if !okS || !okC {
+			t.Fatalf("row %d cells lack error bars: %q / %q", i, sigma.Rows[i][2], ci.Rows[i][2])
+		}
+		if ms != mc {
+			t.Fatalf("row %d: -ci changed the mean (%s vs %s)", i, ms, mc)
+		}
+		sv, _ := strconv.ParseFloat(ss, 64)
+		cv, _ := strconv.ParseFloat(sc, 64)
+		if cv > sv {
+			widened = true
+		}
+		// t(2)/√3 ≈ 2.48: CI may round equal at tiny spreads but must
+		// never be smaller than σ by more than rounding.
+		if cv < sv-0.11 {
+			t.Fatalf("row %d: CI %v narrower than σ %v", i, cv, sv)
+		}
+	}
+	if !widened {
+		t.Fatal("no row showed the Student-t widening over σ")
 	}
 }
 

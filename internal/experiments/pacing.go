@@ -71,10 +71,10 @@ func Pacing(o Opts) *Table {
 	for i, sr := range results {
 		variant := sr.Runs[0].Flows[0].Variant
 		t.AddRow(labels[i], variant,
-			seriesCell(flowSeries(sr, 0, goodputOf), f1),
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts + f.FastRtx) }), f0),
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts) }), f0),
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
+			o.cell(flowSeries(sr, 0, goodputOf), f1),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts + f.FastRtx) }), f0),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts) }), f0),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
 	}
 	t.Note("paced BBR releases at most 2 segments back-to-back (pinned by the transfer-test gap assertion); ACK-clocked variants emit full window trains")
 	return t

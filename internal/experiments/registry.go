@@ -50,6 +50,9 @@ type Opts struct {
 	// Workers bounds the scenario runner's worker pool (0 = all CPUs).
 	// Aggregates are bit-identical whatever the pool size.
 	Workers int
+	// CI renders multi-seed cells as mean ± Student-t 95% confidence
+	// half-width instead of mean ± σ (tcplp-bench -ci).
+	CI bool
 }
 
 // scale returns the effective duration scale.
@@ -128,13 +131,13 @@ var Registry = []Experiment{
 	{ID: "hopsweep", Desc: "Goodput vs hops (§7.2)", Run: one(HopSweep), MultiSeed: true},
 	{ID: "model", Desc: "Eq.1 vs Eq.2 (§8)", Run: static(ModelComparison)},
 	{ID: "table9", Desc: "Two-flow fairness (Table 9 / Appendix A)", Run: one(Table9), MultiSeed: true},
-	{ID: "fig8", Desc: "Batching vs power (Fig. 8)", Run: one(Fig8)},
-	{ID: "fig9", Desc: "Injected loss sweep (Fig. 9)", Run: Fig9},
-	{ID: "fig10", Desc: "Diurnal day run (Fig. 10)", Run: one(Fig10)},
-	{ID: "table8", Desc: "Full-day summary (Table 8)", Run: one(Table8)},
-	{ID: "fig12", Desc: "Fixed sleep interval sweep (Fig. 12 / Appendix C)", Run: one(Fig12)},
-	{ID: "fig13", Desc: "RTT distribution at 2 s sleep (Fig. 13)", Run: one(Fig13)},
-	{ID: "fig14", Desc: "Adaptive sleep interval (Fig. 14 / §C.2)", Run: one(Fig14)},
+	{ID: "fig8", Desc: "Batching vs power (Fig. 8)", Run: one(Fig8), MultiSeed: true},
+	{ID: "fig9", Desc: "Injected loss sweep (Fig. 9)", Run: Fig9, MultiSeed: true},
+	{ID: "fig10", Desc: "Diurnal day run (Fig. 10)", Run: one(Fig10), MultiSeed: true},
+	{ID: "table8", Desc: "Full-day summary (Table 8)", Run: one(Table8), MultiSeed: true},
+	{ID: "fig12", Desc: "Fixed sleep interval sweep (Fig. 12 / Appendix C)", Run: one(Fig12), MultiSeed: true},
+	{ID: "fig13", Desc: "RTT distribution at 2 s sleep (Fig. 13)", Run: one(Fig13), MultiSeed: true},
+	{ID: "fig14", Desc: "Adaptive sleep interval (Fig. 14 / §C.2)", Run: one(Fig14), MultiSeed: true},
 	{ID: "ccvariants", Desc: "Congestion-control head-to-head, PER + link-retry-delay axes",
 		Run: one(CCVariants), SweepsVariants: true, MultiSeed: true},
 	{ID: "pacing", Desc: "Paced BBR vs ACK-clocked NewReno (hidden-terminal + duty-cycled)",

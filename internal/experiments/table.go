@@ -96,14 +96,19 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
 func di(v int) string      { return fmt.Sprintf("%d", v) }
 func du(v uint64) string   { return fmt.Sprintf("%d", v) }
 
-// seriesCell renders one table cell from per-seed observations: a
-// single observation stays the plain point estimate, several render as
+// cell renders one table cell from per-seed observations: a single
+// observation stays the plain point estimate, several render as
 // "mean ± σ" using the given point formatter — so multi-seed tables
 // carry their error bars instead of silently showing point estimates.
-func seriesCell(xs []float64, f func(float64) string) string {
+// With Opts.CI set, the spread is instead the Student-t 95% confidence
+// half-width of the mean, which stays honest at 3-5 seeds.
+func (o Opts) cell(xs []float64, f func(float64) string) string {
 	mean, sd := stats.MeanStdDev(xs)
 	if len(xs) < 2 {
 		return f(mean)
+	}
+	if o.CI {
+		return f(mean) + " ± " + f(stats.CI95(xs))
 	}
 	return f(mean) + " ± " + f(sd)
 }

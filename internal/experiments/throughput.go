@@ -93,8 +93,8 @@ func Fig4(o Opts) *Table {
 	for i, fr := range frames {
 		info := stack.SegmentSizing(fr, true)
 		t.AddRow(di(fr), di(info.MSS),
-			seriesCell(flowSeries(up[i], 0, goodputOf), f1),
-			seriesCell(flowSeries(down[i], 0, goodputOf), f1))
+			o.cell(flowSeries(up[i], 0, goodputOf), f1),
+			o.cell(flowSeries(down[i], 0, goodputOf), f1))
 	}
 	t.Note("paper Fig. 4: poor goodput at small MSS from header overhead, diminishing gains past 5 frames")
 	return t
@@ -124,8 +124,8 @@ func Fig5(o Opts) *Table {
 		sr := res[i]
 		mss := sr.Runs[0].Flows[0].MSS
 		t.AddRow(di(segs), di(segs*mss),
-			seriesCell(flowSeries(sr, 0, goodputOf), f1),
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
+			o.cell(flowSeries(sr, 0, goodputOf), f1),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
 	}
 	t.Note("paper Fig. 5: goodput levels off once the window exceeds the ≈1.6 KiB bandwidth-delay product")
 	return t
@@ -165,13 +165,13 @@ func Table7(o Opts) *Table {
 	res := o.run(specs)
 	for i, p := range uip.Profiles() {
 		t.AddRow(p.String(), fmt.Sprintf("%d frame(s)", p.SegFrames()), "1 seg",
-			seriesCell(flowSeries(res[2*i], 0, goodputOf), f1),
-			seriesCell(flowSeries(res[2*i+1], 0, goodputOf), f1))
+			o.cell(flowSeries(res[2*i], 0, goodputOf), f1),
+			o.cell(flowSeries(res[2*i+1], 0, goodputOf), f1))
 	}
 	n := len(res)
 	t.AddRow("TCPlp", "5 frames", "4 segs",
-		seriesCell(flowSeries(res[n-2], 0, goodputOf), f1),
-		seriesCell(flowSeries(res[n-1], 0, goodputOf), f1))
+		o.cell(flowSeries(res[n-2], 0, goodputOf), f1),
+		o.cell(flowSeries(res[n-1], 0, goodputOf), f1))
 	t.Note("paper Table 7: uIP-class 1.5-15 kb/s one hop vs TCPlp ≈75 kb/s — a 5-40x gap")
 	return t
 }
@@ -216,9 +216,9 @@ func Fig6(o Opts) []*Table {
 		tab := mkTab(id, title, []string{"d (ms)", "Seg loss", "Goodput kb/s", "Eq.2 pred kb/s"})
 		for i, sr := range cells {
 			tab.AddRow(f1(ds[i].Milliseconds()),
-				seriesCell(runSeries(sr, segLoss), pct),
-				seriesCell(flowSeries(sr, 0, goodputOf), f1),
-				seriesCell(runSeries(sr, eq2Pred), f1))
+				o.cell(runSeries(sr, segLoss), pct),
+				o.cell(flowSeries(sr, 0, goodputOf), f1),
+				o.cell(runSeries(sr, eq2Pred), f1))
 		}
 		return tab
 	}
@@ -233,13 +233,13 @@ func Fig6(o Opts) []*Table {
 	for i, sr := range three {
 		d := f1(ds[i].Milliseconds())
 		t6c.AddRow(d,
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.MedianRTTms }), f1),
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.MedianRTTms }), f1),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
 		t6d.AddRow(d,
-			seriesCell(runSeries(sr, func(r scenario.Result) float64 { return float64(r.FramesSent) }), f0))
+			o.cell(runSeries(sr, func(r scenario.Result) float64 { return float64(r.FramesSent) }), f0))
 		t7b.AddRow(d,
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts) }), f0),
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.FastRtx) }), f0))
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts) }), f0),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.FastRtx) }), f0))
 	}
 	t6b.Note("paper: ≈6%% loss at d=0 from hidden terminals, <1%% by d=30 ms, yet goodput nearly flat — the §7.3 small-window robustness")
 	t6d.Note("paper Fig. 6d: larger d sends fewer total frames (fewer futile retries)")
@@ -301,9 +301,10 @@ func CwndTrace(o Opts) ([]CwndTracePoint, *Table) {
 }
 
 // HopSweep reproduces the §7.2 hop-count measurement at d = 40 ms and
-// compares it with the B/min(h,3) radio-scheduling bound: a hops-axis
-// sweep with an "end"-referenced sender, plus the paper's 4-hop outlier
-// cell (which needed a 6-segment window to fill the pipe).
+// compares it with the B/min(h,3) radio-scheduling bound: one hops-axis
+// sweep with an "end"-referenced sender. The paper's 4-hop outlier
+// (which needed a 6-segment window to fill the pipe) is a per-cell
+// override in the same grid, not a separate spec.
 func HopSweep(o Opts) *Table {
 	t := &Table{
 		ID:      "hopsweep",
@@ -311,28 +312,21 @@ func HopSweep(o Opts) *Table {
 		Columns: []string{"Hops", "Goodput kb/s", "×1-hop", "Bound factor"},
 	}
 	warm, dur := o.scale().dur(15*sim.Second), o.scale().dur(90*sim.Second)
-	res := o.run([]*scenario.Spec{
-		{
-			Name:     "hopsweep",
-			Topology: scenario.TopologySpec{Kind: scenario.TopoChain},
-			Flows:    []scenario.FlowSpec{{From: scenario.End(), To: scenario.NodeID(0)}},
-			Sweep:    &scenario.Sweep{Hops: []int{1, 2, 3}, SeedStep: 1},
-			Warmup:   scenario.Duration(warm),
-			Duration: scenario.Duration(dur),
-			Seeds:    o.seeds(201),
+	res := o.run([]*scenario.Spec{{
+		Name:     "hopsweep",
+		Topology: scenario.TopologySpec{Kind: scenario.TopoChain},
+		Flows:    []scenario.FlowSpec{{From: scenario.End(), To: scenario.NodeID(0)}},
+		Sweep: &scenario.Sweep{
+			Hops: []int{1, 2, 3, 4}, SeedStep: 1,
+			Overrides: []scenario.Override{{
+				When: scenario.OverrideWhen{"hops": "4"},
+				Set:  scenario.OverrideSet{WindowSegs: 6},
+			}},
 		},
-		{
-			// §7.2: four hops needed a larger window to fill the pipe, so
-			// the last point is its own cell with a 6-segment window.
-			Name:     "hopsweep/hops=4",
-			Topology: scenario.TopologySpec{Kind: scenario.TopoChain, Nodes: 5},
-			Net:      scenario.NetSpec{WindowSegs: 6},
-			Flows:    []scenario.FlowSpec{{From: scenario.NodeID(4), To: scenario.NodeID(0)}},
-			Warmup:   scenario.Duration(warm),
-			Duration: scenario.Duration(dur),
-			Seeds:    o.seeds(204),
-		},
-	})
+		Warmup:   scenario.Duration(warm),
+		Duration: scenario.Duration(dur),
+		Seeds:    o.seeds(201),
+	}})
 	var oneHop []float64
 	for hops := 1; hops <= 4; hops++ {
 		g := flowSeries(res[hops-1], 0, goodputOf)
@@ -350,7 +344,7 @@ func HopSweep(o Opts) *Table {
 				ratios[i] = v / ref
 			}
 		}
-		t.AddRow(di(hops), seriesCell(g, f1), seriesCell(ratios, f2),
+		t.AddRow(di(hops), o.cell(g, f1), o.cell(ratios, f2),
 			f2(model.MultihopFactor(hops)))
 	}
 	t.Note("paper §7.2: 64.1 / 28.3 / 19.5 / 17.5 kb/s for 1-4 hops, tracking B/min(h,3)")
@@ -399,10 +393,10 @@ func Table9(o Opts) *Table {
 	})
 	for _, sr := range results {
 		t.AddRow(sr.Spec.Name,
-			seriesCell(flowSeries(sr, 0, goodputOf), f1),
-			seriesCell(flowSeries(sr, 1, goodputOf), f1),
-			seriesCell(runSeries(sr, func(r scenario.Result) float64 { return r.Jain }), f3),
-			seriesCell(runSeries(sr, func(r scenario.Result) float64 { return r.AggregateKbps }), f1))
+			o.cell(flowSeries(sr, 0, goodputOf), f1),
+			o.cell(flowSeries(sr, 1, goodputOf), f1),
+			o.cell(runSeries(sr, func(r scenario.Result) float64 { return r.Jain }), f3),
+			o.cell(runSeries(sr, func(r scenario.Result) float64 { return r.AggregateKbps }), f1))
 	}
 	t.Note("paper Table 9: fair at w=4; w=7 needs RED/ECN at relays to restore fairness and keep RTT low")
 	t.Note("the mixed row asks whether pacing alone fixes the w=7 unfairness without AQM at the relays")

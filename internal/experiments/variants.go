@@ -77,10 +77,10 @@ func CCVariants(o Opts) *Table {
 	for i, sr := range results {
 		variant := sr.Runs[0].Flows[0].Variant
 		t.AddRow(axes[i], variant,
-			seriesCell(flowSeries(sr, 0, goodputOf), f1),
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts) }), f0),
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.FastRtx) }), f0),
-			seriesCell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
+			o.cell(flowSeries(sr, 0, goodputOf), f1),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.Timeouts) }), f0),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return float64(f.FastRtx) }), f0),
+			o.cell(flowSeries(sr, 0, func(f scenario.FlowResult) float64 { return f.SRTTms }), f1))
 	}
 	t.Note("with a 4-segment window the variants converge at low loss (§7.3 small-window robustness); they separate as corruption losses mount and the backoff policy starts to matter")
 	t.Note("the d-axis reproduces Fig. 6 conditions: at d=0 losses are hidden-terminal collisions, which retry-delay masks by d=40 ms")

@@ -3,8 +3,9 @@ package scenario
 import (
 	"fmt"
 
-	"tcplp/internal/app"
 	"tcplp/internal/mesh"
+	"tcplp/internal/netem"
+	"tcplp/internal/scenario/flows"
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
 	"tcplp/internal/stats"
@@ -60,19 +61,22 @@ func (s *Spec) options() stack.Options {
 	return opt
 }
 
-// flowRun is one instantiated flow plus its measurement hooks.
+// flowRun is one instantiated flow: its endpoints plus the protocol
+// driver's measurement probe.
 type flowRun struct {
-	spec FlowSpec
-	src  *stack.Node
-	dst  *stack.Node
-	sink *app.Sink
-	conn *tcplp.Conn // the sender-side connection
-	bulk *app.Source // bulk/onoff sources (nil for anemometer)
+	spec  FlowSpec
+	src   *stack.Node
+	dst   *stack.Node
+	probe flows.Probe
+}
 
-	cfg   tcplp.Config
-	rtts  stats.Sample
-	base  tcplp.ConnStats // sender stats at the measurement mark
-	trace []CwndPoint     // cwnd observations (Trace flows, post-warmup)
+// meshNode returns the flow's mesh-side endpoint — the source unless it
+// is the wired host (which has no radio).
+func (fr *flowRun) meshNode() *stack.Node {
+	if fr.src.Radio != nil {
+		return fr.src
+	}
+	return fr.dst
 }
 
 // runContext is one fully built (spec, seed) instance.
@@ -84,6 +88,7 @@ type runContext struct {
 
 	framesBase uint64
 	lossBase   uint64
+	dcSamples  []float64
 }
 
 // buildRun instantiates the spec onto the stack layers for one seed.
@@ -92,6 +97,14 @@ func buildRun(spec *Spec, seed int64) (*runContext, error) {
 	net := stack.New(seed, spec.Topology.build(), spec.options())
 	if spec.needsHost() {
 		net.AttachHost()
+	}
+	if spec.Net.InjectedLoss > 0 {
+		net.Border().DropFilter = netem.UniformLoss(spec.Net.InjectedLoss, seed+1)
+	}
+	if spec.Net.Interference > 0 {
+		for _, in := range netem.AddOfficeInterference(net, spec.Net.Interference) {
+			in.Start()
+		}
 	}
 	for _, ns := range spec.Nodes {
 		if !ns.Sleepy {
@@ -105,6 +118,12 @@ func buildRun(spec *Spec, seed int64) (*runContext, error) {
 			sc.FastInterval = ns.FastInterval.D()
 		}
 		sc.Adaptive = ns.Adaptive
+		if ns.MinInterval > 0 {
+			sc.Min = ns.MinInterval.D()
+		}
+		if ns.MaxInterval > 0 {
+			sc.Max = ns.MaxInterval.D()
+		}
 		if ns.NoFastPollHint {
 			net.Nodes[ns.ID].TCP.OnExpectingChange = nil
 		}
@@ -132,17 +151,18 @@ func (rc *runContext) resolve(r NodeRef) *stack.Node {
 	return rc.net.Nodes[r.ID]
 }
 
-// startFlow opens one flow's sink and source with its per-flow TCP
-// configuration.
-func (rc *runContext) startFlow(fs FlowSpec) (*flowRun, error) {
+// tcpConfigs derives the flow's sender and sink TCP configurations:
+// per-flow variant/window/pacing over the network defaults, host-sized
+// buffers on host endpoints, and the Table 7 stack-profile override.
+func (rc *runContext) tcpConfigs(fs FlowSpec) (srcCfg, sinkCfg tcplp.Config, err error) {
 	// An empty variant must stay empty so FlowTCPConfig keeps the
 	// network default (which carries the process-wide -variant flag);
 	// cc.Parse would collapse it to NewReno.
 	var variant cc.Variant
 	if fs.Variant != "" {
-		v, err := cc.Parse(fs.Variant)
-		if err != nil {
-			return nil, err // unreachable after Validate
+		v, perr := cc.Parse(fs.Variant)
+		if perr != nil {
+			return srcCfg, sinkCfg, perr // unreachable after Validate
 		}
 		variant = v
 	}
@@ -150,77 +170,72 @@ func (rc *runContext) startFlow(fs FlowSpec) (*flowRun, error) {
 	if fs.Pacing != nil && !*fs.Pacing {
 		cfg.NoPacing = true
 	}
-	src, dst := rc.resolve(fs.From), rc.resolve(fs.To)
-	fr := &flowRun{spec: fs, src: src, dst: dst, cfg: cfg}
 
 	// The host end is unconstrained (§5: a FreeBSD-class machine), so a
 	// host endpoint keeps large buffers; the flow's window knob binds at
 	// the mote end, which is what bounds the transfer either way.
-	sinkCfg := cfg
+	sinkCfg = cfg
 	if fs.To.Host {
 		sinkCfg.SendBufSize = 64 * 1024
 		sinkCfg.RecvBufSize = 64 * 1024
 	}
-	fr.sink = app.ListenSinkConfig(dst, fs.Port, sinkCfg)
-
-	srcCfg := cfg
+	srcCfg = cfg
 	if fs.From.Host {
 		srcCfg.SendBufSize = 64 * 1024
 	}
 	if fs.Profile != "" {
 		// Table 7 baselines: the sender runs the simplified-stack
-		// profile while the sink above keeps full TCPlp, whose delayed
-		// ACKs penalize stop-and-wait stacks just as real gateway-class
+		// profile while the sink keeps full TCPlp, whose delayed ACKs
+		// penalize stop-and-wait stacks just as real gateway-class
 		// receivers did.
-		p, err := uip.ParseProfile(fs.Profile)
-		if err != nil {
-			return nil, err // unreachable after Validate
+		p, perr := uip.ParseProfile(fs.Profile)
+		if perr != nil {
+			return srcCfg, sinkCfg, perr // unreachable after Validate
 		}
 		srcCfg = p.Config()
-		fr.cfg = srcCfg
 	}
-	switch fs.Pattern {
-	case PatternBulk:
-		fr.bulk = app.StartBulkConfig(src, srcCfg, dst.Addr, fs.Port)
-		fr.conn = fr.bulk.Conn
-	case PatternOnOff:
-		fr.bulk = app.StartOnOffConfig(src, srcCfg, dst.Addr, fs.Port, fs.On.D(), fs.Off.D())
-		fr.conn = fr.bulk.Conn
-	case PatternAnemometer:
-		tr := app.NewTCPTransportConfig(src, srcCfg, dst.Addr, fs.Port)
-		sensor := app.NewSensor(rc.net.Eng, tr, app.TCPQueueCap)
-		sensor.Interval = fs.Interval.D()
-		sensor.Batch = fs.Batch
-		tr.Attach(sensor)
-		sensor.Start()
-		fr.conn = tr.Conn
-	default:
-		return nil, fmt.Errorf("scenario: unvalidated pattern %q", fs.Pattern)
+	return srcCfg, sinkCfg, nil
+}
+
+// startFlow resolves the flow's endpoints and hands it to its protocol
+// driver.
+func (rc *runContext) startFlow(fs FlowSpec) (*flowRun, error) {
+	srcCfg, sinkCfg, err := rc.tcpConfigs(fs)
+	if err != nil {
+		return nil, err
 	}
-	// RTT samples are collected over the connection's whole life — the
-	// estimator's full history, matching the paper's median-RTT plots —
-	// unlike the byte/energy counters, which cover only the post-warmup
-	// window.
-	fr.conn.TraceRTT = func(s sim.Duration) { fr.rtts.Add(float64(s)) }
+	src, dst := rc.resolve(fs.From), rc.resolve(fs.To)
+	fr := &flowRun{spec: fs, src: src, dst: dst}
+	probe, err := flows.Start(
+		&flows.Env{Net: rc.net, Src: src, Dst: dst},
+		fs.Protocol,
+		flows.Spec{
+			Label:       fs.Label,
+			Port:        fs.Port,
+			Pattern:     fs.Pattern,
+			On:          fs.On.D(),
+			Off:         fs.Off.D(),
+			Interval:    fs.Interval.D(),
+			Batch:       fs.Batch,
+			Trace:       fs.Trace,
+			Confirmable: fs.Confirmable == nil || *fs.Confirmable,
+			RTO:         fs.RTO,
+			SrcCfg:      srcCfg,
+			SinkCfg:     sinkCfg,
+		})
+	if err != nil {
+		return nil, err
+	}
+	fr.probe = probe
 	return fr, nil
 }
 
-// mark opens the measurement window: sinks and counters snapshot their
-// baselines, the energy meters reset, and traced flows start recording
-// their congestion window, so every windowed metric covers only the
-// post-warmup schedule.
+// mark opens the measurement window: probes and counters snapshot their
+// baselines and the energy meters reset, so every windowed metric
+// covers only the post-warmup schedule.
 func (rc *runContext) mark() {
 	for _, fr := range rc.flows {
-		fr := fr // go 1.21: the loop variable is shared; the closure needs its own
-		fr.sink.Mark()
-		fr.base = fr.conn.Stats
-		if fr.spec.Trace {
-			fr.conn.TraceCwnd = func(now sim.Time, cwnd, ssthresh int) {
-				fr.trace = append(fr.trace, CwndPoint{
-					T: Duration(now), Cwnd: cwnd, Ssthresh: ssthresh,
-				})
-			}
-		}
+		fr.probe.Mark()
 	}
 	for _, n := range rc.net.Nodes {
 		n.Radio.ResetEnergy()
@@ -233,6 +248,49 @@ func (rc *runContext) mark() {
 	rc.lossBase = rc.net.TotalLossEvents()
 }
 
+// scheduleDCSamples arms the Fig. 10 duty-cycle sampler: at every
+// DCSample boundary of the measurement window, record the mean radio
+// duty cycle across the flow source nodes and reset their meters.
+func (rc *runContext) scheduleDCSamples() {
+	period := rc.spec.DCSample.D()
+	n := int(rc.spec.Duration.D() / period)
+	for i := 1; i <= n; i++ {
+		rc.net.Eng.Schedule(sim.Duration(i)*period, func() {
+			dc := 0.0
+			cnt := 0
+			for _, fr := range rc.flows {
+				node := fr.meshNode()
+				if node.Radio == nil {
+					continue
+				}
+				dc += node.Radio.DutyCycle()
+				node.Radio.ResetEnergy()
+				cnt++
+			}
+			if cnt > 0 {
+				rc.dcSamples = append(rc.dcSamples, dc/float64(cnt))
+			}
+		})
+	}
+}
+
+// runIdlePhase appends the Fig. 14 idle measurement: every flow stops
+// (window-rate metrics freeze at this instant), the network settles,
+// each flow's mesh endpoint resets its radio meter, and the idle window
+// runs out. collect picks the duty cycles up afterwards.
+func (rc *runContext) runIdlePhase() {
+	for _, fr := range rc.flows {
+		fr.probe.Stop()
+	}
+	rc.net.Eng.RunFor(rc.spec.IdleSettle.D())
+	for _, fr := range rc.flows {
+		if node := fr.meshNode(); node.Radio != nil {
+			node.Radio.ResetEnergy()
+		}
+	}
+	rc.net.Eng.RunFor(rc.spec.IdleWindow.D())
+}
+
 // collect closes the measurement window and computes the run's result.
 func (rc *runContext) collect() Result {
 	res := Result{
@@ -240,30 +298,52 @@ func (rc *runContext) collect() Result {
 		Seed:       rc.seed,
 		FramesSent: rc.net.TotalFramesSent() - rc.framesBase,
 		LossEvents: rc.net.TotalLossEvents() - rc.lossBase,
+		DCSamples:  rc.dcSamples,
 	}
+	idle := rc.spec.IdleWindow > 0
 	var goodputs []float64
 	for _, fr := range rc.flows {
-		st := fr.conn.Stats
+		m := fr.probe.Collect()
+		trace := make([]CwndPoint, len(m.Cwnd))
+		for i, p := range m.Cwnd {
+			trace[i] = CwndPoint{T: Duration(p.T), Cwnd: p.Cwnd, Ssthresh: p.Ssthresh}
+		}
 		fres := FlowResult{
-			Label:       fr.spec.Label,
-			Variant:     string(fr.cfg.Variant),
-			WindowSegs:  fr.cfg.RecvBufSize / fr.cfg.MSS,
-			MSS:         fr.cfg.MSS,
-			Pattern:     fr.spec.Pattern,
-			GoodputKbps: fr.sink.GoodputKbps(),
-			Bytes:       fr.sink.BytesSinceMark(),
-			SentBytes:   int(st.BytesSent - fr.base.BytesSent),
-			Retransmits: st.Retransmits - fr.base.Retransmits,
-			Timeouts:    st.Timeouts - fr.base.Timeouts,
-			FastRtx:     st.FastRetransmits - fr.base.FastRetransmits,
-			SRTTms:      fr.conn.SRTT().Milliseconds(),
-			MedianRTTms: sim.Duration(fr.rtts.Median()).Milliseconds(),
-			CwndTrace:   fr.trace,
+			Label:         fr.spec.Label,
+			Protocol:      flowProtocol(fr.spec.Protocol),
+			Variant:       m.Variant,
+			WindowSegs:    m.WindowSegs,
+			MSS:           m.MSS,
+			Pattern:       fr.spec.Pattern,
+			GoodputKbps:   m.GoodputKbps,
+			Bytes:         m.Bytes,
+			SentBytes:     m.SentBytes,
+			Retransmits:   m.Retransmits,
+			Timeouts:      m.Timeouts,
+			FastRtx:       m.FastRtx,
+			SRTTms:        m.SRTTms,
+			MeanRTTms:     m.MeanRTTms,
+			MedianRTTms:   m.MedianRTTms,
+			RTTp10ms:      m.RTTp10ms,
+			RTTp90ms:      m.RTTp90ms,
+			RTTMaxms:      m.RTTMaxms,
+			Generated:     m.Generated,
+			Delivered:     m.Delivered,
+			Backlog:       m.Backlog,
+			DeliveryRatio: m.DeliveryRatio,
+			LatencyP50ms:  m.LatencyP50ms,
+			LatencyP99ms:  m.LatencyP99ms,
+			CwndTrace:     trace,
 		}
 		if fr.src.Radio != nil {
 			fres.RadioDC = fr.src.Radio.DutyCycle()
 		}
 		fres.CPUDC = fr.src.CPU.DutyCycle()
+		if idle {
+			if node := fr.meshNode(); node.Radio != nil {
+				fres.IdleRadioDC = node.Radio.DutyCycle()
+			}
+		}
 		goodputs = append(goodputs, fres.GoodputKbps)
 		res.AggregateKbps += fres.GoodputKbps
 		res.Flows = append(res.Flows, fres)
@@ -271,6 +351,9 @@ func (rc *runContext) collect() Result {
 	res.Jain = stats.JainIndex(goodputs)
 	return res
 }
+
+// flowProtocol returns the canonical protocol label for results.
+func flowProtocol(p string) string { return flows.Canonical(p) }
 
 // RunOne executes the spec for a single seed and returns its result.
 // The run is entirely self-contained — its own engine, channel, and
@@ -292,6 +375,12 @@ func runDefaulted(spec *Spec, seed int64) (Result, error) {
 	}
 	rc.net.Eng.RunFor(rc.spec.Warmup.D())
 	rc.mark()
+	if spec.DCSample > 0 {
+		rc.scheduleDCSamples()
+	}
 	rc.net.Eng.RunFor(rc.spec.Duration.D())
+	if spec.IdleWindow > 0 {
+		rc.runIdlePhase()
+	}
 	return rc.collect(), nil
 }

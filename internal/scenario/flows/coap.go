@@ -1,0 +1,123 @@
+package flows
+
+import (
+	"fmt"
+
+	"tcplp/internal/app"
+	"tcplp/internal/coap"
+	"tcplp/internal/ip6"
+	"tcplp/internal/sim"
+	"tcplp/internal/stats"
+)
+
+func init() { Register(ProtocolCoAP, coapDriver{}) }
+
+// coapDriver runs the anemometer pattern over CoAP POSTs — confirmable
+// (retransmitted with the RFC 7252 or CoCoA RTO policy) or
+// nonconfirmable (the §9.6 unreliable baseline) — against a per-flow
+// collector server on the sink node.
+type coapDriver struct{}
+
+type coapProbe struct {
+	fs  Spec
+	eng *sim.Engine
+
+	tr     *app.CoAPTransport
+	sensor *app.Sensor
+	sink   *app.CountingSink
+
+	lat                stats.Sample // per-reading latency since Mark, ms
+	base               coap.ClientStats
+	markGen, markDeliv uint64
+
+	stopped       bool
+	frozenGoodput float64
+	frozenBytes   int
+}
+
+// Start implements Driver.
+func (coapDriver) Start(env *Env, fs Spec) (Probe, error) {
+	if fs.Pattern != PatternAnemometer {
+		return nil, fmt.Errorf("flows: coap driver has no pattern %q (only anemometer)", fs.Pattern)
+	}
+	switch fs.RTO {
+	case "", "default", "cocoa":
+	default:
+		return nil, fmt.Errorf("flows: unknown coap rto policy %q (have default, cocoa)", fs.RTO)
+	}
+	p := &coapProbe{fs: fs, eng: env.Src.Eng()}
+
+	// Collector side first (like every driver): a CoAP server on the
+	// flow's port crediting each delivered reading.
+	p.sink = app.NewCountingSink(env.Dst.Eng())
+	srv := coap.NewServer(env.Dst.Eng(), env.Dst.UDP, fs.Port)
+	srv.OnPost = func(src ip6.Addr, payload []byte, blk *coap.Block1) coap.Code {
+		p.sink.Received += len(payload)
+		app.ForEachReading(payload, p.deliver)
+		return coap.CodeChanged
+	}
+
+	msg := messageSize(env.Net, app.ReadingSize)
+	p.tr = app.NewCoAPTransportPort(env.Src, env.Dst.Addr, fs.Port, fs.Confirmable, msg)
+	if fs.RTO == "cocoa" {
+		p.tr.Client.Policy = coap.NewCoCoA()
+	}
+	p.sensor = app.NewSensor(env.Src.Eng(), p.tr, app.CoAPQueueCap)
+	p.sensor.Interval = fs.Interval
+	p.sensor.Batch = fs.Batch
+	p.tr.Attach(p.sensor)
+	p.sensor.Start()
+	return p, nil
+}
+
+func (p *coapProbe) deliver(seq uint32) {
+	p.sensor.Stats.Delivered++
+	if t, ok := p.sensor.TakeGenTime(seq); ok {
+		p.lat.Add(p.eng.Now().Sub(t).Milliseconds())
+	}
+}
+
+// Mark implements Probe.
+func (p *coapProbe) Mark() {
+	p.sink.Mark()
+	p.lat = stats.Sample{}
+	p.base = p.tr.Client.Stats
+	p.markGen = p.sensor.Stats.Generated
+	p.markDeliv = p.sensor.Stats.Delivered
+}
+
+// Stop implements Probe.
+func (p *coapProbe) Stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	p.frozenGoodput = p.sink.GoodputKbps()
+	p.frozenBytes = p.sink.BytesSinceMark()
+	p.sensor.Stop()
+}
+
+// Collect implements Probe. Retransmits counts CON retries; Timeouts
+// counts abandoned exchanges (MAX_RETRANSMIT exceeded).
+func (p *coapProbe) Collect() Metrics {
+	st := p.tr.Client.Stats
+	m := Metrics{
+		MSS:         p.tr.MessageSize,
+		GoodputKbps: p.sink.GoodputKbps(),
+		Bytes:       p.sink.BytesSinceMark(),
+		Retransmits: st.Retransmissions - p.base.Retransmissions,
+		Timeouts:    st.GiveUps - p.base.GiveUps,
+		Generated:   p.sensor.Stats.Generated - p.markGen,
+		Delivered:   p.sensor.Stats.Delivered - p.markDeliv,
+	}
+	if p.stopped {
+		m.GoodputKbps = p.frozenGoodput
+		m.Bytes = p.frozenBytes
+	}
+	m.Backlog = uint64(p.sensor.QueueDepth()) +
+		uint64(p.tr.Client.Pending()*p.tr.MessageSize/app.ReadingSize)
+	m.DeliveryRatio = DeliveryRatio(m.Generated, m.Delivered, m.Backlog)
+	m.LatencyP50ms = p.lat.Median()
+	m.LatencyP99ms = p.lat.Quantile(0.99)
+	return m
+}

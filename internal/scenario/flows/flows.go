@@ -1,0 +1,188 @@
+// Package flows is the protocol-driver subsystem of the scenario
+// runner: each supported transport (TCP, raw UDP, CoAP) registers a
+// Driver that knows how to wire one scenario flow onto the simulated
+// stack — source workload, collector sink, and measurement hooks — and
+// returns a Probe reporting protocol-appropriate metrics: goodput for
+// streams, delivery ratio and per-reading latency percentiles for
+// telemetry, TCP retransmissions or CoAP CON retries.
+//
+// The scenario package owns topology construction, per-flow TCP
+// configuration, and aggregation; drivers own everything between "here
+// are your two endpoints" and "here are your numbers". New protocols
+// plug in by calling Register from an init function.
+package flows
+
+import (
+	"fmt"
+	"sort"
+
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+	"tcplp/internal/tcplp"
+)
+
+// Registered protocol names.
+const (
+	ProtocolTCP  = "tcp"
+	ProtocolUDP  = "udp"
+	ProtocolCoAP = "coap"
+)
+
+// Traffic patterns (canonical home; the scenario package aliases them).
+const (
+	PatternBulk       = "bulk"       // saturating stream (default, TCP only)
+	PatternOnOff      = "onoff"      // bulk during on-periods, idle between (TCP only)
+	PatternAnemometer = "anemometer" // §3 sensor: periodic readings, optional batching
+)
+
+// Spec is the protocol-driver view of one scenario flow: everything a
+// driver needs that is not derivable from the endpoints.
+type Spec struct {
+	Label   string
+	Port    uint16
+	Pattern string
+	// On/Off are the onoff pattern's period lengths.
+	On, Off sim.Duration
+	// Interval/Batch configure the anemometer pattern.
+	Interval sim.Duration
+	Batch    int
+	// Trace records the TCP congestion-window trajectory.
+	Trace bool
+	// Confirmable selects CoAP CON (retransmitted) vs NON exchanges.
+	Confirmable bool
+	// RTO selects the CoAP retransmission-timeout policy: "" for stock
+	// RFC 7252, "cocoa" for draft-ietf-core-cocoa.
+	RTO string
+	// SrcCfg/SinkCfg are the per-flow TCP configurations the scenario
+	// layer derived (variant, window, pacing, profile, host buffers).
+	SrcCfg, SinkCfg tcplp.Config
+}
+
+// Env binds a flow to its endpoints within one instantiated run.
+type Env struct {
+	Net      *stack.Network
+	Src, Dst *stack.Node
+}
+
+// CwndSample is one congestion-window observation of a traced TCP flow.
+type CwndSample struct {
+	T        sim.Time
+	Cwnd     int
+	Ssthresh int
+}
+
+// Metrics is a probe's report over the measurement window. Fields a
+// protocol cannot measure stay zero (a CoAP flow has no SRTT; a bulk
+// TCP stream has no per-reading latency and reports DeliveryRatio 1).
+type Metrics struct {
+	// Transport identity.
+	Variant    string
+	WindowSegs int
+	MSS        int // TCP MSS, or the telemetry message payload size
+
+	// Stream metrics.
+	GoodputKbps float64
+	Bytes       int // payload bytes delivered in the window
+	SentBytes   int // sender payload bytes incl. retransmissions
+
+	// Reliability machinery: TCP retransmits/RTOs/fast-rtx, or CoAP CON
+	// retries (Retransmits) and abandoned exchanges (Timeouts).
+	Retransmits uint64
+	Timeouts    uint64
+	FastRtx     uint64
+
+	// RTT estimator state and sample distribution (TCP).
+	SRTTms      float64
+	MeanRTTms   float64
+	MedianRTTms float64
+	RTTp10ms    float64
+	RTTp90ms    float64
+	RTTMaxms    float64
+
+	// Telemetry delivery (anemometer pattern, any protocol): window
+	// reading counts, the end-of-window backlog still queued or in
+	// flight, the backlog-excluded delivery ratio, and per-reading
+	// generation→delivery latency percentiles.
+	Generated     uint64
+	Delivered     uint64
+	Backlog       uint64
+	DeliveryRatio float64
+	LatencyP50ms  float64
+	LatencyP99ms  float64
+
+	// Cwnd holds the traced congestion-window trajectory (TCP flows
+	// with Spec.Trace).
+	Cwnd []CwndSample
+}
+
+// Probe is one started flow's measurement interface. Mark opens the
+// measurement window (counters snapshot their baselines); Stop freezes
+// window-rate metrics and ceases sending (used by idle-phase specs);
+// Collect reports the window.
+type Probe interface {
+	Mark()
+	Stop()
+	Collect() Metrics
+}
+
+// Driver wires one flow of its protocol onto the stack and returns its
+// probe.
+type Driver interface {
+	Start(env *Env, fs Spec) (Probe, error)
+}
+
+var registry = map[string]Driver{}
+
+// Register installs a protocol driver; later registrations replace
+// earlier ones (tests substitute instrumented drivers this way).
+func Register(protocol string, d Driver) { registry[protocol] = d }
+
+// Lookup resolves a protocol name to its driver; the empty name means
+// TCP.
+func Lookup(protocol string) (Driver, bool) {
+	if protocol == "" {
+		protocol = ProtocolTCP
+	}
+	d, ok := registry[protocol]
+	return d, ok
+}
+
+// Canonical returns the protocol label results should carry ("" → tcp).
+func Canonical(protocol string) string {
+	if protocol == "" {
+		return ProtocolTCP
+	}
+	return protocol
+}
+
+// Protocols lists the registered protocol names, sorted.
+func Protocols() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Start resolves fs against the registry and starts the flow.
+func Start(env *Env, protocol string, fs Spec) (Probe, error) {
+	d, ok := Lookup(protocol)
+	if !ok {
+		return nil, fmt.Errorf("flows: unknown protocol %q (have %v)", protocol, Protocols())
+	}
+	return d.Start(env, fs)
+}
+
+// messageSize returns the telemetry payload bytes per UDP/CoAP message:
+// whole readings filling one LLN packet, sized like the network's TCP
+// segments (§9.3 sizes each CoAP batch message like a five-frame
+// segment).
+func messageSize(net *stack.Network, readingSize int) int {
+	frames := net.Opt.SegFrames
+	if frames == 0 {
+		frames = 5
+	}
+	info := stack.SegmentSizing(frames, true)
+	return info.SegmentPayload / readingSize * readingSize
+}

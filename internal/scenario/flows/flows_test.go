@@ -1,0 +1,93 @@
+package flows
+
+import (
+	"strings"
+	"testing"
+
+	"tcplp/internal/mesh"
+	"tcplp/internal/stack"
+)
+
+func TestRegistry(t *testing.T) {
+	want := []string{ProtocolCoAP, ProtocolTCP, ProtocolUDP}
+	got := Protocols()
+	if len(got) != len(want) {
+		t.Fatalf("protocols = %v, want %v", got, want)
+	}
+	for i, p := range want {
+		if got[i] != p {
+			t.Fatalf("protocols = %v, want %v", got, want)
+		}
+	}
+	// The empty name resolves to the TCP driver.
+	d, ok := Lookup("")
+	if !ok || d == nil {
+		t.Fatal("empty protocol did not resolve")
+	}
+	if Canonical("") != ProtocolTCP || Canonical("coap") != "coap" {
+		t.Fatal("Canonical labels wrong")
+	}
+	if _, ok := Lookup("quic"); ok {
+		t.Fatal("unknown protocol resolved")
+	}
+}
+
+func TestStartUnknownProtocol(t *testing.T) {
+	net := stack.New(1, mesh.Chain(2, 10), stack.DefaultOptions())
+	_, err := Start(&Env{Net: net, Src: net.Nodes[1], Dst: net.Nodes[0]}, "quic", Spec{})
+	if err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDriverPatternRejection(t *testing.T) {
+	net := stack.New(1, mesh.Chain(2, 10), stack.DefaultOptions())
+	env := &Env{Net: net, Src: net.Nodes[1], Dst: net.Nodes[0]}
+	for _, proto := range []string{ProtocolUDP, ProtocolCoAP} {
+		_, err := Start(env, proto, Spec{Pattern: PatternBulk, Port: 90})
+		if err == nil || !strings.Contains(err.Error(), "no pattern") {
+			t.Fatalf("%s accepted bulk: %v", proto, err)
+		}
+	}
+	_, err := Start(env, ProtocolTCP, Spec{Pattern: "poisson", Port: 91})
+	if err == nil || !strings.Contains(err.Error(), "no pattern") {
+		t.Fatalf("tcp accepted poisson: %v", err)
+	}
+	_, err = Start(env, ProtocolCoAP, Spec{Pattern: PatternAnemometer, RTO: "peria", Port: 92})
+	if err == nil || !strings.Contains(err.Error(), "rto policy") {
+		t.Fatalf("coap accepted bad rto: %v", err)
+	}
+}
+
+func TestDeliveryRatio(t *testing.T) {
+	cases := []struct {
+		gen, deliv, backlog uint64
+		want                float64
+	}{
+		{0, 0, 0, 0},
+		{100, 100, 0, 1},
+		{100, 90, 10, 1},           // backlog excluded entirely
+		{100, 80, 10, 80.0 / 90.0}, // partial backlog
+		{100, 50, 0, 0.5},
+		{100, 120, 0, 1},  // pre-window backlog drained: capped
+		{100, 40, 200, 1}, // backlog capped at gen-deliv
+	}
+	for _, c := range cases {
+		if got := DeliveryRatio(c.gen, c.deliv, c.backlog); got != c.want {
+			t.Fatalf("DeliveryRatio(%d, %d, %d) = %v, want %v",
+				c.gen, c.deliv, c.backlog, got, c.want)
+		}
+	}
+}
+
+func TestMessageSize(t *testing.T) {
+	net := stack.New(1, mesh.Chain(2, 10), stack.DefaultOptions())
+	msg := messageSize(net, 82)
+	if msg <= 0 || msg%82 != 0 {
+		t.Fatalf("message size %d not a whole number of readings", msg)
+	}
+	info := stack.SegmentSizing(5, true)
+	if msg > info.SegmentPayload {
+		t.Fatalf("message size %d exceeds the segment payload %d", msg, info.SegmentPayload)
+	}
+}

@@ -1,0 +1,187 @@
+package flows
+
+import (
+	"fmt"
+
+	"tcplp/internal/app"
+	"tcplp/internal/sim"
+	"tcplp/internal/stats"
+	"tcplp/internal/tcplp"
+)
+
+func init() { Register(ProtocolTCP, tcpDriver{}) }
+
+// tcpDriver runs bulk, on-off, and anemometer patterns over one TCPlp
+// connection — the wrapped internal/app workloads the throughput and
+// telemetry experiments share.
+type tcpDriver struct{}
+
+// byteSink is the window accounting both TCP sink flavors share.
+type byteSink interface {
+	Mark()
+	GoodputKbps() float64
+	BytesSinceMark() int
+}
+
+type tcpProbe struct {
+	fs  Spec
+	eng *sim.Engine
+	cfg tcplp.Config // effective sender config (profile-aware)
+
+	conn   *tcplp.Conn
+	bulk   *app.Source // bulk/onoff sources (nil for anemometer)
+	sensor *app.Sensor // anemometer only
+	sink   byteSink
+
+	rtts               stats.Sample // RTT samples over the connection's life, in ms
+	lat                stats.Sample // per-reading latency since Mark, in ms
+	base               tcplp.ConnStats
+	markGen, markDeliv uint64
+
+	trace []CwndSample
+
+	stopped       bool
+	frozenGoodput float64
+	frozenBytes   int
+}
+
+// Start implements Driver.
+func (tcpDriver) Start(env *Env, fs Spec) (Probe, error) {
+	p := &tcpProbe{fs: fs, eng: env.Src.Eng(), cfg: fs.SrcCfg}
+	switch fs.Pattern {
+	case PatternBulk:
+		p.sink = app.ListenSinkConfig(env.Dst, fs.Port, fs.SinkCfg)
+		p.bulk = app.StartBulkConfig(env.Src, fs.SrcCfg, env.Dst.Addr, fs.Port)
+		p.conn = p.bulk.Conn
+	case PatternOnOff:
+		p.sink = app.ListenSinkConfig(env.Dst, fs.Port, fs.SinkCfg)
+		p.bulk = app.StartOnOffConfig(env.Src, fs.SrcCfg, env.Dst.Addr, fs.Port, fs.On, fs.Off)
+		p.conn = p.bulk.Conn
+	case PatternAnemometer:
+		p.sink = app.ListenReadingSink(env.Dst, fs.Port, fs.SinkCfg, p.deliver)
+		tr := app.NewTCPTransportConfig(env.Src, fs.SrcCfg, env.Dst.Addr, fs.Port)
+		p.sensor = app.NewSensor(env.Src.Eng(), tr, app.TCPQueueCap)
+		p.sensor.Interval = fs.Interval
+		p.sensor.Batch = fs.Batch
+		tr.Attach(p.sensor)
+		p.sensor.Start()
+		p.conn = tr.Conn
+	default:
+		return nil, fmt.Errorf("flows: tcp driver has no pattern %q", fs.Pattern)
+	}
+	// RTT samples are collected over the connection's whole life — the
+	// estimator's full history, matching the paper's median-RTT plots —
+	// unlike the byte counters, which cover only the post-Mark window.
+	p.conn.TraceRTT = func(s sim.Duration) {
+		p.rtts.Add(float64(s) / float64(sim.Millisecond))
+	}
+	return p, nil
+}
+
+// deliver credits one reading arriving at the collector, exactly where
+// the paper measures reliability (at the server), and records its
+// generation→delivery latency.
+func (p *tcpProbe) deliver(seq uint32) {
+	p.sensor.Stats.Delivered++
+	if t, ok := p.sensor.TakeGenTime(seq); ok {
+		p.lat.Add(p.eng.Now().Sub(t).Milliseconds())
+	}
+}
+
+// Mark implements Probe.
+func (p *tcpProbe) Mark() {
+	p.sink.Mark()
+	p.base = p.conn.Stats
+	p.lat = stats.Sample{}
+	if p.sensor != nil {
+		p.markGen = p.sensor.Stats.Generated
+		p.markDeliv = p.sensor.Stats.Delivered
+	}
+	if p.fs.Trace {
+		p.conn.TraceCwnd = func(now sim.Time, cwnd, ssthresh int) {
+			p.trace = append(p.trace, CwndSample{T: now, Cwnd: cwnd, Ssthresh: ssthresh})
+		}
+	}
+}
+
+// Stop implements Probe: window-rate metrics freeze at the moment of
+// the stop (goodput divides by the window, not the idle tail), then the
+// workload ceases and the connection closes.
+func (p *tcpProbe) Stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	p.frozenGoodput = p.sink.GoodputKbps()
+	p.frozenBytes = p.sink.BytesSinceMark()
+	if p.bulk != nil {
+		p.bulk.Stop()
+		return
+	}
+	p.sensor.Stop()
+	p.conn.Close()
+}
+
+// Collect implements Probe.
+func (p *tcpProbe) Collect() Metrics {
+	st := p.conn.Stats
+	m := Metrics{
+		Variant:     string(p.cfg.Variant),
+		WindowSegs:  p.cfg.RecvBufSize / p.cfg.MSS,
+		MSS:         p.cfg.MSS,
+		GoodputKbps: p.sink.GoodputKbps(),
+		Bytes:       p.sink.BytesSinceMark(),
+		SentBytes:   int(st.BytesSent - p.base.BytesSent),
+		Retransmits: st.Retransmits - p.base.Retransmits,
+		Timeouts:    st.Timeouts - p.base.Timeouts,
+		FastRtx:     st.FastRetransmits - p.base.FastRetransmits,
+		SRTTms:      p.conn.SRTT().Milliseconds(),
+		MeanRTTms:   p.rtts.Mean(),
+		MedianRTTms: p.rtts.Median(),
+		RTTp10ms:    p.rtts.Quantile(0.1),
+		RTTp90ms:    p.rtts.Quantile(0.9),
+		RTTMaxms:    p.rtts.Max(),
+		Cwnd:        p.trace,
+	}
+	if p.stopped {
+		m.GoodputKbps = p.frozenGoodput
+		m.Bytes = p.frozenBytes
+	}
+	if p.sensor == nil {
+		// A TCP stream delivers every byte it accepts.
+		m.DeliveryRatio = 1
+		return m
+	}
+	m.Generated = p.sensor.Stats.Generated - p.markGen
+	m.Delivered = p.sensor.Stats.Delivered - p.markDeliv
+	m.Backlog = uint64(p.sensor.QueueDepth()) +
+		uint64(p.conn.BufferedBytes()/app.ReadingSize)
+	m.DeliveryRatio = DeliveryRatio(m.Generated, m.Delivered, m.Backlog)
+	m.LatencyP50ms = p.lat.Median()
+	m.LatencyP99ms = p.lat.Quantile(0.99)
+	return m
+}
+
+// DeliveryRatio is the §9.2 reliability definition: delivered readings
+// over generated readings, excluding the end-of-window backlog (queued
+// or in-flight readings are not losses) and capped at 1. It works on
+// any consistent window counts — the probes feed it per flow, and the
+// §9 renderers feed it sums pooled across a run's sensors.
+func DeliveryRatio(gen, deliv, backlog uint64) float64 {
+	if deliv >= gen {
+		// A pre-window backlog draining during the window can deliver
+		// more than was generated; that is full delivery, not >100%.
+		if gen == 0 && deliv == 0 {
+			return 0
+		}
+		return 1
+	}
+	if backlog > gen-deliv {
+		backlog = gen - deliv
+	}
+	gen -= backlog
+	if gen == 0 {
+		return 0
+	}
+	return float64(deliv) / float64(gen)
+}

@@ -1,0 +1,100 @@
+package flows
+
+import (
+	"fmt"
+
+	"tcplp/internal/app"
+	"tcplp/internal/sim"
+	"tcplp/internal/stats"
+)
+
+func init() { Register(ProtocolUDP, udpDriver{}) }
+
+// udpDriver runs the anemometer pattern over raw UDP datagrams — the
+// unreliable floor of the §9 comparison: no acknowledgments, no
+// retransmissions, delivery credited only for datagrams that survive
+// the mesh.
+type udpDriver struct{}
+
+type udpProbe struct {
+	fs  Spec
+	eng *sim.Engine
+
+	tr     *app.UDPTransport
+	sensor *app.Sensor
+	sink   *app.CountingSink
+
+	lat                stats.Sample
+	markGen, markDeliv uint64
+	markSentBytes      uint64
+
+	stopped       bool
+	frozenGoodput float64
+	frozenBytes   int
+}
+
+// Start implements Driver.
+func (udpDriver) Start(env *Env, fs Spec) (Probe, error) {
+	if fs.Pattern != PatternAnemometer {
+		return nil, fmt.Errorf("flows: udp driver has no pattern %q (only anemometer)", fs.Pattern)
+	}
+	p := &udpProbe{fs: fs, eng: env.Src.Eng()}
+	p.sink = app.ListenReadingUDP(env.Dst, fs.Port, p.deliver)
+	msg := messageSize(env.Net, app.ReadingSize)
+	p.tr = app.NewUDPTransport(env.Src, env.Dst.Addr, fs.Port, msg)
+	p.sensor = app.NewSensor(env.Src.Eng(), p.tr, app.CoAPQueueCap)
+	p.sensor.Interval = fs.Interval
+	p.sensor.Batch = fs.Batch
+	p.tr.Attach(p.sensor)
+	p.sensor.Start()
+	return p, nil
+}
+
+func (p *udpProbe) deliver(seq uint32) {
+	p.sensor.Stats.Delivered++
+	if t, ok := p.sensor.TakeGenTime(seq); ok {
+		p.lat.Add(p.eng.Now().Sub(t).Milliseconds())
+	}
+}
+
+// Mark implements Probe.
+func (p *udpProbe) Mark() {
+	p.sink.Mark()
+	p.lat = stats.Sample{}
+	p.markGen = p.sensor.Stats.Generated
+	p.markDeliv = p.sensor.Stats.Delivered
+	p.markSentBytes = p.tr.SentBytes
+}
+
+// Stop implements Probe.
+func (p *udpProbe) Stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	p.frozenGoodput = p.sink.GoodputKbps()
+	p.frozenBytes = p.sink.BytesSinceMark()
+	p.sensor.Stop()
+}
+
+// Collect implements Probe. SentBytes counts datagram payload put on
+// the wire; there is no reliability machinery to report.
+func (p *udpProbe) Collect() Metrics {
+	m := Metrics{
+		MSS:         p.tr.MessageSize,
+		GoodputKbps: p.sink.GoodputKbps(),
+		Bytes:       p.sink.BytesSinceMark(),
+		SentBytes:   int(p.tr.SentBytes - p.markSentBytes),
+		Generated:   p.sensor.Stats.Generated - p.markGen,
+		Delivered:   p.sensor.Stats.Delivered - p.markDeliv,
+		Backlog:     uint64(p.sensor.QueueDepth()),
+	}
+	if p.stopped {
+		m.GoodputKbps = p.frozenGoodput
+		m.Bytes = p.frozenBytes
+	}
+	m.DeliveryRatio = DeliveryRatio(m.Generated, m.Delivered, m.Backlog)
+	m.LatencyP50ms = p.lat.Median()
+	m.LatencyP99ms = p.lat.Quantile(0.99)
+	return m
+}

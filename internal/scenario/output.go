@@ -11,9 +11,11 @@ import (
 
 // csvHeader lists the per-run flow columns emitted by WriteCSV.
 var csvHeader = []string{
-	"scenario", "seed", "flow", "variant", "window_segs", "pattern",
+	"scenario", "seed", "flow", "variant", "protocol", "window_segs", "pattern",
 	"goodput_kbps", "bytes", "sent_bytes", "retransmits", "timeouts", "fast_rtx",
-	"srtt_ms", "median_rtt_ms", "radio_dc", "cpu_dc", "jain", "aggregate_kbps",
+	"srtt_ms", "mean_rtt_ms", "median_rtt_ms",
+	"delivery_ratio", "lat_p50_ms", "lat_p99_ms",
+	"radio_dc", "cpu_dc", "jain", "aggregate_kbps",
 }
 
 // WriteCSV emits one row per (spec, seed, flow); the run-level Jain
@@ -30,10 +32,12 @@ func WriteCSV(w io.Writer, results []*SpecResult) error {
 			for _, fl := range run.Flows {
 				rec := []string{
 					run.Name, strconv.FormatInt(run.Seed, 10),
-					fl.Label, fl.Variant, strconv.Itoa(fl.WindowSegs), fl.Pattern,
+					fl.Label, fl.Variant, fl.Protocol, strconv.Itoa(fl.WindowSegs), fl.Pattern,
 					f(fl.GoodputKbps), strconv.Itoa(fl.Bytes), strconv.Itoa(fl.SentBytes),
 					u(fl.Retransmits), u(fl.Timeouts), u(fl.FastRtx),
-					f(fl.SRTTms), f(fl.MedianRTTms), f(fl.RadioDC), f(fl.CPUDC),
+					f(fl.SRTTms), f(fl.MeanRTTms), f(fl.MedianRTTms),
+					f(fl.DeliveryRatio), f(fl.LatencyP50ms), f(fl.LatencyP99ms),
+					f(fl.RadioDC), f(fl.CPUDC),
 					f(run.Jain), f(run.AggregateKbps),
 				}
 				if err := cw.Write(rec); err != nil {
@@ -65,10 +69,21 @@ func (sr *SpecResult) Summary() string {
 	fmt.Fprintf(&b, "== scenario %s: %d flow(s) x %d seed(s) ==\n",
 		name, len(sr.Agg.Flows), len(sr.Runs))
 	for _, fa := range sr.Agg.Flows {
-		fmt.Fprintf(&b, "  %-24s %-9s %7.1f kb/s (±%.1f, min %.1f, max %.1f)  rtx %.1f  rto %.1f  srtt %.0f ms  radio %.2f%%\n",
-			fa.Label, fa.Variant, fa.GoodputMeanKbps, fa.GoodputStdKbps,
+		kind := fa.Variant
+		if kind == "" {
+			kind = fa.Protocol
+		} else if fa.Protocol != "" && fa.Protocol != "tcp" {
+			kind = fa.Protocol + "/" + fa.Variant
+		}
+		fmt.Fprintf(&b, "  %-24s %-9s %7.1f kb/s (±%.1f, min %.1f, max %.1f)  rtx %.1f  rto %.1f  srtt %.0f ms  radio %.2f%%",
+			fa.Label, kind, fa.GoodputMeanKbps, fa.GoodputStdKbps,
 			fa.GoodputMinKbps, fa.GoodputMaxKbps, fa.RetransmitsMean,
 			fa.TimeoutsMean, fa.SRTTMeanMs, fa.RadioDCMean*100)
+		if fa.Pattern == PatternAnemometer {
+			fmt.Fprintf(&b, "  deliv %.1f%%  lat p50 %.0f ms p99 %.0f ms",
+				fa.DeliveryMean*100, fa.LatencyP50MeanMs, fa.LatencyP99MeanMs)
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "  jain %.3f (min %.3f)  aggregate %.1f kb/s\n",
 		sr.Agg.JainMean, sr.Agg.JainMin, sr.Agg.AggregateMeanKbps)

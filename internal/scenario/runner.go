@@ -15,11 +15,14 @@ type CwndPoint struct {
 	Ssthresh int      `json:"ssthresh"`
 }
 
-// FlowResult is one flow's measurements over one run's window.
+// FlowResult is one flow's measurements over one run's window. Fields
+// a protocol cannot measure stay zero: a CoAP flow has no SRTT, a bulk
+// TCP stream has no per-reading latency (and reports DeliveryRatio 1).
 type FlowResult struct {
 	Label       string  `json:"label"`
-	Variant     string  `json:"variant"`
-	WindowSegs  int     `json:"window_segs"`
+	Protocol    string  `json:"protocol"`
+	Variant     string  `json:"variant,omitempty"`
+	WindowSegs  int     `json:"window_segs,omitempty"`
 	MSS         int     `json:"mss"`
 	Pattern     string  `json:"pattern"`
 	GoodputKbps float64 `json:"goodput_kbps"`
@@ -27,14 +30,33 @@ type FlowResult struct {
 	// SentBytes counts sender payload bytes over the window, including
 	// retransmissions — the denominator of the paper's segment-loss
 	// metric (losses / SentBytes·MSS⁻¹).
-	SentBytes   int     `json:"sent_bytes"`
+	SentBytes int `json:"sent_bytes"`
+	// Retransmits counts TCP retransmissions or CoAP CON retries;
+	// Timeouts counts TCP RTOs or abandoned CoAP exchanges.
 	Retransmits uint64  `json:"retransmits"`
 	Timeouts    uint64  `json:"timeouts"`
 	FastRtx     uint64  `json:"fast_rtx"`
 	SRTTms      float64 `json:"srtt_ms"`
+	MeanRTTms   float64 `json:"mean_rtt_ms"`
 	MedianRTTms float64 `json:"median_rtt_ms"`
-	RadioDC     float64 `json:"radio_dc"`
-	CPUDC       float64 `json:"cpu_dc"`
+	RTTp10ms    float64 `json:"rtt_p10_ms"`
+	RTTp90ms    float64 `json:"rtt_p90_ms"`
+	RTTMaxms    float64 `json:"rtt_max_ms"`
+	// Telemetry delivery (anemometer flows): window reading counts, the
+	// end-of-window backlog (readings queued or in flight — not
+	// losses), the backlog-excluded §9.2 delivery ratio, and
+	// per-reading generation→delivery latency percentiles.
+	Generated     uint64  `json:"generated,omitempty"`
+	Delivered     uint64  `json:"delivered,omitempty"`
+	Backlog       uint64  `json:"backlog,omitempty"`
+	DeliveryRatio float64 `json:"delivery_ratio"`
+	LatencyP50ms  float64 `json:"lat_p50_ms"`
+	LatencyP99ms  float64 `json:"lat_p99_ms"`
+	RadioDC       float64 `json:"radio_dc"`
+	CPUDC         float64 `json:"cpu_dc"`
+	// IdleRadioDC is the mesh endpoint's duty cycle over the idle phase
+	// of an idle_window spec (Fig. 14).
+	IdleRadioDC float64 `json:"idle_radio_dc,omitempty"`
 	// CwndTrace holds the flow's cwnd/ssthresh trajectory when the
 	// flow's Trace knob is set (Fig. 7a).
 	CwndTrace []CwndPoint `json:"cwnd_trace,omitempty"`
@@ -50,21 +72,29 @@ type Result struct {
 	AggregateKbps float64      `json:"aggregate_kbps"`
 	FramesSent    uint64       `json:"frames_sent"`
 	LossEvents    uint64       `json:"loss_events"`
+	// DCSamples holds the periodic mean radio duty cycle across flow
+	// source nodes of a dc_sample spec (Fig. 10's hourly series).
+	DCSamples []float64 `json:"dc_samples,omitempty"`
 }
 
 // FlowAggregate summarizes one flow across a spec's seeds.
 type FlowAggregate struct {
-	Label           string  `json:"label"`
-	Variant         string  `json:"variant"`
-	GoodputMeanKbps float64 `json:"goodput_mean_kbps"`
-	GoodputStdKbps  float64 `json:"goodput_std_kbps"`
-	GoodputMinKbps  float64 `json:"goodput_min_kbps"`
-	GoodputMaxKbps  float64 `json:"goodput_max_kbps"`
-	RetransmitsMean float64 `json:"retransmits_mean"`
-	TimeoutsMean    float64 `json:"timeouts_mean"`
-	SRTTMeanMs      float64 `json:"srtt_mean_ms"`
-	RadioDCMean     float64 `json:"radio_dc_mean"`
-	CPUDCMean       float64 `json:"cpu_dc_mean"`
+	Label            string  `json:"label"`
+	Protocol         string  `json:"protocol"`
+	Variant          string  `json:"variant,omitempty"`
+	Pattern          string  `json:"pattern"`
+	GoodputMeanKbps  float64 `json:"goodput_mean_kbps"`
+	GoodputStdKbps   float64 `json:"goodput_std_kbps"`
+	GoodputMinKbps   float64 `json:"goodput_min_kbps"`
+	GoodputMaxKbps   float64 `json:"goodput_max_kbps"`
+	RetransmitsMean  float64 `json:"retransmits_mean"`
+	TimeoutsMean     float64 `json:"timeouts_mean"`
+	SRTTMeanMs       float64 `json:"srtt_mean_ms"`
+	DeliveryMean     float64 `json:"delivery_mean"`
+	LatencyP50MeanMs float64 `json:"lat_p50_mean_ms"`
+	LatencyP99MeanMs float64 `json:"lat_p99_mean_ms"`
+	RadioDCMean      float64 `json:"radio_dc_mean"`
+	CPUDCMean        float64 `json:"cpu_dc_mean"`
 }
 
 // Aggregate summarizes a spec across its seeds.
@@ -181,28 +211,36 @@ func aggregate(runs []Result) Aggregate {
 	nFlows := len(runs[0].Flows)
 	var jain, total stats.Sample
 	for fi := 0; fi < nFlows; fi++ {
-		var goodput, rtx, rto, srtt, radio, cpu stats.Sample
+		var goodput, rtx, rto, srtt, deliv, p50, p99, radio, cpu stats.Sample
 		for _, run := range runs {
 			f := run.Flows[fi]
 			goodput.Add(f.GoodputKbps)
 			rtx.Add(float64(f.Retransmits))
 			rto.Add(float64(f.Timeouts))
 			srtt.Add(f.SRTTms)
+			deliv.Add(f.DeliveryRatio)
+			p50.Add(f.LatencyP50ms)
+			p99.Add(f.LatencyP99ms)
 			radio.Add(f.RadioDC)
 			cpu.Add(f.CPUDC)
 		}
 		agg.Flows = append(agg.Flows, FlowAggregate{
-			Label:           runs[0].Flows[fi].Label,
-			Variant:         runs[0].Flows[fi].Variant,
-			GoodputMeanKbps: goodput.Mean(),
-			GoodputStdKbps:  goodput.StdDev(),
-			GoodputMinKbps:  goodput.Min(),
-			GoodputMaxKbps:  goodput.Max(),
-			RetransmitsMean: rtx.Mean(),
-			TimeoutsMean:    rto.Mean(),
-			SRTTMeanMs:      srtt.Mean(),
-			RadioDCMean:     radio.Mean(),
-			CPUDCMean:       cpu.Mean(),
+			Label:            runs[0].Flows[fi].Label,
+			Protocol:         runs[0].Flows[fi].Protocol,
+			Variant:          runs[0].Flows[fi].Variant,
+			Pattern:          runs[0].Flows[fi].Pattern,
+			GoodputMeanKbps:  goodput.Mean(),
+			GoodputStdKbps:   goodput.StdDev(),
+			GoodputMinKbps:   goodput.Min(),
+			GoodputMaxKbps:   goodput.Max(),
+			RetransmitsMean:  rtx.Mean(),
+			TimeoutsMean:     rto.Mean(),
+			SRTTMeanMs:       srtt.Mean(),
+			DeliveryMean:     deliv.Mean(),
+			LatencyP50MeanMs: p50.Mean(),
+			LatencyP99MeanMs: p99.Mean(),
+			RadioDCMean:      radio.Mean(),
+			CPUDCMean:        cpu.Mean(),
 		})
 	}
 	for _, run := range runs {

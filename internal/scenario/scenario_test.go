@@ -91,6 +91,26 @@ func TestValidateRejects(t *testing.T) {
 			s.Net.RetryDelay = &d
 		}, "negative retry_delay"},
 		{"duplicate sink", func(s *Spec) { s.Flows[1].Port = 80 }, "share sink"},
+		{"unknown protocol", func(s *Spec) { s.Flows[0].Protocol = "quic" }, "unknown protocol"},
+		{"bulk over coap", func(s *Spec) {
+			s.Flows[0].Variant = ""
+			s.Flows[0].Protocol = "coap"
+			s.Flows[0].Pattern = PatternBulk
+		}, "needs protocol tcp"},
+		{"tcp knob on udp flow", func(s *Spec) {
+			s.Flows[0].Protocol = "udp"
+			s.Flows[0].Pattern = PatternAnemometer
+		}, "TCP knobs"},
+		{"coap knob on tcp flow", func(s *Spec) { s.Flows[0].RTO = "cocoa" }, "coap knobs"},
+		{"bad rto", func(s *Spec) {
+			s.Flows[0].Variant = ""
+			s.Flows[0].Protocol = "coap"
+			s.Flows[0].Pattern = PatternAnemometer
+			s.Flows[0].RTO = "peria"
+		}, "unknown rto"},
+		{"bad injected loss", func(s *Spec) { s.Net.InjectedLoss = 1.2 }, "out of range"},
+		{"negative interference", func(s *Spec) { s.Net.Interference = -1 }, "negative interference"},
+		{"negative dc_sample", func(s *Spec) { s.DCSample = Duration(-sim.Second) }, "negative dc_sample"},
 		{"default-port collision", func(s *Spec) {
 			s.Flows[0].Port = 81 // collides with flow 1's default 80+1
 			s.Flows[1].Port = 0
@@ -394,6 +414,271 @@ func TestZeroDurationsHonored(t *testing.T) {
 	}
 }
 
+// protoTelemetry builds a mixed-protocol telemetry spec: one TCP, one
+// CoAP CON, and one raw-UDP anemometer flow from three chain nodes to
+// the wired host.
+func protoTelemetry(seeds ...int64) *Spec {
+	conf := true
+	return &Spec{
+		Name:     "proto-telemetry",
+		Topology: TopologySpec{Kind: TopoChain, Nodes: 4},
+		Flows: []FlowSpec{
+			{Label: "tcp", From: NodeID(1), To: Host(), Pattern: PatternAnemometer, Batch: 4},
+			{Label: "coap", From: NodeID(2), To: Host(), Protocol: "coap", Confirmable: &conf, Batch: 4},
+			{Label: "udp", From: NodeID(3), To: Host(), Protocol: "udp", Batch: 4},
+		},
+		Warmup:   Duration(5 * sim.Second),
+		Duration: Duration(40 * sim.Second),
+		Seeds:    seeds,
+	}
+}
+
+// TestProtocolFlows pins the multi-protocol drivers end to end: every
+// flow delivers, carries its protocol label, and reports the telemetry
+// metrics (delivery ratio, latency percentiles).
+func TestProtocolFlows(t *testing.T) {
+	sr, err := (&Runner{}).Run(protoTelemetry(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := sr.Runs[0]
+	wantProto := []string{"tcp", "coap", "udp"}
+	for i, fl := range run.Flows {
+		if fl.Protocol != wantProto[i] {
+			t.Fatalf("flow %d protocol = %q, want %q", i, fl.Protocol, wantProto[i])
+		}
+		if fl.Pattern != PatternAnemometer {
+			t.Fatalf("flow %d pattern = %q (non-TCP flows default to anemometer)", i, fl.Pattern)
+		}
+		if fl.Generated == 0 || fl.Delivered == 0 {
+			t.Fatalf("flow %s: generated=%d delivered=%d", fl.Label, fl.Generated, fl.Delivered)
+		}
+		if fl.DeliveryRatio <= 0 || fl.DeliveryRatio > 1 {
+			t.Fatalf("flow %s: delivery ratio %v", fl.Label, fl.DeliveryRatio)
+		}
+		if fl.LatencyP50ms <= 0 || fl.LatencyP99ms < fl.LatencyP50ms {
+			t.Fatalf("flow %s: latency p50=%v p99=%v", fl.Label, fl.LatencyP50ms, fl.LatencyP99ms)
+		}
+		if fl.GoodputKbps <= 0 {
+			t.Fatalf("flow %s: goodput %v", fl.Label, fl.GoodputKbps)
+		}
+	}
+	// Reliability machinery maps per protocol: TCP has an RTT estimate,
+	// UDP has no retransmissions by construction.
+	if run.Flows[0].SRTTms <= 0 {
+		t.Fatal("tcp flow has no SRTT")
+	}
+	if run.Flows[2].Retransmits != 0 || run.Flows[2].Timeouts != 0 {
+		t.Fatalf("udp flow reports reliability machinery: %+v", run.Flows[2])
+	}
+}
+
+// TestProtocolFlowsSerialParallelIdentical mirrors the TCP determinism
+// contract for the UDP/CoAP drivers: bit-identical runs and aggregates
+// whatever the worker-pool size.
+func TestProtocolFlowsSerialParallelIdentical(t *testing.T) {
+	spec := protoTelemetry(1, 2, 3)
+	serial, err := (&Runner{Workers: 1}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Workers: 4}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Runs, parallel.Runs) {
+		t.Fatalf("serial and parallel runs differ:\nserial:   %+v\nparallel: %+v",
+			serial.Runs, parallel.Runs)
+	}
+	if !reflect.DeepEqual(serial.Agg, parallel.Agg) {
+		t.Fatalf("aggregates differ:\nserial:   %+v\nparallel: %+v", serial.Agg, parallel.Agg)
+	}
+	if reflect.DeepEqual(serial.Runs[0].Flows, serial.Runs[1].Flows) {
+		t.Fatal("different seeds produced identical flow results")
+	}
+}
+
+// TestCoAPConRecoversNonLoses pins the reliability split under §9.4
+// injected loss: confirmable CoAP retransmits through it while the
+// nonconfirmable baseline silently drops readings.
+func TestCoAPConRecoversNonLoses(t *testing.T) {
+	mk := func(name string, confirmable bool) *Spec {
+		c := confirmable
+		return &Spec{
+			Name:     name,
+			Topology: TopologySpec{Kind: TopoChain, Nodes: 2},
+			Net:      NetSpec{InjectedLoss: 0.3},
+			Flows: []FlowSpec{{
+				From: NodeID(1), To: Host(), Protocol: "coap", Confirmable: &c,
+				Interval: Duration(500 * sim.Millisecond),
+			}},
+			Warmup:   Duration(10 * sim.Second),
+			Duration: Duration(2 * sim.Minute),
+			Seeds:    []int64{5},
+		}
+	}
+	res, err := (&Runner{}).RunAll([]*Spec{mk("con", true), mk("non", false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	con := res[0].Runs[0].Flows[0]
+	non := res[1].Runs[0].Flows[0]
+	if con.DeliveryRatio < 0.95 {
+		t.Fatalf("CON delivery %v under 30%% injected loss, want ≈1 (retransmissions)", con.DeliveryRatio)
+	}
+	if con.Retransmits == 0 {
+		t.Fatal("CON flow recorded no retransmissions under loss")
+	}
+	if non.DeliveryRatio > 0.9 {
+		t.Fatalf("NON delivery %v, want visible loss", non.DeliveryRatio)
+	}
+	if non.Retransmits != 0 {
+		t.Fatalf("NON flow retransmitted (%d)", non.Retransmits)
+	}
+}
+
+// TestSweepOverrides pins the per-cell override contract: matching
+// cells get the set-block after the axis values, non-matching cells are
+// untouched, numeric when-values are accepted, and the whole thing
+// round-trips through JSON.
+func TestSweepOverrides(t *testing.T) {
+	spec := &Spec{
+		Name:     "grid",
+		Topology: TopologySpec{Kind: TopoChain},
+		Flows:    []FlowSpec{{From: End(), To: NodeID(0)}},
+		Sweep: &Sweep{
+			Hops: []int{1, 3, 4},
+			Overrides: []Override{{
+				When: OverrideWhen{"hops": "4"},
+				Set:  OverrideSet{WindowSegs: 6, Variant: "bbr"},
+			}},
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := spec.Expand()
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for i, c := range cells[:2] {
+		if c.Net.WindowSegs != 0 || c.Flows[0].Variant != "" {
+			t.Fatalf("cell %d caught the override: %+v", i, c)
+		}
+	}
+	if c := cells[2]; c.Net.WindowSegs != 6 || c.Flows[0].Variant != "bbr" {
+		t.Fatalf("4-hop cell missed the override: window=%d variant=%q",
+			c.Net.WindowSegs, c.Flows[0].Variant)
+	}
+	// The base spec's flows stay untouched.
+	if spec.Flows[0].Variant != "" {
+		t.Fatal("override mutated the base spec")
+	}
+	// JSON round-trip, including the ISSUE's bare-number when-form.
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpecs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed[0], spec) {
+		t.Fatalf("override round trip mismatch:\n in:  %+v\n out: %+v", spec.Sweep, parsed[0].Sweep)
+	}
+	raw := `{"name":"g","topology":{"kind":"chain"},"flows":[{"from":"end","to":0}],
+		"sweep":{"hops":[1,4],"overrides":[{"when":{"hops":4},"set":{"window_segs":6}}]}}`
+	parsed, err = ParseSpecs([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := parsed[0].Expand()[1]; c.Net.WindowSegs != 6 {
+		t.Fatalf("numeric when-value not matched: %+v", c)
+	}
+	// Validation rejects overrides conditioned on unpopulated axes and
+	// empty when-blocks.
+	bad := *spec
+	bad.Sweep = &Sweep{Hops: []int{1}, Overrides: []Override{{
+		When: OverrideWhen{"per": "7%"}, Set: OverrideSet{WindowSegs: 2},
+	}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "does not populate") {
+		t.Fatalf("unpopulated-axis override accepted: %v", err)
+	}
+	bad.Sweep = &Sweep{Hops: []int{1}, Overrides: []Override{{Set: OverrideSet{WindowSegs: 2}}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "empty when-block") {
+		t.Fatalf("empty when-block accepted: %v", err)
+	}
+	// A when-value no cell will ever take ("04", "40 ms") is an error,
+	// not a silently inert patch.
+	bad.Sweep = &Sweep{Hops: []int{1, 4}, Overrides: []Override{{
+		When: OverrideWhen{"hops": "04"}, Set: OverrideSet{WindowSegs: 6},
+	}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "never takes value") {
+		t.Fatalf("mistyped when-value accepted: %v", err)
+	}
+}
+
+// TestDCSampleAndIdleWindow pins the two new instruments: dc_sample
+// produces one mean-duty-cycle sample per period, and idle_window
+// freezes the window-rate metrics at the stop instant (a run with an
+// idle phase reports the same goodput as one without) while filling
+// IdleRadioDC.
+func TestDCSampleAndIdleWindow(t *testing.T) {
+	mk := func(idle bool) *Spec {
+		s := &Spec{
+			Name:     "instruments",
+			Topology: TopologySpec{Kind: TopoChain, Nodes: 2},
+			Nodes: []NodeSpec{{
+				ID: 1, Sleepy: true, Adaptive: true,
+				MinInterval: Duration(20 * sim.Millisecond),
+				MaxInterval: Duration(500 * sim.Millisecond),
+			}},
+			Flows:    []FlowSpec{{From: NodeID(1), To: NodeID(0)}},
+			Warmup:   Duration(5 * sim.Second),
+			Duration: Duration(30 * sim.Second),
+			DCSample: Duration(10 * sim.Second),
+			Seeds:    []int64{17},
+		}
+		if idle {
+			s.IdleSettle = Duration(5 * sim.Second)
+			s.IdleWindow = Duration(20 * sim.Second)
+		}
+		return s
+	}
+	res, err := (&Runner{}).RunAll([]*Spec{mk(false), mk(true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, idle := res[0].Runs[0], res[1].Runs[0]
+	if len(plain.DCSamples) != 3 {
+		t.Fatalf("dc samples = %d, want 3 (30s / 10s)", len(plain.DCSamples))
+	}
+	for i, dc := range plain.DCSamples {
+		if dc <= 0 || dc > 1 {
+			t.Fatalf("dc sample %d = %v", i, dc)
+		}
+	}
+	if plain.Flows[0].GoodputKbps != idle.Flows[0].GoodputKbps {
+		t.Fatalf("idle phase leaked into goodput: %v vs %v",
+			plain.Flows[0].GoodputKbps, idle.Flows[0].GoodputKbps)
+	}
+	if plain.Flows[0].Bytes != idle.Flows[0].Bytes {
+		t.Fatalf("idle phase leaked into bytes: %d vs %d",
+			plain.Flows[0].Bytes, idle.Flows[0].Bytes)
+	}
+	if plain.Flows[0].IdleRadioDC != 0 {
+		t.Fatal("IdleRadioDC set without an idle window")
+	}
+	// The adaptive sleepy leaf backs off once traffic stops, so its
+	// idle duty cycle collapses below the loaded duty cycle (the first
+	// dc_sample, taken mid-transfer; RadioDC itself is post-reset here
+	// because the sampler resets the meter at each boundary).
+	loaded := plain.DCSamples[0]
+	if got := idle.Flows[0].IdleRadioDC; got <= 0 || got >= loaded {
+		t.Fatalf("idle duty cycle %v, want inside (0, %v)", got, loaded)
+	}
+}
+
 // TestSerialParallelIdentical is the determinism contract: the same
 // spec over the same seeds produces bit-identical per-run results and
 // aggregates whether the runner uses one worker or many.
@@ -512,7 +797,7 @@ func TestExampleSpecRuns(t *testing.T) {
 func TestAllExampleSpecsLoad(t *testing.T) {
 	dir := filepath.Join("..", "..", "examples", "scenarios")
 	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
-	if err != nil || len(files) < 4 {
+	if err != nil || len(files) < 7 {
 		t.Fatalf("example specs missing: %v (err %v)", files, err)
 	}
 	for _, f := range files {
@@ -636,10 +921,18 @@ func TestPerFlowWindowAndPacing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !rc.flows[0].cfg.NoPacing {
+	cfg0, _, err := rc.tcpConfigs(rc.flows[0].spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg0.NoPacing {
 		t.Fatal("pacing=false did not set NoPacing on the flow config")
 	}
-	if rc.flows[1].cfg.NoPacing {
+	cfg1, _, err := rc.tcpConfigs(rc.flows[1].spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg1.NoPacing {
 		t.Fatal("NoPacing leaked onto the second flow")
 	}
 }

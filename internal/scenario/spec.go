@@ -17,10 +17,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"tcplp/internal/scenario/flows"
 	"tcplp/internal/sim"
 	"tcplp/internal/tcplp/cc"
 	"tcplp/internal/uip"
@@ -168,6 +170,12 @@ type NetSpec struct {
 	WireDelay Duration `json:"wire_delay,omitempty"`
 	// AttachHost forces the wired cloud host even when no flow names it.
 	AttachHost bool `json:"attach_host,omitempty"`
+	// InjectedLoss drops packets crossing the border router with this
+	// probability — the §9.4 loss-injection mechanism.
+	InjectedLoss float64 `json:"injected_loss,omitempty"`
+	// Interference places the §9.5 diurnal interferers with this peak
+	// relative activity (0 disables them; the paper uses 1).
+	Interference float64 `json:"interference,omitempty"`
 }
 
 // NodeSpec assigns a duty-cycle role to one mesh node.
@@ -184,25 +192,39 @@ type NodeSpec struct {
 	FastInterval *Duration `json:"fast_interval,omitempty"`
 	// Adaptive enables the Trickle-controlled interval of Appendix C.
 	Adaptive bool `json:"adaptive,omitempty"`
+	// MinInterval/MaxInterval bound the adaptive interval; zero keeps
+	// the paper's 20 ms / 5 s defaults.
+	MinInterval Duration `json:"min_interval,omitempty"`
+	MaxInterval Duration `json:"max_interval,omitempty"`
 	// NoFastPollHint detaches the TCP expecting-data hint from the
 	// sleep controller (the §9.2 refinement off).
 	NoFastPollHint bool `json:"no_fast_poll_hint,omitempty"`
 }
 
-// Traffic patterns.
+// Traffic patterns (canonically defined by the flows driver registry).
 const (
-	PatternBulk       = "bulk"       // saturating stream (default)
-	PatternOnOff      = "onoff"      // bulk during on-periods, idle between
-	PatternAnemometer = "anemometer" // §3 sensor: periodic readings, optional batching
+	PatternBulk       = flows.PatternBulk       // saturating stream (default)
+	PatternOnOff      = flows.PatternOnOff      // bulk during on-periods, idle between
+	PatternAnemometer = flows.PatternAnemometer // §3 sensor: periodic readings, optional batching
 )
 
-// FlowSpec is one TCP flow: endpoints, transport configuration, and the
-// application traffic pattern driving it.
+// FlowSpec is one flow: endpoints, the transport protocol, its
+// configuration, and the application traffic pattern driving it.
 type FlowSpec struct {
 	// Label names the flow in results (default "from->to").
 	Label string  `json:"label,omitempty"`
 	From  NodeRef `json:"from"`
 	To    NodeRef `json:"to"`
+	// Protocol selects the transport driver: tcp (default), udp, or
+	// coap. Non-TCP flows carry the anemometer pattern (telemetry);
+	// bulk/onoff streams need TCP's reliability.
+	Protocol string `json:"protocol,omitempty"`
+	// Confirmable selects CoAP CON (default) vs NON exchanges; only
+	// meaningful for protocol "coap".
+	Confirmable *bool `json:"confirmable,omitempty"`
+	// RTO selects the CoAP retransmission-timeout policy: "default"
+	// (RFC 7252) or "cocoa" (draft-ietf-core-cocoa, the §9.4 baseline).
+	RTO string `json:"rto,omitempty"`
 	// Port is the sink's listening port (default 80+index).
 	Port uint16 `json:"port,omitempty"`
 	// Variant is the congestion-control algorithm (newreno, cubic,
@@ -276,6 +298,94 @@ type Sweep struct {
 	// per-condition seeding; 0 (the default) holds the channel
 	// realization fixed across cells so rows differ only by the axis.
 	SeedStep int64 `json:"seed_step,omitempty"`
+	// Overrides patch individual cells after axis expansion: a cell
+	// whose coordinates match every "when" entry gets the "set" block
+	// applied, folding outliers (the §7.2 4-hop point needs a 6-segment
+	// window) into the grid instead of a separate spec.
+	Overrides []Override `json:"overrides,omitempty"`
+}
+
+// Override is one conditional cell patch of a sweep.
+type Override struct {
+	// When matches cell coordinates by axis key (hops, per, d, mss, w,
+	// cc) against the coordinate value exactly as it appears in the
+	// cell's Point/name ("4", "40ms", "7%"); bare JSON numbers are
+	// accepted and compared literally.
+	When OverrideWhen `json:"when"`
+	// Set is applied to matching cells after the axis values.
+	Set OverrideSet `json:"set"`
+}
+
+// OverrideWhen maps axis keys to required coordinate values.
+type OverrideWhen map[string]string
+
+// UnmarshalJSON accepts string or bare-number values ({"hops": 4}).
+func (w *OverrideWhen) UnmarshalJSON(b []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return fmt.Errorf("scenario: bad override when-block: %v", err)
+	}
+	out := OverrideWhen{}
+	for k, v := range raw {
+		var s string
+		if err := json.Unmarshal(v, &s); err == nil {
+			out[k] = s
+			continue
+		}
+		out[k] = string(bytes.TrimSpace(v))
+	}
+	*w = out
+	return nil
+}
+
+// OverrideSet is the patch a matching cell receives.
+type OverrideSet struct {
+	// WindowSegs/SegFrames/PER/RetryDelay override the network knobs.
+	WindowSegs int       `json:"window_segs,omitempty"`
+	SegFrames  int       `json:"seg_frames,omitempty"`
+	PER        *float64  `json:"per,omitempty"`
+	RetryDelay *Duration `json:"retry_delay,omitempty"`
+	// Variant overrides every flow's congestion-control algorithm.
+	Variant string `json:"variant,omitempty"`
+}
+
+// matches reports whether every when-entry equals the cell coordinate.
+func (o *Override) matches(point []AxisValue) bool {
+	for axis, want := range o.When {
+		found := false
+		for _, av := range point {
+			if av.Axis == axis {
+				found = av.Value == want
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// apply patches the cell.
+func (o *Override) apply(c *Spec) {
+	if o.Set.WindowSegs > 0 {
+		c.Net.WindowSegs = o.Set.WindowSegs
+	}
+	if o.Set.SegFrames > 0 {
+		c.Net.SegFrames = o.Set.SegFrames
+	}
+	if o.Set.PER != nil {
+		c.Net.PER = *o.Set.PER
+	}
+	if o.Set.RetryDelay != nil {
+		d := *o.Set.RetryDelay
+		c.Net.RetryDelay = &d
+	}
+	if o.Set.Variant != "" {
+		for i := range c.Flows {
+			c.Flows[i].Variant = o.Set.Variant
+		}
+	}
 }
 
 // empty reports whether no axis has any values.
@@ -305,6 +415,18 @@ type Spec struct {
 	// Duration is the measurement window; 0 selects the 60s default (a
 	// zero-length window is meaningless).
 	Duration Duration `json:"duration,omitempty"`
+	// DCSample, when set, samples the mean radio duty cycle across the
+	// flow source nodes every DCSample of the measurement window
+	// (resetting their meters each time) into Result.DCSamples — the
+	// Fig. 10 hourly-duty-cycle instrument.
+	DCSample Duration `json:"dc_sample,omitempty"`
+	// IdleWindow, when set, appends an idle phase after the measurement
+	// window: every flow stops, the network settles for IdleSettle,
+	// each flow's mesh endpoint resets its radio meter, and after
+	// IdleWindow its duty cycle lands in FlowResult.IdleRadioDC — the
+	// Fig. 14 idle-cost instrument.
+	IdleSettle Duration `json:"idle_settle,omitempty"`
+	IdleWindow Duration `json:"idle_window,omitempty"`
 	// Seeds lists the independent channel realizations to run
 	// (default [1]).
 	Seeds []int64 `json:"seeds,omitempty"`
@@ -459,6 +581,11 @@ func (s *Spec) cell(i int, picked []sweepOpt) *Spec {
 	if len(parts) > 0 {
 		c.Name = s.Name + "/" + strings.Join(parts, "/")
 	}
+	for i := range s.Sweep.Overrides {
+		if ov := &s.Sweep.Overrides[i]; ov.matches(c.Point) {
+			ov.apply(&c)
+		}
+	}
 	return &c
 }
 
@@ -500,6 +627,54 @@ func (s *Spec) validateSweep() error {
 	for _, v := range sw.Variants {
 		if _, err := cc.Parse(v); err != nil {
 			return bad("%v", err)
+		}
+	}
+	// Collect the exact coordinate strings each populated axis will
+	// expand to, so a mistyped override value ("04", "40 ms") is a
+	// validation error instead of a silently inert patch.
+	axisValues := map[string]map[string]bool{}
+	for _, dim := range sw.axes() {
+		for _, opt := range dim {
+			vs := axisValues[opt.av.Axis]
+			if vs == nil {
+				vs = map[string]bool{}
+				axisValues[opt.av.Axis] = vs
+			}
+			vs[opt.av.Value] = true
+		}
+	}
+	for i, ov := range sw.Overrides {
+		if len(ov.When) == 0 {
+			return bad("override %d has an empty when-block", i)
+		}
+		for axis, want := range ov.When {
+			vs := axisValues[axis]
+			if vs == nil {
+				return bad("override %d conditions on axis %q, which the sweep does not populate (keys: hops, per, d, mss, w, cc)", i, axis)
+			}
+			if !vs[want] {
+				have := make([]string, 0, len(vs))
+				for v := range vs {
+					have = append(have, v)
+				}
+				sort.Strings(have)
+				return bad("override %d: axis %q never takes value %q (cells: %s)",
+					i, axis, want, strings.Join(have, ", "))
+			}
+		}
+		if ov.Set.WindowSegs < 0 || ov.Set.SegFrames < 0 {
+			return bad("override %d: negative window_segs/seg_frames", i)
+		}
+		if ov.Set.PER != nil && (*ov.Set.PER < 0 || *ov.Set.PER >= 1) {
+			return bad("override %d: per %v out of range [0,1)", i, *ov.Set.PER)
+		}
+		if ov.Set.RetryDelay != nil && *ov.Set.RetryDelay < 0 {
+			return bad("override %d: negative retry_delay", i)
+		}
+		if ov.Set.Variant != "" {
+			if _, err := cc.Parse(ov.Set.Variant); err != nil {
+				return bad("override %d: %v", i, err)
+			}
 		}
 	}
 	return nil
@@ -592,6 +767,28 @@ func (s *Spec) Validate() error {
 		default:
 			return bad("flow %d: unknown pattern %q (have bulk, onoff, anemometer)", i, f.Pattern)
 		}
+		if _, ok := flows.Lookup(f.Protocol); !ok {
+			return bad("flow %d: unknown protocol %q (have %s)", i, f.Protocol,
+				strings.Join(flows.Protocols(), ", "))
+		}
+		if flows.Canonical(f.Protocol) != flows.ProtocolTCP {
+			// Non-TCP drivers carry telemetry only; the TCP-specific
+			// knobs have nothing to bind to.
+			if f.Pattern == PatternBulk || f.Pattern == PatternOnOff {
+				return bad("flow %d: pattern %q needs protocol tcp (udp/coap flows carry the anemometer pattern)", i, f.Pattern)
+			}
+			if f.Variant != "" || f.Profile != "" || f.Trace || f.WindowSegs != 0 || f.Pacing != nil {
+				return bad("flow %d: variant/profile/trace/window_segs/pacing are TCP knobs; protocol is %q", i, f.Protocol)
+			}
+		}
+		if f.Protocol != "coap" && (f.Confirmable != nil || f.RTO != "") {
+			return bad("flow %d: confirmable/rto are coap knobs; protocol is %q", i, flows.Canonical(f.Protocol))
+		}
+		switch f.RTO {
+		case "", "default", "cocoa":
+		default:
+			return bad("flow %d: unknown rto policy %q (have default, cocoa)", i, f.RTO)
+		}
 		if f.WindowSegs < 0 {
 			return bad("flow %d: negative window_segs", i)
 		}
@@ -618,9 +815,18 @@ func (s *Spec) Validate() error {
 		if ns.SleepInterval < 0 || (ns.FastInterval != nil && *ns.FastInterval < 0) {
 			return bad("node %d: negative sleep/fast interval", ns.ID)
 		}
+		if ns.MinInterval < 0 || ns.MaxInterval < 0 {
+			return bad("node %d: negative min/max interval", ns.ID)
+		}
 	}
 	if s.Net.PER < 0 || s.Net.PER >= 1 {
 		return bad("per %v out of range [0,1)", s.Net.PER)
+	}
+	if s.Net.InjectedLoss < 0 || s.Net.InjectedLoss >= 1 {
+		return bad("injected_loss %v out of range [0,1)", s.Net.InjectedLoss)
+	}
+	if s.Net.Interference < 0 {
+		return bad("negative interference peak")
 	}
 	if s.Net.RetryDelay != nil && *s.Net.RetryDelay < 0 {
 		return bad("negative retry_delay")
@@ -630,6 +836,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Duration < 0 || s.Warmup < 0 {
 		return bad("negative duration")
+	}
+	if s.DCSample < 0 || s.IdleSettle < 0 || s.IdleWindow < 0 {
+		return bad("negative dc_sample/idle_settle/idle_window")
 	}
 	return nil
 }
@@ -656,7 +865,13 @@ func (s *Spec) withDefaults() *Spec {
 			f.Label = fmt.Sprintf("%s->%s", f.From, f.To)
 		}
 		if f.Pattern == "" {
-			f.Pattern = PatternBulk
+			// Non-TCP protocols carry telemetry; TCP defaults to a
+			// saturating stream.
+			if flows.Canonical(f.Protocol) != flows.ProtocolTCP {
+				f.Pattern = PatternAnemometer
+			} else {
+				f.Pattern = PatternBulk
+			}
 		}
 		if f.Pattern == PatternOnOff && f.On == 0 && f.Off == 0 {
 			f.On = Duration(5 * sim.Second)

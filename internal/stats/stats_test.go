@@ -90,9 +90,10 @@ func TestCI95(t *testing.T) {
 	if ci := CI95([]float64{42}); ci != 0 {
 		t.Fatalf("single = %v", ci)
 	}
-	// σ = √2, n = 5: half-width 1.96·√2/√5.
+	// Sample variance s² = 2.5, n = 5, df = 4: half-width
+	// t₀.₉₇₅(4)·√2.5/√5.
 	xs := []float64{4, 1, 3, 2, 5}
-	want := 1.96 * math.Sqrt(2) / math.Sqrt(5)
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
 	if ci := CI95(xs); math.Abs(ci-want) > 1e-12 {
 		t.Fatalf("ci = %v, want %v", ci, want)
 	}
@@ -106,6 +107,44 @@ func TestCI95(t *testing.T) {
 	// Identical observations: zero-width interval.
 	if ci := CI95([]float64{3, 3, 3, 3}); ci != 0 {
 		t.Fatalf("constant sample ci = %v", ci)
+	}
+}
+
+func TestTQuantile975(t *testing.T) {
+	// The Student-t quantile must dominate the normal quantile and
+	// shrink toward it: at 2 seeds (df 1) the honest interval is 6.5x
+	// the normal one, exactly the regime the multi-seed tables run in.
+	if got := TQuantile975(1); got != 12.706 {
+		t.Fatalf("df=1: %v", got)
+	}
+	if got := TQuantile975(4); got != 2.776 {
+		t.Fatalf("df=4: %v", got)
+	}
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		q := TQuantile975(df)
+		if q > prev+1e-9 {
+			t.Fatalf("df=%d: quantile %v not monotone (prev %v)", df, q, prev)
+		}
+		if q < 1.9599 {
+			t.Fatalf("df=%d: quantile %v below the normal limit", df, q)
+		}
+		prev = q
+	}
+	// Continuity across the table/expansion boundary and convergence to
+	// the normal quantile.
+	if d := TQuantile975(30) - TQuantile975(31); d < 0 || d > 0.01 {
+		t.Fatalf("table→expansion step = %v", d)
+	}
+	if q := TQuantile975(10000); math.Abs(q-1.95996) > 1e-3 {
+		t.Fatalf("df=10000: %v, want ≈1.96", q)
+	}
+	if q := TQuantile975(0); q != 0 {
+		t.Fatalf("df=0: %v", q)
+	}
+	// Spot-check the expansion against the published df=60 value 2.000.
+	if q := TQuantile975(60); math.Abs(q-2.000) > 2e-3 {
+		t.Fatalf("df=60: %v, want ≈2.000", q)
 	}
 }
 

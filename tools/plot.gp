@@ -1,0 +1,43 @@
+# tools/plot.gp — render a scenario sweep CSV into a paper-style figure.
+#
+# Usage:
+#   go run ./cmd/tcplp-bench -scenario examples/scenarios/fig6_sweep.json -format csv > sweep.csv
+#   gnuplot -e "csv='sweep.csv'; out='sweep.png'" tools/plot.gp
+#
+# or, in one step:
+#
+#   make plot SPEC=examples/scenarios/fig6_sweep.json OUT=sweep
+#
+# The CSV is the runner's long format — one row per (cell, seed, flow),
+# with the sweep coordinates embedded in the scenario name
+# ("fig6-3hop/d=40ms") — so this recipe needs no per-figure
+# configuration: it plots per-flow goodput against the sweep cell (one
+# point per seed, so multi-seed runs show their spread directly) with
+# the run-level aggregate overlaid, and labels each tick with the
+# cell's axis coordinates.
+
+if (!exists("csv")) csv = "sweep.csv"
+if (!exists("out")) out = "sweep.png"
+
+set datafile separator ","
+set terminal pngcairo size 1100,620 font "Helvetica,11"
+set output out
+
+set key outside right top
+set ylabel "goodput (kb/s)"
+set xlabel "sweep cell"
+set xtics rotate by -35 right
+set grid ytics lc rgb "#dddddd"
+set yrange [0:*]
+set offsets 0.5, 0.5, 0, 0
+
+# Tick labels: the coordinates after the first '/', or the whole name
+# for sweeps of standalone specs.
+cell(s) = strstrt(s, "/") ? s[strstrt(s, "/") + 1:*] : s
+
+# Column map (see scenario.WriteCSV): 1 scenario, 2 seed, 3 flow,
+# 8 goodput_kbps, 23 aggregate_kbps.
+plot csv skip 1 using 0:8:xticlabels(cell(stringcolumn(1))) \
+         with points pt 7 ps 1.1 lc rgb "#4472c4" title "flow goodput (per seed)", \
+     csv skip 1 using 0:23 \
+         with lines lw 1.5 lc rgb "#c0504d" title "aggregate"
