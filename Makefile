@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke plot
+.PHONY: build test race bench-smoke bench-json plot
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,14 @@ race:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Machine-readable benchmark snapshot (the ROADMAP's benchmark
+# trajectory): one JSON document per PR, BENCH_<n>.json.
+BENCH_JSON ?= BENCH_6.json
+
+bench-json:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./... | $(GO) run ./tools/benchjson > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
 
 # Render a sweep spec into a paper-style figure:
 #   make plot SPEC=examples/scenarios/fig6_sweep.json OUT=fig6

@@ -198,6 +198,17 @@ func BenchmarkPacing(b *testing.B) {
 	}
 }
 
+func BenchmarkGatewayCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.GatewayCapacity(experiments.Opts{Scale: 0.05})
+		// Rows: devices {2, 4, 8, 16}; report end-to-end delivery and
+		// credit fairness inside capacity and far past it (NewReno).
+		b.ReportMetric(cellF(tab, 0, 1), "e2e_pct_2dev")
+		b.ReportMetric(cellF(tab, 3, 1), "e2e_pct_16dev")
+		b.ReportMetric(cellF(tab, 3, 2), "jain_16dev")
+	}
+}
+
 func BenchmarkFig14Adaptive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := experiments.Fig14(experiments.Opts{Scale: 0.2})

@@ -1,0 +1,44 @@
+package coap
+
+import (
+	"math/rand"
+
+	"tcplp/internal/sim"
+)
+
+// SamplingPolicy wraps an RTOPolicy with a pure observer: every
+// completed exchange's first-transmission RTT sample is reported to
+// OnSample before the inner policy learns from it. The wrapper changes
+// no timing decision and draws nothing extra from the RNG, so wrapping
+// a policy leaves simulation results bit-identical — it exists so CON
+// flows can report RTT distributions the way TCP flows do.
+type SamplingPolicy struct {
+	Inner RTOPolicy
+	// OnSample receives each completed exchange's time since first
+	// transmission and how many retransmissions it needed. Samples for
+	// retransmitted exchanges conflate retransmission delay into "RTT" —
+	// the same first-transmission convention the policies themselves see
+	// (and the §9.4 CoCoA pathology makes visible).
+	OnSample func(sinceFirstTx sim.Duration, retransmissions int)
+}
+
+// InitialRTO implements RTOPolicy by delegation.
+func (p *SamplingPolicy) InitialRTO(rng *rand.Rand) sim.Duration {
+	return p.Inner.InitialRTO(rng)
+}
+
+// Backoff implements RTOPolicy by delegation.
+func (p *SamplingPolicy) Backoff(prev sim.Duration) sim.Duration {
+	return p.Inner.Backoff(prev)
+}
+
+// OnResponse implements RTOPolicy: observe, then delegate.
+func (p *SamplingPolicy) OnResponse(sinceFirstTx sim.Duration, retransmissions int) {
+	if p.OnSample != nil {
+		p.OnSample(sinceFirstTx, retransmissions)
+	}
+	p.Inner.OnResponse(sinceFirstTx, retransmissions)
+}
+
+// OnGiveUp implements RTOPolicy by delegation.
+func (p *SamplingPolicy) OnGiveUp() { p.Inner.OnGiveUp() }

@@ -80,6 +80,17 @@ func anemSpec(name string, p anemProto, batch bool, nodes []int,
 	return s
 }
 
+// anemSweep is anemSpec with the transport left to a protocols sweep
+// axis: one spec covers every transport of a §9 comparison, cell i's
+// seeds offset by i·seedStep so the grid reproduces the hand-built
+// specs' per-condition seeding exactly.
+func anemSweep(name string, protocols []string, seedStep int64, batch bool, nodes []int,
+	injectedLoss float64, interference bool, warm, dur sim.Duration, seeds []int64) *scenario.Spec {
+	s := anemSpec(name, anemProto{}, batch, nodes, injectedLoss, interference, warm, dur, seeds)
+	s.Sweep = &scenario.Sweep{Protocols: protocols, SeedStep: seedStep}
+	return s
+}
+
 // anemRel pools one run's reliability exactly as §9.2 defines it: the
 // shared delivery-ratio formula over reading counts summed across the
 // sensors (the ratio of sums, not the mean of per-flow ratios).
@@ -134,36 +145,24 @@ func Fig8(o Opts) *Table {
 		Columns: []string{"Protocol", "Batching", "Reliability", "Radio DC", "CPU DC"},
 	}
 	warm, dur := scale.dur(2*sim.Minute), scale.dur(30*sim.Minute)
-	type row struct {
-		name  string
-		proto anemProto
-		batch bool
-	}
-	var rows []row
-	seed := int64(400)
-	var specs []*scenario.Spec
-	for _, p := range []struct {
-		name  string
-		proto anemProto
-	}{{"CoAP", protoCoAP}, {"CoCoA", protoCoCoA}, {"TCPlp", protoTCPlp}} {
-		for _, batch := range []bool{false, true} {
-			seed++
-			rows = append(rows, row{p.name, p.proto, batch})
-			specs = append(specs, anemSpec(
-				fmt.Sprintf("fig8-%s-batch%v", p.name, batch),
-				p.proto, batch, SensorNodes, 0, false, warm, dur, o.seeds(seed)))
+	// The hand-built loop (CoAP, CoCoA, TCPlp) × (no batch, batch)
+	// assigned seeds 401..406 in column-interleaved order; one
+	// protocols-axis sweep per batch setting with SeedStep 2 lands every
+	// cell on exactly the seed it had.
+	protos := []string{"coap", "cocoa", "tcp"}
+	names := []string{"CoAP", "CoCoA", "TCPlp"}
+	res := o.run([]*scenario.Spec{
+		anemSweep("fig8-nobatch", protos, 2, false, SensorNodes, 0, false, warm, dur, o.seeds(401)),
+		anemSweep("fig8-batch", protos, 2, true, SensorNodes, 0, false, warm, dur, o.seeds(402)),
+	})
+	for pi, name := range names {
+		for bi, label := range []string{"no", "yes"} {
+			sr := res[bi*len(protos)+pi]
+			t.AddRow(name, label,
+				o.cell(runSeries(sr, anemRel), pct),
+				o.cell(runSeries(sr, anemRadioDC), pct),
+				o.cell(runSeries(sr, anemCPUDC), pct))
 		}
-	}
-	res := o.run(specs)
-	for i, r := range rows {
-		label := "no"
-		if r.batch {
-			label = "yes"
-		}
-		t.AddRow(r.name, label,
-			o.cell(runSeries(res[i], anemRel), pct),
-			o.cell(runSeries(res[i], anemRadioDC), pct),
-			o.cell(runSeries(res[i], anemCPUDC), pct))
 	}
 	t.Note("paper Fig. 8: all three protocols ≈100%% reliable and comparable; batching cuts both duty cycles sharply")
 	return t
@@ -184,27 +183,25 @@ func Fig9(o Opts) []*Table {
 		Columns: []string{"Loss", "TCPlp", "CoCoA", "CoAP"}}
 	warm, dur := scale.dur(2*sim.Minute), scale.dur(20*sim.Minute)
 	losses := []float64{0, 0.03, 0.06, 0.09, 0.12, 0.15, 0.18, 0.21}
-	protos := []struct {
-		name  string
-		proto anemProto
-	}{{"TCPlp", protoTCPlp}, {"CoCoA", protoCoCoA}, {"CoAP", protoCoAP}}
-	seed := int64(500)
+	// The hand-built loop assigned seeds 501.. in (loss, protocol) order;
+	// one protocols-axis sweep per loss level with SeedStep 1 reproduces
+	// that assignment.
+	protos := []string{"tcp", "cocoa", "coap"}
+	names := []string{"TCPlp", "CoCoA", "CoAP"}
 	var specs []*scenario.Spec
-	for _, loss := range losses {
-		for _, p := range protos {
-			seed++
-			specs = append(specs, anemSpec(
-				fmt.Sprintf("fig9-loss%.0f-%s", loss*100, p.name),
-				p.proto, true, SensorNodes, loss, false, warm, dur, o.seeds(seed)))
-		}
+	for li, loss := range losses {
+		specs = append(specs, anemSweep(
+			fmt.Sprintf("fig9-loss%.0f", loss*100),
+			protos, 1, true, SensorNodes, loss, false, warm, dur,
+			o.seeds(501+int64(li)*int64(len(protos)))))
 	}
 	res := o.run(specs)
 	rtxOf := func(fl scenario.FlowResult) uint64 { return fl.Retransmits }
 	rtoOf := func(fl scenario.FlowResult) uint64 { return fl.Timeouts }
 	for li, loss := range losses {
 		byProto := map[string]*scenario.SpecResult{}
-		for pi, p := range protos {
-			byProto[p.name] = res[li*len(protos)+pi]
+		for pi, name := range names {
+			byProto[name] = res[li*len(protos)+pi]
 		}
 		l := pct(loss)
 		relOf := func(sr *scenario.SpecResult) string { return o.cell(runSeries(sr, anemRel), pct) }

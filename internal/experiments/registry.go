@@ -142,6 +142,8 @@ var Registry = []Experiment{
 		Run: one(CCVariants), SweepsVariants: true, MultiSeed: true},
 	{ID: "pacing", Desc: "Paced BBR vs ACK-clocked NewReno (hidden-terminal + duty-cycled)",
 		Run: one(Pacing), SweepsVariants: true, MultiSeed: true},
+	{ID: "gateway_capacity", Desc: "Gateway tier: WAN capacity sweep, e2e delivery + credit fairness",
+		Run: one(GatewayCapacity), SweepsVariants: true, MultiSeed: true},
 }
 
 // Find returns the experiment with the given id.

@@ -1,0 +1,313 @@
+// Package gateway implements the border-router gateway tier: a node
+// type that terminates LLN-side TCP and CoAP telemetry flows at the
+// border router and multiplexes them onto a modeled wide-area backhaul
+// (netem.WANLink), the split-transport proxy architecture the paper
+// stops short of (its evaluation ends at the border router).
+//
+// The gateway keeps a per-device connection table — bounded, with
+// least-recently-active eviction and optional idle timeout — parses
+// complete readings out of each device's stream or POSTs, and forwards
+// them upstream as framed WAN messages. A shared cloud-side collector
+// credits deliveries per source, so upstream fairness is measurable
+// end-to-end (device → gateway → cloud), not just over the mesh hop.
+package gateway
+
+import (
+	"tcplp/internal/app"
+	"tcplp/internal/coap"
+	"tcplp/internal/ip6"
+	"tcplp/internal/netem"
+	"tcplp/internal/sim"
+	"tcplp/internal/stack"
+	"tcplp/internal/tcplp"
+)
+
+// Default LLN-side terminator ports.
+const (
+	// DefaultTCPPort is the gateway's TCP listening port.
+	DefaultTCPPort = 7000
+	// DefaultCoAPPort is the gateway's CoAP server port.
+	DefaultCoAPPort = coap.DefaultPort
+	// DefaultWANOverhead is the backhaul framing added per forwarded
+	// message (TLS record + TCP/IP headers of a cloud uplink).
+	DefaultWANOverhead = 48
+)
+
+// Config parameterizes a gateway.
+type Config struct {
+	// TCPPort/CoAPPort are the LLN-side terminator ports (defaults
+	// DefaultTCPPort / DefaultCoAPPort).
+	TCPPort  uint16
+	CoAPPort uint16
+	// MaxConns bounds the connection table; 0 is unbounded. A full table
+	// evicts its least-recently-active device to admit a new one.
+	MaxConns int
+	// IdleTimeout evicts table entries idle this long; 0 disables the
+	// sweep.
+	IdleTimeout sim.Duration
+	// SinkCfg is the TCP configuration for accepted LLN-side
+	// connections.
+	SinkCfg tcplp.Config
+	// WAN shapes the backhaul link.
+	WAN netem.WANConfig
+	// WANOverhead is framing bytes added per forwarded message (default
+	// DefaultWANOverhead).
+	WANOverhead int
+}
+
+// Stats counts gateway-level events. Reading counts are cumulative;
+// callers windowing a measurement snapshot and subtract.
+type Stats struct {
+	Accepted     uint64 // LLN-side TCP connections accepted
+	Posts        uint64 // CoAP POSTs served
+	Reused       uint64 // arrivals that found a live table entry
+	Evicted      uint64 // entries closed by capacity pressure or idleness
+	ReadingsIn   uint64 // complete readings parsed off LLN flows
+	ReadingsOut  uint64 // readings credited at the cloud collector
+	ReadingsLost uint64 // readings dropped crossing the WAN
+}
+
+// registration is one flow probe's crediting hooks, keyed by device
+// address. Any hook may be nil (unregistered devices still proxy; they
+// just go unmeasured).
+type registration struct {
+	gwDeliver  func(seq uint32) // reading reached the gateway (mesh hop done)
+	e2eDeliver func(seq uint32) // reading credited at the cloud collector
+	wanLost    func(n int)      // readings lost crossing the WAN
+	sink       *app.CountingSink
+}
+
+// entry is one connection-table slot: the per-device termination state.
+type entry struct {
+	addr       ip6.Addr
+	conn       *tcplp.Conn // live TCP connection; nil for CoAP devices
+	stream     *app.ReadingStream
+	lastActive sim.Time
+	pending    []uint32 // readings parsed but not yet offered to the WAN
+}
+
+// Gateway is one instantiated gateway on the border router.
+type Gateway struct {
+	node *stack.Node
+	eng  *sim.Engine
+	cfg  Config
+	wan  *netem.WANLink
+
+	// entries is a slice, not a map: eviction scans must be
+	// deterministic for the runner's serial-vs-parallel bit-identity.
+	entries []*entry
+	regs    map[ip6.Addr]*registration
+
+	Stats Stats
+}
+
+// New installs a gateway on node (the border router): a shared TCP
+// listener, a CoAP server, and the WAN link, which gets its own
+// deterministic loss source derived from seed.
+func New(node *stack.Node, cfg Config, seed int64) *Gateway {
+	if cfg.TCPPort == 0 {
+		cfg.TCPPort = DefaultTCPPort
+	}
+	if cfg.CoAPPort == 0 {
+		cfg.CoAPPort = DefaultCoAPPort
+	}
+	if cfg.WANOverhead == 0 {
+		cfg.WANOverhead = DefaultWANOverhead
+	}
+	g := &Gateway{
+		node: node,
+		eng:  node.Eng(),
+		cfg:  cfg,
+		wan:  netem.NewWANLink(node.Eng(), cfg.WAN, seed),
+		regs: map[ip6.Addr]*registration{},
+	}
+	sinkCfg := cfg.SinkCfg
+	l := node.TCP.Listen(cfg.TCPPort, g.accept)
+	l.ConfigFor = func() tcplp.Config { return sinkCfg }
+	srv := coap.NewServer(node.Eng(), node.UDP, cfg.CoAPPort)
+	srv.OnPost = g.onPost
+	if cfg.IdleTimeout > 0 {
+		g.eng.Schedule(cfg.IdleTimeout, g.idleSweep)
+	}
+	return g
+}
+
+// TCPPort returns the LLN-side TCP terminator port.
+func (g *Gateway) TCPPort() uint16 { return g.cfg.TCPPort }
+
+// CoAPPort returns the LLN-side CoAP terminator port.
+func (g *Gateway) CoAPPort() uint16 { return g.cfg.CoAPPort }
+
+// WAN returns the backhaul link (stats and queue depth).
+func (g *Gateway) WAN() *netem.WANLink { return g.wan }
+
+// Active returns the current connection-table population.
+func (g *Gateway) Active() int { return len(g.entries) }
+
+// Register installs the measurement hooks for one device and returns
+// the per-source sink counting cloud-credited payload bytes. Call
+// before the device's flow starts; every hook may be nil.
+func (g *Gateway) Register(addr ip6.Addr, gwDeliver, e2eDeliver func(seq uint32), wanLost func(n int)) *app.CountingSink {
+	r := &registration{
+		gwDeliver:  gwDeliver,
+		e2eDeliver: e2eDeliver,
+		wanLost:    wanLost,
+		sink:       app.NewCountingSink(g.eng),
+	}
+	g.regs[addr] = r
+	return r.sink
+}
+
+// lookup finds a device's table entry.
+func (g *Gateway) lookup(addr ip6.Addr) *entry {
+	for _, e := range g.entries {
+		if e.addr == addr {
+			return e
+		}
+	}
+	return nil
+}
+
+// touch returns the device's entry, creating one (evicting the
+// least-recently-active entry if the table is full) or refreshing an
+// existing one.
+func (g *Gateway) touch(addr ip6.Addr) *entry {
+	now := g.eng.Now()
+	if e := g.lookup(addr); e != nil {
+		g.Stats.Reused++
+		e.lastActive = now
+		return e
+	}
+	if g.cfg.MaxConns > 0 && len(g.entries) >= g.cfg.MaxConns {
+		g.evictLRA()
+	}
+	e := &entry{addr: addr, lastActive: now}
+	e.stream = &app.ReadingStream{Deliver: func(seq uint32) { g.onReading(e, seq) }}
+	g.entries = append(g.entries, e)
+	return e
+}
+
+// evictLRA closes the least-recently-active entry (insertion order
+// breaks ties, deterministically — the table is a slice).
+func (g *Gateway) evictLRA() {
+	if len(g.entries) == 0 {
+		return
+	}
+	victim := 0
+	for i, e := range g.entries[1:] {
+		if e.lastActive < g.entries[victim].lastActive {
+			victim = i + 1
+		}
+	}
+	g.evict(victim)
+}
+
+// evict closes and removes the entry at index i.
+func (g *Gateway) evict(i int) {
+	e := g.entries[i]
+	g.entries = append(g.entries[:i], g.entries[i+1:]...)
+	g.Stats.Evicted++
+	if e.conn != nil {
+		e.conn.Close()
+		e.conn = nil
+	}
+}
+
+// idleSweep evicts entries idle past the timeout, rescheduling itself.
+func (g *Gateway) idleSweep() {
+	cutoff := g.eng.Now().Add(-g.cfg.IdleTimeout)
+	for i := 0; i < len(g.entries); {
+		if g.entries[i].lastActive <= cutoff {
+			g.evict(i)
+			continue
+		}
+		i++
+	}
+	g.eng.Schedule(g.cfg.IdleTimeout, g.idleSweep)
+}
+
+// accept terminates one LLN-side TCP connection: the device's table
+// entry adopts it (closing any stale predecessor and resetting stream
+// reassembly — a reconnect is a fresh byte stream) and the drain loop
+// feeds arriving chunks through per-device reading reassembly.
+func (g *Gateway) accept(c *tcplp.Conn) {
+	g.Stats.Accepted++
+	addr, _ := c.RemoteAddr()
+	e := g.touch(addr)
+	if e.conn != nil && e.conn != c {
+		e.conn.Close()
+	}
+	e.conn = c
+	e.stream = &app.ReadingStream{Deliver: func(seq uint32) { g.onReading(e, seq) }}
+	buf := make([]byte, 4096)
+	c.OnReadable = func() {
+		for {
+			n := c.Read(buf)
+			if n == 0 {
+				break
+			}
+			e.lastActive = g.eng.Now()
+			e.stream.Feed(buf[:n])
+		}
+		g.flush(e)
+	}
+}
+
+// onPost terminates one CoAP POST: datagram payloads carry whole
+// readings, so the entry's stream reassembly passes them straight
+// through.
+func (g *Gateway) onPost(src ip6.Addr, payload []byte, blk *coap.Block1) coap.Code {
+	g.Stats.Posts++
+	e := g.touch(src)
+	app.ForEachReading(payload, func(seq uint32) { g.onReading(e, seq) })
+	g.flush(e)
+	return coap.CodeChanged
+}
+
+// onReading records one complete reading parsed off a device: the mesh
+// hop is done (the per-device gwDeliver hook credits LLN-side
+// delivery) and the reading joins the entry's pending WAN batch.
+func (g *Gateway) onReading(e *entry, seq uint32) {
+	g.Stats.ReadingsIn++
+	e.lastActive = g.eng.Now()
+	if r := g.regs[e.addr]; r != nil && r.gwDeliver != nil {
+		r.gwDeliver(seq)
+	}
+	e.pending = append(e.pending, seq)
+}
+
+// flush forwards the entry's pending readings as one framed WAN
+// message. Delivery credits the device's collector-side sink and e2e
+// hook; a queue drop or in-flight loss reports through wanLost so
+// probes can separate losses from in-flight backlog.
+func (g *Gateway) flush(e *entry) {
+	if len(e.pending) == 0 {
+		return
+	}
+	seqs := e.pending
+	e.pending = nil
+	nbytes := len(seqs) * app.ReadingSize
+	r := g.regs[e.addr]
+	ok := g.wan.Send(nbytes+g.cfg.WANOverhead, func() {
+		g.Stats.ReadingsOut += uint64(len(seqs))
+		if r != nil {
+			r.sink.Received += nbytes
+			if r.e2eDeliver != nil {
+				for _, seq := range seqs {
+					r.e2eDeliver(seq)
+				}
+			}
+		}
+	}, func() {
+		g.Stats.ReadingsLost += uint64(len(seqs))
+		if r != nil && r.wanLost != nil {
+			r.wanLost(len(seqs))
+		}
+	})
+	if !ok {
+		g.Stats.ReadingsLost += uint64(len(seqs))
+		if r != nil && r.wanLost != nil {
+			r.wanLost(len(seqs))
+		}
+	}
+}

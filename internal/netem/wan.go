@@ -1,0 +1,131 @@
+package netem
+
+import (
+	"math/rand"
+
+	"tcplp/internal/sim"
+)
+
+// DefaultWANQueueCap bounds a WAN link's serialization queue when the
+// configuration leaves it zero.
+const DefaultWANQueueCap = 64
+
+// WANConfig models the wide-area backhaul behind a border-router
+// gateway: a single serializing link with propagation delay and random
+// message loss — the netem-style shaping of a cloud uplink.
+type WANConfig struct {
+	// BandwidthKbps serializes messages at this rate; 0 means an
+	// unconstrained link (messages only see the propagation delay).
+	BandwidthKbps float64
+	// Delay is the one-way propagation latency added after a message
+	// finishes serializing.
+	Delay sim.Duration
+	// Loss drops each message with this probability, decided by the
+	// link's own deterministic source.
+	Loss float64
+	// QueueCap bounds messages queued or serializing; arrivals beyond it
+	// are tail-dropped at the gateway (default DefaultWANQueueCap).
+	QueueCap int
+}
+
+// WANStats counts a WAN link's message-level events.
+type WANStats struct {
+	Sent       uint64 // messages accepted onto the link
+	Delivered  uint64 // messages that reached the far end
+	QueueDrops uint64 // tail drops at the serialization queue
+	LossDrops  uint64 // random losses in flight
+	BytesSent  uint64 // payload bytes accepted
+	MaxQueue   int    // peak queue depth since the last reset
+}
+
+// Drops totals messages lost on the link, either flavor.
+func (s WANStats) Drops() uint64 { return s.QueueDrops + s.LossDrops }
+
+// WANLink is one instantiated WAN. It carries opaque application
+// messages — the gateway's forwarded reading batches — rather than
+// simulated packets: bandwidth is modeled as serialization time on a
+// single busy resource, so concurrent senders queue behind each other
+// exactly like a shaped uplink.
+type WANLink struct {
+	eng *sim.Engine
+	cfg WANConfig
+	rng *rand.Rand
+
+	busyUntil sim.Time
+	queued    int
+
+	Stats WANStats
+}
+
+// NewWANLink builds a link on eng's clock with its own deterministic
+// loss source, so runs stay bit-identical whatever else draws from the
+// engine's RNG.
+func NewWANLink(eng *sim.Engine, cfg WANConfig, seed int64) *WANLink {
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultWANQueueCap
+	}
+	return &WANLink{eng: eng, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Config returns the link's effective configuration.
+func (l *WANLink) Config() WANConfig { return l.cfg }
+
+// QueueDepth returns messages currently queued or serializing.
+func (l *WANLink) QueueDepth() int { return l.queued }
+
+// ResetMaxQueue restarts the peak-depth tracker at the current depth
+// (called when a measurement window opens).
+func (l *WANLink) ResetMaxQueue() { l.Stats.MaxQueue = l.queued }
+
+// serialization returns how long size bytes occupy the link.
+func (l *WANLink) serialization(size int) sim.Duration {
+	if l.cfg.BandwidthKbps <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(size*8) / (l.cfg.BandwidthKbps * 1000) * float64(sim.Second))
+}
+
+// Send offers one size-byte message to the link. A full queue drops it
+// immediately and returns false; otherwise the message serializes at
+// the configured bandwidth, crosses the propagation delay, and exactly
+// one of deliver or lost fires (lost covers in-flight random loss).
+// Either callback may be nil.
+func (l *WANLink) Send(size int, deliver, lost func()) bool {
+	if l.queued >= l.cfg.QueueCap {
+		l.Stats.QueueDrops++
+		return false
+	}
+	l.queued++
+	if l.queued > l.Stats.MaxQueue {
+		l.Stats.MaxQueue = l.queued
+	}
+	l.Stats.Sent++
+	l.Stats.BytesSent += uint64(size)
+	now := l.eng.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	txDone := start.Add(l.serialization(size))
+	l.busyUntil = txDone
+	// The loss draw happens at send time, in event order, so the link's
+	// source consumes the same sequence however delivery interleaves.
+	dropped := l.cfg.Loss > 0 && l.rng.Float64() < l.cfg.Loss
+	l.eng.Schedule(txDone.Sub(now), func() {
+		l.queued--
+		if dropped {
+			l.Stats.LossDrops++
+			if lost != nil {
+				lost()
+			}
+			return
+		}
+		l.eng.Schedule(l.cfg.Delay, func() {
+			l.Stats.Delivered++
+			if deliver != nil {
+				deliver()
+			}
+		})
+	})
+	return true
+}

@@ -1,0 +1,111 @@
+package netem
+
+import (
+	"testing"
+
+	"tcplp/internal/sim"
+)
+
+func TestWANSerializationAndDelay(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewWANLink(eng, WANConfig{
+		BandwidthKbps: 8, // 1000 bytes take exactly 1 s
+		Delay:         50 * sim.Millisecond,
+		QueueCap:      4,
+	}, 1)
+	var times []sim.Time
+	record := func() { times = append(times, eng.Now()) }
+	// Two back-to-back messages queue behind each other on the single
+	// serializing resource.
+	if !l.Send(1000, record, nil) || !l.Send(1000, record, nil) {
+		t.Fatal("sends rejected below queue cap")
+	}
+	if l.QueueDepth() != 2 {
+		t.Fatalf("queue depth = %d, want 2", l.QueueDepth())
+	}
+	eng.RunFor(10 * sim.Second)
+	want := []sim.Time{
+		sim.Time(1050 * sim.Millisecond),
+		sim.Time(2050 * sim.Millisecond),
+	}
+	if len(times) != 2 || times[0] != want[0] || times[1] != want[1] {
+		t.Fatalf("delivery times = %v, want %v", times, want)
+	}
+	if l.Stats.Delivered != 2 || l.Stats.Sent != 2 || l.Stats.BytesSent != 2000 {
+		t.Fatalf("stats = %+v", l.Stats)
+	}
+	if l.QueueDepth() != 0 {
+		t.Fatalf("queue depth = %d after drain", l.QueueDepth())
+	}
+}
+
+func TestWANUnconstrainedBandwidth(t *testing.T) {
+	eng := sim.NewEngine(2)
+	l := NewWANLink(eng, WANConfig{Delay: 30 * sim.Millisecond}, 2)
+	var at sim.Time
+	l.Send(1<<20, func() { at = eng.Now() }, nil)
+	eng.RunFor(sim.Second)
+	if at != sim.Time(30*sim.Millisecond) {
+		t.Fatalf("delivered at %v, want the bare propagation delay", at)
+	}
+	if l.cfg.QueueCap != DefaultWANQueueCap {
+		t.Fatalf("queue cap = %d, want default %d", l.cfg.QueueCap, DefaultWANQueueCap)
+	}
+}
+
+func TestWANQueueCapTailDrop(t *testing.T) {
+	eng := sim.NewEngine(3)
+	l := NewWANLink(eng, WANConfig{BandwidthKbps: 1, QueueCap: 2}, 3)
+	if !l.Send(100, nil, nil) || !l.Send(100, nil, nil) {
+		t.Fatal("sends rejected below queue cap")
+	}
+	lost := 0
+	if l.Send(100, nil, func() { lost++ }) {
+		t.Fatal("send accepted above queue cap")
+	}
+	if l.Stats.QueueDrops != 1 {
+		t.Fatalf("queue drops = %d, want 1", l.Stats.QueueDrops)
+	}
+	if lost != 0 {
+		t.Fatal("tail drop must not fire the in-flight lost callback")
+	}
+	if l.Stats.MaxQueue != 2 {
+		t.Fatalf("max queue = %d, want 2", l.Stats.MaxQueue)
+	}
+	eng.RunFor(10 * sim.Second)
+	if l.Stats.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", l.Stats.Delivered)
+	}
+	// After the window reset the tracker restarts at the live depth.
+	l.ResetMaxQueue()
+	if l.Stats.MaxQueue != 0 {
+		t.Fatalf("max queue after reset = %d", l.Stats.MaxQueue)
+	}
+}
+
+func TestWANLossDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) (delivered, lost uint64) {
+		eng := sim.NewEngine(9)
+		l := NewWANLink(eng, WANConfig{Loss: 0.3, QueueCap: 1 << 16}, seed)
+		for i := 0; i < 500; i++ {
+			l.Send(10, nil, nil)
+		}
+		eng.RunFor(sim.Second)
+		return l.Stats.Delivered, l.Stats.LossDrops
+	}
+	d1, x1 := run(7)
+	d2, x2 := run(7)
+	if d1 != d2 || x1 != x2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", d1, x1, d2, x2)
+	}
+	if x1 == 0 || d1 == 0 {
+		t.Fatalf("loss draw degenerate: delivered=%d lost=%d at p=0.3", d1, x1)
+	}
+	if d1+x1 != 500 {
+		t.Fatalf("delivered+lost = %d, want 500", d1+x1)
+	}
+	d3, _ := run(8)
+	if d3 == d1 {
+		t.Fatal("different seeds produced identical loss realizations")
+	}
+}

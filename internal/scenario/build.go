@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"tcplp/internal/gateway"
 	"tcplp/internal/mesh"
 	"tcplp/internal/netem"
 	"tcplp/internal/scenario/flows"
@@ -85,9 +86,12 @@ type runContext struct {
 	seed  int64
 	net   *stack.Network
 	flows []*flowRun
+	gw    *gateway.Gateway // nil unless spec.Gateway is set
 
 	framesBase uint64
 	lossBase   uint64
+	gwBase     gateway.Stats
+	wanBase    netem.WANStats
 	dcSamples  []float64
 }
 
@@ -130,6 +134,23 @@ func buildRun(spec *Spec, seed int64) (*runContext, error) {
 		sc.Start()
 	}
 	rc := &runContext{spec: spec, seed: seed, net: net}
+	if g := spec.Gateway; g != nil {
+		// seed+2: the WAN's loss source must be independent of both the
+		// channel (seed) and the border drop filter (seed+1).
+		rc.gw = gateway.New(net.Border(), gateway.Config{
+			TCPPort:     g.TCPPort,
+			CoAPPort:    g.CoAPPort,
+			MaxConns:    g.MaxConns,
+			IdleTimeout: g.IdleTimeout.D(),
+			SinkCfg:     net.FlowTCPConfig("", 0),
+			WAN: netem.WANConfig{
+				BandwidthKbps: g.WAN.BandwidthKbps,
+				Delay:         g.WAN.RTT.D() / 2,
+				Loss:          g.WAN.Loss,
+				QueueCap:      g.WAN.QueueCap,
+			},
+		}, seed+2)
+	}
 	for _, fs := range spec.Flows {
 		fr, err := rc.startFlow(fs)
 		if err != nil {
@@ -140,13 +161,17 @@ func buildRun(spec *Spec, seed int64) (*runContext, error) {
 	return rc, nil
 }
 
-// resolve maps a NodeRef to its node.
+// resolve maps a NodeRef to its node. The gateway tier lives on the
+// border router.
 func (rc *runContext) resolve(r NodeRef) *stack.Node {
 	if r.Host {
 		return rc.net.Host
 	}
 	if r.End {
 		return rc.net.Nodes[len(rc.net.Nodes)-1]
+	}
+	if r.Gateway {
+		return rc.net.Border()
 	}
 	return rc.net.Nodes[r.ID]
 }
@@ -222,12 +247,21 @@ func (rc *runContext) startFlow(fs FlowSpec) (*flowRun, error) {
 			RTO:         fs.RTO,
 			SrcCfg:      srcCfg,
 			SinkCfg:     sinkCfg,
+			Gateway:     gatewayFor(rc, fs),
 		})
 	if err != nil {
 		return nil, err
 	}
 	fr.probe = probe
 	return fr, nil
+}
+
+// gatewayFor hands gateway-addressed flows the run's gateway instance.
+func gatewayFor(rc *runContext, fs FlowSpec) *gateway.Gateway {
+	if fs.To.Gateway {
+		return rc.gw
+	}
+	return nil
 }
 
 // mark opens the measurement window: probes and counters snapshot their
@@ -246,6 +280,11 @@ func (rc *runContext) mark() {
 	}
 	rc.framesBase = rc.net.TotalFramesSent()
 	rc.lossBase = rc.net.TotalLossEvents()
+	if rc.gw != nil {
+		rc.gwBase = rc.gw.Stats
+		rc.wanBase = rc.gw.WAN().Stats
+		rc.gw.WAN().ResetMaxQueue()
+	}
 }
 
 // scheduleDCSamples arms the Fig. 10 duty-cycle sampler: at every
@@ -310,6 +349,7 @@ func (rc *runContext) collect() Result {
 		}
 		fres := FlowResult{
 			Label:         fr.spec.Label,
+			Gateway:       fr.spec.To.Gateway,
 			Protocol:      flowProtocol(fr.spec.Protocol),
 			Variant:       m.Variant,
 			WindowSegs:    m.WindowSegs,
@@ -335,6 +375,11 @@ func (rc *runContext) collect() Result {
 			LatencyP99ms:  m.LatencyP99ms,
 			CwndTrace:     trace,
 		}
+		if fres.Gateway {
+			fres.E2EDelivered = m.E2EDelivered
+			fres.WANLost = m.WANLost
+			fres.E2EDeliveryRatio = m.E2EDeliveryRatio
+		}
 		if fr.src.Radio != nil {
 			fres.RadioDC = fr.src.Radio.DutyCycle()
 		}
@@ -349,7 +394,48 @@ func (rc *runContext) collect() Result {
 		res.Flows = append(res.Flows, fres)
 	}
 	res.Jain = stats.JainIndex(goodputs)
+	if rc.gw != nil {
+		res.Gateway = rc.collectGateway(res.Flows)
+	}
 	return res
+}
+
+// collectGateway windows the gateway/WAN counters and computes the
+// per-source credit shares: each gateway flow's fraction of the cloud
+// collector's total credited readings, plus Jain fairness over them.
+// The flows slice is indexed in rc.flows order.
+func (rc *runContext) collectGateway(frs []FlowResult) *GatewayResult {
+	gs, ws := rc.gw.Stats, rc.gw.WAN().Stats
+	gr := &GatewayResult{
+		Accepted:      gs.Accepted - rc.gwBase.Accepted,
+		Reused:        gs.Reused - rc.gwBase.Reused,
+		Evicted:       gs.Evicted - rc.gwBase.Evicted,
+		ActiveConns:   rc.gw.Active(),
+		WANSent:       ws.Sent - rc.wanBase.Sent,
+		WANDelivered:  ws.Delivered - rc.wanBase.Delivered,
+		WANQueueDrops: ws.QueueDrops - rc.wanBase.QueueDrops,
+		WANLossDrops:  ws.LossDrops - rc.wanBase.LossDrops,
+		WANQueueDepth: rc.gw.WAN().QueueDepth(),
+		WANQueueMax:   ws.MaxQueue,
+	}
+	var total uint64
+	for i := range frs {
+		if frs[i].Gateway {
+			total += frs[i].E2EDelivered
+		}
+	}
+	var credits []float64
+	for i := range frs {
+		if !frs[i].Gateway {
+			continue
+		}
+		if total > 0 {
+			frs[i].CreditShare = float64(frs[i].E2EDelivered) / float64(total)
+		}
+		credits = append(credits, float64(frs[i].E2EDelivered))
+	}
+	gr.CreditJain = stats.JainIndex(credits)
+	return gr
 }
 
 // flowProtocol returns the canonical protocol label for results.

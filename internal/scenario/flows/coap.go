@@ -26,9 +26,14 @@ type coapProbe struct {
 	sensor *app.Sensor
 	sink   *app.CountingSink
 
+	rtts               stats.Sample // exchange RTT samples over the flow's life, ms
 	lat                stats.Sample // per-reading latency since Mark, ms
 	base               coap.ClientStats
 	markGen, markDeliv uint64
+
+	// Gateway crediting (fs.Gateway flows).
+	e2eDelivered, wanLost uint64
+	markE2E, markWanLost  uint64
 
 	stopped       bool
 	frozenGoodput float64
@@ -47,21 +52,36 @@ func (coapDriver) Start(env *Env, fs Spec) (Probe, error) {
 	}
 	p := &coapProbe{fs: fs, eng: env.Src.Eng()}
 
-	// Collector side first (like every driver): a CoAP server on the
-	// flow's port crediting each delivered reading.
-	p.sink = app.NewCountingSink(env.Dst.Eng())
-	srv := coap.NewServer(env.Dst.Eng(), env.Dst.UDP, fs.Port)
-	srv.OnPost = func(src ip6.Addr, payload []byte, blk *coap.Block1) coap.Code {
-		p.sink.Received += len(payload)
-		app.ForEachReading(payload, p.deliver)
-		return coap.CodeChanged
+	// Collector side first (like every driver): either the gateway's
+	// shared CoAP terminator — readings credited at the gateway and again
+	// at the cloud collector behind the WAN — or a per-flow CoAP server
+	// on the sink node crediting each delivered reading.
+	port := fs.Port
+	if gw := fs.Gateway; gw != nil {
+		port = gw.CoAPPort()
+		p.sink = gw.Register(env.Src.Addr, p.deliver, p.e2eDeliver, p.onWANLost)
+	} else {
+		p.sink = app.NewCountingSink(env.Dst.Eng())
+		srv := coap.NewServer(env.Dst.Eng(), env.Dst.UDP, fs.Port)
+		srv.OnPost = func(src ip6.Addr, payload []byte, blk *coap.Block1) coap.Code {
+			p.sink.Received += len(payload)
+			app.ForEachReading(payload, p.deliver)
+			return coap.CodeChanged
+		}
 	}
 
 	msg := messageSize(env.Net, app.ReadingSize)
-	p.tr = app.NewCoAPTransportPort(env.Src, env.Dst.Addr, fs.Port, fs.Confirmable, msg)
+	p.tr = app.NewCoAPTransportPort(env.Src, env.Dst.Addr, port, fs.Confirmable, msg)
+	var policy coap.RTOPolicy = coap.DefaultPolicy{}
 	if fs.RTO == "cocoa" {
-		p.tr.Client.Policy = coap.NewCoCoA()
+		policy = coap.NewCoCoA()
 	}
+	// The sampling wrapper is a pure observer (no extra RNG draws, no
+	// timing change), so CON flows report RTT distributions like TCP
+	// flows do without perturbing results.
+	p.tr.Client.Policy = &coap.SamplingPolicy{Inner: policy, OnSample: func(d sim.Duration, retx int) {
+		p.rtts.Add(d.Milliseconds())
+	}}
 	p.sensor = app.NewSensor(env.Src.Eng(), p.tr, app.CoAPQueueCap)
 	p.sensor.Interval = fs.Interval
 	p.sensor.Batch = fs.Batch
@@ -77,6 +97,12 @@ func (p *coapProbe) deliver(seq uint32) {
 	}
 }
 
+// e2eDeliver credits one reading at the cloud collector behind the WAN.
+func (p *coapProbe) e2eDeliver(seq uint32) { p.e2eDelivered++ }
+
+// onWANLost records readings dropped crossing the WAN.
+func (p *coapProbe) onWANLost(n int) { p.wanLost += uint64(n) }
+
 // Mark implements Probe.
 func (p *coapProbe) Mark() {
 	p.sink.Mark()
@@ -84,6 +110,8 @@ func (p *coapProbe) Mark() {
 	p.base = p.tr.Client.Stats
 	p.markGen = p.sensor.Stats.Generated
 	p.markDeliv = p.sensor.Stats.Delivered
+	p.markE2E = p.e2eDelivered
+	p.markWanLost = p.wanLost
 }
 
 // Stop implements Probe.
@@ -107,6 +135,11 @@ func (p *coapProbe) Collect() Metrics {
 		Bytes:       p.sink.BytesSinceMark(),
 		Retransmits: st.Retransmissions - p.base.Retransmissions,
 		Timeouts:    st.GiveUps - p.base.GiveUps,
+		MeanRTTms:   p.rtts.Mean(),
+		MedianRTTms: p.rtts.Median(),
+		RTTp10ms:    p.rtts.Quantile(0.1),
+		RTTp90ms:    p.rtts.Quantile(0.9),
+		RTTMaxms:    p.rtts.Max(),
 		Generated:   p.sensor.Stats.Generated - p.markGen,
 		Delivered:   p.sensor.Stats.Delivered - p.markDeliv,
 	}
@@ -119,5 +152,8 @@ func (p *coapProbe) Collect() Metrics {
 	m.DeliveryRatio = DeliveryRatio(m.Generated, m.Delivered, m.Backlog)
 	m.LatencyP50ms = p.lat.Median()
 	m.LatencyP99ms = p.lat.Quantile(0.99)
+	if p.fs.Gateway != nil {
+		fillE2E(&m, p.e2eDelivered-p.markE2E, p.wanLost-p.markWanLost)
+	}
 	return m
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tcplp/internal/gateway"
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
 	"tcplp/internal/tcplp"
@@ -56,6 +57,12 @@ type Spec struct {
 	// SrcCfg/SinkCfg are the per-flow TCP configurations the scenario
 	// layer derived (variant, window, pacing, profile, host buffers).
 	SrcCfg, SinkCfg tcplp.Config
+	// Gateway, when non-nil, routes the flow onto the scenario's
+	// border-router gateway tier: the driver connects to the gateway's
+	// shared LLN-side terminator instead of installing its own sink, and
+	// goodput/delivery are credited at the cloud collector behind the
+	// modeled WAN.
+	Gateway *gateway.Gateway
 }
 
 // Env binds a flow to its endpoints within one instantiated run.
@@ -109,6 +116,14 @@ type Metrics struct {
 	DeliveryRatio float64
 	LatencyP50ms  float64
 	LatencyP99ms  float64
+
+	// Gateway tier (flows riding a Spec.Gateway): readings credited at
+	// the cloud collector behind the WAN, readings lost crossing it, and
+	// the resulting end-to-end delivery ratio (Delivered above then
+	// covers only the mesh hop, device → gateway).
+	E2EDelivered     uint64
+	WANLost          uint64
+	E2EDeliveryRatio float64
 
 	// Cwnd holds the traced congestion-window trajectory (TCP flows
 	// with Spec.Trace).

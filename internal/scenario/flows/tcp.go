@@ -38,6 +38,11 @@ type tcpProbe struct {
 	base               tcplp.ConnStats
 	markGen, markDeliv uint64
 
+	// Gateway crediting (fs.Gateway flows): readings credited at the
+	// cloud collector and readings lost crossing the WAN.
+	e2eDelivered, wanLost uint64
+	markE2E, markWanLost  uint64
+
 	trace []CwndSample
 
 	stopped       bool
@@ -47,6 +52,9 @@ type tcpProbe struct {
 
 // Start implements Driver.
 func (tcpDriver) Start(env *Env, fs Spec) (Probe, error) {
+	if fs.Gateway != nil && fs.Pattern != PatternAnemometer {
+		return nil, fmt.Errorf("flows: gateway flows carry telemetry; pattern %q needs a direct sink", fs.Pattern)
+	}
 	p := &tcpProbe{fs: fs, eng: env.Src.Eng(), cfg: fs.SrcCfg}
 	switch fs.Pattern {
 	case PatternBulk:
@@ -58,8 +66,18 @@ func (tcpDriver) Start(env *Env, fs Spec) (Probe, error) {
 		p.bulk = app.StartOnOffConfig(env.Src, fs.SrcCfg, env.Dst.Addr, fs.Port, fs.On, fs.Off)
 		p.conn = p.bulk.Conn
 	case PatternAnemometer:
-		p.sink = app.ListenReadingSink(env.Dst, fs.Port, fs.SinkCfg, p.deliver)
-		tr := app.NewTCPTransportConfig(env.Src, fs.SrcCfg, env.Dst.Addr, fs.Port)
+		port := fs.Port
+		if gw := fs.Gateway; gw != nil {
+			// Gateway flow: no private sink — the device connects to the
+			// gateway's shared TCP terminator, readings are credited at
+			// the gateway (mesh hop, p.deliver) and again at the cloud
+			// collector behind the WAN (end-to-end).
+			port = gw.TCPPort()
+			p.sink = gw.Register(env.Src.Addr, p.deliver, p.e2eDeliver, p.onWANLost)
+		} else {
+			p.sink = app.ListenReadingSink(env.Dst, fs.Port, fs.SinkCfg, p.deliver)
+		}
+		tr := app.NewTCPTransportConfig(env.Src, fs.SrcCfg, env.Dst.Addr, port)
 		p.sensor = app.NewSensor(env.Src.Eng(), tr, app.TCPQueueCap)
 		p.sensor.Interval = fs.Interval
 		p.sensor.Batch = fs.Batch
@@ -80,13 +98,21 @@ func (tcpDriver) Start(env *Env, fs Spec) (Probe, error) {
 
 // deliver credits one reading arriving at the collector, exactly where
 // the paper measures reliability (at the server), and records its
-// generation→delivery latency.
+// generation→delivery latency. For gateway flows the "server" is the
+// gateway — the mesh hop's terminator — and end-to-end crediting
+// happens separately in e2eDeliver.
 func (p *tcpProbe) deliver(seq uint32) {
 	p.sensor.Stats.Delivered++
 	if t, ok := p.sensor.TakeGenTime(seq); ok {
 		p.lat.Add(p.eng.Now().Sub(t).Milliseconds())
 	}
 }
+
+// e2eDeliver credits one reading at the cloud collector behind the WAN.
+func (p *tcpProbe) e2eDeliver(seq uint32) { p.e2eDelivered++ }
+
+// onWANLost records readings dropped crossing the WAN.
+func (p *tcpProbe) onWANLost(n int) { p.wanLost += uint64(n) }
 
 // Mark implements Probe.
 func (p *tcpProbe) Mark() {
@@ -97,6 +123,8 @@ func (p *tcpProbe) Mark() {
 		p.markGen = p.sensor.Stats.Generated
 		p.markDeliv = p.sensor.Stats.Delivered
 	}
+	p.markE2E = p.e2eDelivered
+	p.markWanLost = p.wanLost
 	if p.fs.Trace {
 		p.conn.TraceCwnd = func(now sim.Time, cwnd, ssthresh int) {
 			p.trace = append(p.trace, CwndSample{T: now, Cwnd: cwnd, Ssthresh: ssthresh})
@@ -159,7 +187,24 @@ func (p *tcpProbe) Collect() Metrics {
 	m.DeliveryRatio = DeliveryRatio(m.Generated, m.Delivered, m.Backlog)
 	m.LatencyP50ms = p.lat.Median()
 	m.LatencyP99ms = p.lat.Quantile(0.99)
+	if p.fs.Gateway != nil {
+		fillE2E(&m, p.e2eDelivered-p.markE2E, p.wanLost-p.markWanLost)
+	}
 	return m
+}
+
+// fillE2E computes the end-to-end fields a gateway flow adds: readings
+// credited past the WAN, readings lost on it, and the delivery ratio
+// with the gateway-to-cloud pipeline (delivered to the gateway but
+// neither credited nor lost yet) counted as backlog, not loss.
+func fillE2E(m *Metrics, e2eDelivered, wanLost uint64) {
+	m.E2EDelivered = e2eDelivered
+	m.WANLost = wanLost
+	var inFlight uint64
+	if m.Delivered > e2eDelivered+wanLost {
+		inFlight = m.Delivered - e2eDelivered - wanLost
+	}
+	m.E2EDeliveryRatio = DeliveryRatio(m.Generated, e2eDelivered, m.Backlog+inFlight)
 }
 
 // DeliveryRatio is the §9.2 reliability definition: delivered readings

@@ -9,13 +9,16 @@ import (
 	"strings"
 )
 
-// csvHeader lists the per-run flow columns emitted by WriteCSV.
+// csvHeader lists the per-run flow columns emitted by WriteCSV. New
+// columns must append at the end: tools/plot.gp addresses columns by
+// index.
 var csvHeader = []string{
 	"scenario", "seed", "flow", "variant", "protocol", "window_segs", "pattern",
 	"goodput_kbps", "bytes", "sent_bytes", "retransmits", "timeouts", "fast_rtx",
 	"srtt_ms", "mean_rtt_ms", "median_rtt_ms",
 	"delivery_ratio", "lat_p50_ms", "lat_p99_ms",
 	"radio_dc", "cpu_dc", "jain", "aggregate_kbps",
+	"e2e_delivery_ratio", "credit_share",
 }
 
 // WriteCSV emits one row per (spec, seed, flow); the run-level Jain
@@ -39,6 +42,7 @@ func WriteCSV(w io.Writer, results []*SpecResult) error {
 					f(fl.DeliveryRatio), f(fl.LatencyP50ms), f(fl.LatencyP99ms),
 					f(fl.RadioDC), f(fl.CPUDC),
 					f(run.Jain), f(run.AggregateKbps),
+					f(fl.E2EDeliveryRatio), f(fl.CreditShare),
 				}
 				if err := cw.Write(rec); err != nil {
 					return err
@@ -83,9 +87,18 @@ func (sr *SpecResult) Summary() string {
 			fmt.Fprintf(&b, "  deliv %.1f%%  lat p50 %.0f ms p99 %.0f ms",
 				fa.DeliveryMean*100, fa.LatencyP50MeanMs, fa.LatencyP99MeanMs)
 		}
+		if fa.Gateway {
+			fmt.Fprintf(&b, "  e2e %.1f%%  share %.3f",
+				fa.E2EDeliveryMean*100, fa.CreditShareMean)
+		}
 		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "  jain %.3f (min %.3f)  aggregate %.1f kb/s\n",
 		sr.Agg.JainMean, sr.Agg.JainMin, sr.Agg.AggregateMeanKbps)
+	if len(sr.Runs) > 0 && sr.Runs[0].Gateway != nil {
+		fmt.Fprintf(&b, "  gateway: credit jain %.3f (min %.3f)  wan drops %.1f  queue max %.1f\n",
+			sr.Agg.CreditJainMean, sr.Agg.CreditJainMin,
+			sr.Agg.WANDropsMean, sr.Agg.WANQueueMaxMean)
+	}
 	return b.String()
 }

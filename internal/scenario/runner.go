@@ -19,7 +19,11 @@ type CwndPoint struct {
 // a protocol cannot measure stay zero: a CoAP flow has no SRTT, a bulk
 // TCP stream has no per-reading latency (and reports DeliveryRatio 1).
 type FlowResult struct {
-	Label       string  `json:"label"`
+	Label string `json:"label"`
+	// Gateway marks a flow terminating at the border-router gateway
+	// tier: Delivered then covers only the mesh hop, and the e2e fields
+	// below cover the full device → gateway → cloud path.
+	Gateway     bool    `json:"gateway,omitempty"`
 	Protocol    string  `json:"protocol"`
 	Variant     string  `json:"variant,omitempty"`
 	WindowSegs  int     `json:"window_segs,omitempty"`
@@ -52,14 +56,43 @@ type FlowResult struct {
 	DeliveryRatio float64 `json:"delivery_ratio"`
 	LatencyP50ms  float64 `json:"lat_p50_ms"`
 	LatencyP99ms  float64 `json:"lat_p99_ms"`
-	RadioDC       float64 `json:"radio_dc"`
-	CPUDC         float64 `json:"cpu_dc"`
+	// Gateway-flow end-to-end accounting: readings credited at the cloud
+	// collector behind the WAN, readings lost crossing it, the resulting
+	// delivery ratio (gateway-to-cloud in-flight counts as backlog), and
+	// this source's share of the collector's credited readings.
+	E2EDelivered     uint64  `json:"e2e_delivered,omitempty"`
+	WANLost          uint64  `json:"wan_lost,omitempty"`
+	E2EDeliveryRatio float64 `json:"e2e_delivery_ratio,omitempty"`
+	CreditShare      float64 `json:"credit_share,omitempty"`
+	RadioDC          float64 `json:"radio_dc"`
+	CPUDC            float64 `json:"cpu_dc"`
 	// IdleRadioDC is the mesh endpoint's duty cycle over the idle phase
 	// of an idle_window spec (Fig. 14).
 	IdleRadioDC float64 `json:"idle_radio_dc,omitempty"`
 	// CwndTrace holds the flow's cwnd/ssthresh trajectory when the
 	// flow's Trace knob is set (Fig. 7a).
 	CwndTrace []CwndPoint `json:"cwnd_trace,omitempty"`
+}
+
+// GatewayResult is one run's gateway-tier report: windowed connection
+// table and WAN counters plus fairness over per-source cloud credits.
+type GatewayResult struct {
+	Accepted    uint64 `json:"accepted"` // LLN-side TCP connections accepted
+	Reused      uint64 `json:"reused"`   // arrivals finding a live table entry
+	Evicted     uint64 `json:"evicted"`  // entries closed by capacity or idleness
+	ActiveConns int    `json:"active_conns"`
+	WANSent     uint64 `json:"wan_sent"`
+	// WANDelivered/WANQueueDrops/WANLossDrops split the WAN's fate
+	// counts: messages that reached the cloud, tail drops at the uplink
+	// queue, and random in-flight losses.
+	WANDelivered  uint64 `json:"wan_delivered"`
+	WANQueueDrops uint64 `json:"wan_queue_drops"`
+	WANLossDrops  uint64 `json:"wan_loss_drops"`
+	WANQueueDepth int    `json:"wan_queue_depth"` // at window close
+	WANQueueMax   int    `json:"wan_queue_max"`   // peak over the window
+	// CreditJain is Jain's index over the gateway flows' cloud-credited
+	// reading counts — upstream fairness measured end-to-end.
+	CreditJain float64 `json:"credit_jain"`
 }
 
 // Result is one (spec, seed) run: per-flow measurements plus the
@@ -72,6 +105,8 @@ type Result struct {
 	AggregateKbps float64      `json:"aggregate_kbps"`
 	FramesSent    uint64       `json:"frames_sent"`
 	LossEvents    uint64       `json:"loss_events"`
+	// Gateway reports the gateway tier of a spec that installs one.
+	Gateway *GatewayResult `json:"gateway,omitempty"`
 	// DCSamples holds the periodic mean radio duty cycle across flow
 	// source nodes of a dc_sample spec (Fig. 10's hourly series).
 	DCSamples []float64 `json:"dc_samples,omitempty"`
@@ -80,6 +115,7 @@ type Result struct {
 // FlowAggregate summarizes one flow across a spec's seeds.
 type FlowAggregate struct {
 	Label            string  `json:"label"`
+	Gateway          bool    `json:"gateway,omitempty"`
 	Protocol         string  `json:"protocol"`
 	Variant          string  `json:"variant,omitempty"`
 	Pattern          string  `json:"pattern"`
@@ -93,8 +129,11 @@ type FlowAggregate struct {
 	DeliveryMean     float64 `json:"delivery_mean"`
 	LatencyP50MeanMs float64 `json:"lat_p50_mean_ms"`
 	LatencyP99MeanMs float64 `json:"lat_p99_mean_ms"`
-	RadioDCMean      float64 `json:"radio_dc_mean"`
-	CPUDCMean        float64 `json:"cpu_dc_mean"`
+	// Gateway-flow across-seed means (zero for direct flows).
+	E2EDeliveryMean float64 `json:"e2e_delivery_mean,omitempty"`
+	CreditShareMean float64 `json:"credit_share_mean,omitempty"`
+	RadioDCMean     float64 `json:"radio_dc_mean"`
+	CPUDCMean       float64 `json:"cpu_dc_mean"`
 }
 
 // Aggregate summarizes a spec across its seeds.
@@ -103,6 +142,12 @@ type Aggregate struct {
 	JainMean          float64         `json:"jain_mean"`
 	JainMin           float64         `json:"jain_min"`
 	AggregateMeanKbps float64         `json:"aggregate_mean_kbps"`
+	// Gateway-tier across-seed summaries of a gateway spec: fairness
+	// over per-source cloud credits and WAN pressure.
+	CreditJainMean  float64 `json:"credit_jain_mean,omitempty"`
+	CreditJainMin   float64 `json:"credit_jain_min,omitempty"`
+	WANDropsMean    float64 `json:"wan_drops_mean,omitempty"`
+	WANQueueMaxMean float64 `json:"wan_queue_max_mean,omitempty"`
 }
 
 // SpecResult is one spec's runs (in seed order) plus their aggregate.
@@ -211,7 +256,7 @@ func aggregate(runs []Result) Aggregate {
 	nFlows := len(runs[0].Flows)
 	var jain, total stats.Sample
 	for fi := 0; fi < nFlows; fi++ {
-		var goodput, rtx, rto, srtt, deliv, p50, p99, radio, cpu stats.Sample
+		var goodput, rtx, rto, srtt, deliv, p50, p99, e2e, share, radio, cpu stats.Sample
 		for _, run := range runs {
 			f := run.Flows[fi]
 			goodput.Add(f.GoodputKbps)
@@ -221,11 +266,14 @@ func aggregate(runs []Result) Aggregate {
 			deliv.Add(f.DeliveryRatio)
 			p50.Add(f.LatencyP50ms)
 			p99.Add(f.LatencyP99ms)
+			e2e.Add(f.E2EDeliveryRatio)
+			share.Add(f.CreditShare)
 			radio.Add(f.RadioDC)
 			cpu.Add(f.CPUDC)
 		}
 		agg.Flows = append(agg.Flows, FlowAggregate{
 			Label:            runs[0].Flows[fi].Label,
+			Gateway:          runs[0].Flows[fi].Gateway,
 			Protocol:         runs[0].Flows[fi].Protocol,
 			Variant:          runs[0].Flows[fi].Variant,
 			Pattern:          runs[0].Flows[fi].Pattern,
@@ -242,6 +290,10 @@ func aggregate(runs []Result) Aggregate {
 			RadioDCMean:      radio.Mean(),
 			CPUDCMean:        cpu.Mean(),
 		})
+		if runs[0].Flows[fi].Gateway {
+			agg.Flows[fi].E2EDeliveryMean = e2e.Mean()
+			agg.Flows[fi].CreditShareMean = share.Mean()
+		}
 	}
 	for _, run := range runs {
 		jain.Add(run.Jain)
@@ -250,5 +302,18 @@ func aggregate(runs []Result) Aggregate {
 	agg.JainMean = jain.Mean()
 	agg.JainMin = jain.Min()
 	agg.AggregateMeanKbps = total.Mean()
+	if runs[0].Gateway != nil {
+		var cj, drops, qmax stats.Sample
+		for _, run := range runs {
+			g := run.Gateway
+			cj.Add(g.CreditJain)
+			drops.Add(float64(g.WANQueueDrops + g.WANLossDrops))
+			qmax.Add(float64(g.WANQueueMax))
+		}
+		agg.CreditJainMean = cj.Mean()
+		agg.CreditJainMin = cj.Min()
+		agg.WANDropsMean = drops.Mean()
+		agg.WANQueueMaxMean = qmax.Mean()
+	}
 	return agg
 }

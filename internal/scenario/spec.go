@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"tcplp/internal/gateway"
 	"tcplp/internal/scenario/flows"
 	"tcplp/internal/sim"
 	"tcplp/internal/tcplp/cc"
@@ -66,13 +67,15 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 }
 
 // NodeRef names a flow endpoint: a mesh node id, the wired cloud host
-// behind the border router, or "end" — the topology's last node, which
+// behind the border router, "end" — the topology's last node, which
 // lets one sweep spec keep addressing the far end of a chain while a
-// hop-count axis regrows it.
+// hop-count axis regrows it — or "gateway", the spec's border-router
+// gateway tier (flow sinks only).
 type NodeRef struct {
-	Host bool
-	End  bool
-	ID   int
+	Host    bool
+	End     bool
+	Gateway bool
+	ID      int
 }
 
 // NodeID returns a reference to mesh node id.
@@ -85,6 +88,11 @@ func Host() NodeRef { return NodeRef{Host: true} }
 // end; resolved against whatever node count the cell expands to).
 func End() NodeRef { return NodeRef{End: true} }
 
+// Gateway returns a reference to the spec's gateway tier: the flow
+// terminates at the border router's shared gateway and is credited
+// end-to-end at the cloud collector behind the modeled WAN.
+func Gateway() NodeRef { return NodeRef{Gateway: true} }
+
 func (r NodeRef) String() string {
 	if r.Host {
 		return "host"
@@ -92,18 +100,23 @@ func (r NodeRef) String() string {
 	if r.End {
 		return "end"
 	}
+	if r.Gateway {
+		return "gateway"
+	}
 	return strconv.Itoa(r.ID)
 }
 
-// MarshalJSON renders the reference as a number, "host", or "end".
+// MarshalJSON renders the reference as a number, "host", "end", or
+// "gateway".
 func (r NodeRef) MarshalJSON() ([]byte, error) {
-	if r.Host || r.End {
+	if r.Host || r.End || r.Gateway {
 		return json.Marshal(r.String())
 	}
 	return json.Marshal(r.ID)
 }
 
-// UnmarshalJSON accepts a node id or the strings "host" / "end".
+// UnmarshalJSON accepts a node id or the strings "host" / "end" /
+// "gateway".
 func (r *NodeRef) UnmarshalJSON(b []byte) error {
 	var id int
 	if err := json.Unmarshal(b, &id); err == nil {
@@ -119,9 +132,12 @@ func (r *NodeRef) UnmarshalJSON(b []byte) error {
 		case "end":
 			*r = NodeRef{End: true}
 			return nil
+		case "gateway":
+			*r = NodeRef{Gateway: true}
+			return nil
 		}
 	}
-	return fmt.Errorf("scenario: node reference must be a node id, \"host\", or \"end\": %s", b)
+	return fmt.Errorf("scenario: node reference must be a node id, \"host\", \"end\", or \"gateway\": %s", b)
 }
 
 // Topology kinds.
@@ -201,6 +217,43 @@ type NodeSpec struct {
 	NoFastPollHint bool `json:"no_fast_poll_hint,omitempty"`
 }
 
+// WANSpec shapes the gateway's modeled wide-area backhaul: a
+// netem-style link with configurable bandwidth, round-trip latency,
+// and random message loss.
+type WANSpec struct {
+	// BandwidthKbps serializes forwarded messages at this rate; 0 is an
+	// unconstrained link.
+	BandwidthKbps float64 `json:"bandwidth_kbps,omitempty"`
+	// RTT is the WAN round-trip time; each forwarded message crosses
+	// half of it one-way.
+	RTT Duration `json:"rtt,omitempty"`
+	// Loss drops each forwarded message with this probability.
+	Loss float64 `json:"loss,omitempty"`
+	// QueueCap bounds messages queued at the gateway's uplink (default
+	// 64); arrivals beyond it are tail-dropped.
+	QueueCap int `json:"queue_cap,omitempty"`
+}
+
+// GatewaySpec installs the border-router gateway tier: flows addressed
+// "to": "gateway" terminate at the border router's shared per-device
+// connection table and are proxied onto the WAN, with deliveries
+// credited per source at a cloud collector — upstream fairness becomes
+// measurable end-to-end (device → gateway → cloud).
+type GatewaySpec struct {
+	// TCPPort/CoAPPort are the LLN-side terminator ports (defaults 7000
+	// and 5683).
+	TCPPort  uint16 `json:"tcp_port,omitempty"`
+	CoAPPort uint16 `json:"coap_port,omitempty"`
+	// MaxConns bounds the per-device connection table; 0 is unbounded. A
+	// full table evicts its least-recently-active device.
+	MaxConns int `json:"max_conns,omitempty"`
+	// IdleTimeout evicts table entries idle this long; 0 disables the
+	// sweep.
+	IdleTimeout Duration `json:"idle_timeout,omitempty"`
+	// WAN shapes the backhaul link.
+	WAN WANSpec `json:"wan,omitempty"`
+}
+
 // Traffic patterns (canonically defined by the flows driver registry).
 const (
 	PatternBulk       = flows.PatternBulk       // saturating stream (default)
@@ -262,6 +315,11 @@ type FlowSpec struct {
 	// Batch is the anemometer batching threshold in readings (0 sends
 	// each reading immediately).
 	Batch int `json:"batch,omitempty"`
+	// PerDevice replicates this flow template across every mesh node
+	// 1..N-1 (one flow per device, From set per replica) — the idiom for
+	// gateway capacity sweeps, where a devices axis regrows the fleet.
+	// Requires "to": "gateway"; From in the template is ignored.
+	PerDevice bool `json:"per_device,omitempty"`
 }
 
 // AxisValue is one coordinate of an expanded sweep cell, e.g.
@@ -281,6 +339,11 @@ type Sweep struct {
 	// twinleaf a hops-long relay path. Use the "end" node reference in
 	// flows so endpoints follow the far end of the chain.
 	Hops []int `json:"hops,omitempty"`
+	// Devices sweeps the mesh device count: a star or chain gets
+	// devices+1 nodes per cell (the border router plus that many
+	// devices). Pair it with a per_device flow template so the flow set
+	// regrows with the fleet.
+	Devices []int `json:"devices,omitempty"`
 	// PER sweeps the uniform per-frame corruption probability.
 	PER []float64 `json:"per,omitempty"`
 	// RetryDelay sweeps the §7.1 link-retry delay d ("0s" gives
@@ -294,6 +357,12 @@ type Sweep struct {
 	// Variants sweeps the congestion-control algorithm, overriding every
 	// flow's variant per cell.
 	Variants []string `json:"variants,omitempty"`
+	// Protocols sweeps the transport preset across every flow: tcp, udp,
+	// coap (CON), coap-non (NON), or cocoa (CON with the CoCoA RTO
+	// policy). Each cell rewrites every flow's protocol/confirmable/rto
+	// and clears knobs foreign to the preset's transport, so one
+	// telemetry spec compares transports without per-protocol copies.
+	Protocols []string `json:"protocols,omitempty"`
 	// SeedStep offsets every seed of cell i by i·SeedStep, reproducing
 	// per-condition seeding; 0 (the default) holds the channel
 	// realization fixed across cells so rows differ only by the axis.
@@ -390,8 +459,28 @@ func (o *Override) apply(c *Spec) {
 
 // empty reports whether no axis has any values.
 func (sw *Sweep) empty() bool {
-	return len(sw.Hops) == 0 && len(sw.PER) == 0 && len(sw.RetryDelay) == 0 &&
-		len(sw.SegFrames) == 0 && len(sw.WindowSegs) == 0 && len(sw.Variants) == 0
+	return len(sw.Hops) == 0 && len(sw.Devices) == 0 && len(sw.PER) == 0 &&
+		len(sw.RetryDelay) == 0 && len(sw.SegFrames) == 0 &&
+		len(sw.WindowSegs) == 0 && len(sw.Variants) == 0 && len(sw.Protocols) == 0
+}
+
+// protoPreset resolves one protocols-axis value to the flow fields it
+// rewrites.
+func protoPreset(name string) (protocol string, confirmable *bool, rto string, ok bool) {
+	t, f := true, false
+	switch name {
+	case "tcp":
+		return flows.ProtocolTCP, nil, "", true
+	case "udp":
+		return flows.ProtocolUDP, nil, "", true
+	case "coap":
+		return flows.ProtocolCoAP, &t, "", true
+	case "coap-non":
+		return flows.ProtocolCoAP, &f, "", true
+	case "cocoa":
+		return flows.ProtocolCoAP, &t, "cocoa", true
+	}
+	return "", nil, "", false
 }
 
 // Spec is one declarative scenario: a topology, link conditions, node
@@ -402,7 +491,15 @@ type Spec struct {
 	Topology TopologySpec `json:"topology"`
 	Net      NetSpec      `json:"net,omitempty"`
 	Nodes    []NodeSpec   `json:"nodes,omitempty"`
-	Flows    []FlowSpec   `json:"flows"`
+	// AllNodes is a role template applied to every mesh node 1..N-1
+	// without an explicit Nodes entry (its ID field is ignored) — the
+	// idiom for specs whose node count is swept, where a fixed Nodes
+	// list cannot follow the topology.
+	AllNodes *NodeSpec  `json:"all_nodes,omitempty"`
+	Flows    []FlowSpec `json:"flows"`
+	// Gateway installs the border-router gateway tier; flows addressed
+	// "to": "gateway" terminate there and proxy onto its WAN.
+	Gateway *GatewaySpec `json:"gateway,omitempty"`
 	// Sweep expands this spec into a cartesian grid of cells; the
 	// Runner runs every cell (see Expand).
 	Sweep *Sweep `json:"sweep,omitempty"`
@@ -485,6 +582,13 @@ func (sw *Sweep) axes() [][]sweepOpt {
 		}})
 	}
 	add(hops)
+	var devs []sweepOpt
+	for _, d := range sw.Devices {
+		d := d
+		devs = append(devs, sweepOpt{AxisValue{"dev", strconv.Itoa(d)},
+			func(c *Spec) { c.Topology.Nodes = d + 1 }})
+	}
+	add(devs)
 	var pers []sweepOpt
 	for _, p := range sw.PER {
 		p := p
@@ -525,6 +629,25 @@ func (sw *Sweep) axes() [][]sweepOpt {
 		}})
 	}
 	add(vars)
+	var protos []sweepOpt
+	for _, p := range sw.Protocols {
+		p := p
+		protos = append(protos, sweepOpt{AxisValue{"proto", p}, func(c *Spec) {
+			protocol, confirmable, rto, _ := protoPreset(p)
+			for i := range c.Flows {
+				f := &c.Flows[i]
+				f.Protocol = protocol
+				f.Confirmable = confirmable
+				f.RTO = rto
+				if protocol != flows.ProtocolTCP {
+					// TCP-only knobs have nothing to bind to.
+					f.Variant, f.Profile, f.Trace = "", "", false
+					f.WindowSegs, f.Pacing = 0, nil
+				}
+			}
+		}})
+	}
+	add(protos)
 	return out
 }
 
@@ -604,6 +727,14 @@ func (s *Spec) validateSweep() error {
 			return bad("hops value %d < 1", h)
 		}
 	}
+	if len(sw.Devices) > 0 && s.Topology.Kind != TopoStar && s.Topology.Kind != TopoChain {
+		return bad("devices axis needs a star or chain topology, not %q", s.Topology.Kind)
+	}
+	for _, d := range sw.Devices {
+		if d < 1 {
+			return bad("devices value %d < 1", d)
+		}
+	}
 	for _, p := range sw.PER {
 		if p < 0 || p >= 1 {
 			return bad("per value %v out of range [0,1)", p)
@@ -629,6 +760,11 @@ func (s *Spec) validateSweep() error {
 			return bad("%v", err)
 		}
 	}
+	for _, p := range sw.Protocols {
+		if _, _, _, ok := protoPreset(p); !ok {
+			return bad("unknown protocol preset %q (have tcp, udp, coap, coap-non, cocoa)", p)
+		}
+	}
 	// Collect the exact coordinate strings each populated axis will
 	// expand to, so a mistyped override value ("04", "40 ms") is a
 	// validation error instead of a silently inert patch.
@@ -650,7 +786,7 @@ func (s *Spec) validateSweep() error {
 		for axis, want := range ov.When {
 			vs := axisValues[axis]
 			if vs == nil {
-				return bad("override %d conditions on axis %q, which the sweep does not populate (keys: hops, per, d, mss, w, cc)", i, axis)
+				return bad("override %d conditions on axis %q, which the sweep does not populate (keys: hops, dev, per, d, mss, w, cc, proto)", i, axis)
 			}
 			if !vs[want] {
 				have := make([]string, 0, len(vs))
@@ -732,7 +868,7 @@ func (s *Spec) Validate() error {
 		return bad("no flows")
 	}
 	checkRef := func(r NodeRef) error {
-		if r.Host || r.End {
+		if r.Host || r.End || r.Gateway {
 			return nil
 		}
 		if r.ID < 0 || r.ID >= n {
@@ -740,7 +876,23 @@ func (s *Spec) Validate() error {
 		}
 		return nil
 	}
-	sinks := map[string]int{} // "to:port" → flow index
+	// The gateway's terminator ports live on node 0; a direct flow
+	// sinking there would silently displace the shared listeners.
+	gwPorts := map[int]bool{}
+	if s.Gateway != nil {
+		tcpPort, coapPort := int(s.Gateway.TCPPort), int(s.Gateway.CoAPPort)
+		if tcpPort == 0 {
+			tcpPort = gateway.DefaultTCPPort
+		}
+		if coapPort == 0 {
+			coapPort = gateway.DefaultCoAPPort
+		}
+		gwPorts[tcpPort] = true
+		gwPorts[coapPort] = true
+	}
+	sinks := map[string]int{}  // "to:port" → flow index
+	gwSrc := map[string]int{}  // gateway-flow source → flow index
+	perDevice, gwFlows := 0, 0 // gateway-flow census
 	for i, f := range s.Flows {
 		if err := checkRef(f.From); err != nil {
 			return err
@@ -753,6 +905,43 @@ func (s *Spec) Validate() error {
 		}
 		if f.From.Host && f.To.Host {
 			return bad("flow %d: both endpoints are the host", i)
+		}
+		if f.From.Gateway {
+			return bad("flow %d: \"gateway\" is a sink reference (devices send up to the gateway tier)", i)
+		}
+		if f.To.Gateway {
+			if s.Gateway == nil {
+				return bad("flow %d: \"to\": \"gateway\" needs a gateway block", i)
+			}
+			if f.From.Host {
+				return bad("flow %d: gateway flows originate at mesh devices, not the host", i)
+			}
+			switch flows.Canonical(f.Protocol) {
+			case flows.ProtocolTCP, flows.ProtocolCoAP:
+			default:
+				return bad("flow %d: gateway flows need protocol tcp or coap, not %q", i, flows.Canonical(f.Protocol))
+			}
+			switch f.Pattern {
+			case "", PatternAnemometer:
+			default:
+				return bad("flow %d: gateway flows carry telemetry (anemometer), not pattern %q", i, f.Pattern)
+			}
+			if f.Port != 0 {
+				return bad("flow %d: gateway flows use the gateway's terminator ports; drop \"port\"", i)
+			}
+			// The gateway credits deliveries per source address; two flows
+			// from one device would collide in its registration table.
+			gwFlows++
+			if f.PerDevice {
+				perDevice++
+			} else if prev, dup := gwSrc[f.From.String()]; dup {
+				return bad("flows %d and %d both terminate device %s at the gateway (one gateway flow per device)", prev, i, f.From)
+			} else {
+				gwSrc[f.From.String()] = i
+			}
+		}
+		if f.PerDevice && !f.To.Gateway {
+			return bad("flow %d: per_device needs \"to\": \"gateway\"", i)
 		}
 		if _, err := cc.Parse(f.Variant); err != nil {
 			return bad("flow %d: %v", i, err)
@@ -797,16 +986,26 @@ func (s *Spec) Validate() error {
 		}
 		// Two flows listening on the same node:port would silently
 		// replace each other's sink (tcplp.Stack.Listen keeps the last
-		// listener), crediting one flow with both streams.
+		// listener), crediting one flow with both streams. Gateway flows
+		// share the gateway's terminators by design and skip the check.
+		if f.To.Gateway {
+			continue
+		}
 		port := int(f.Port)
 		if port == 0 {
 			port = 80 + i // the default withDefaults will assign
+		}
+		if !f.To.Host && !f.To.End && f.To.ID == 0 && gwPorts[port] {
+			return bad("flow %d: port %d on node 0 is a gateway terminator port", i, port)
 		}
 		key := fmt.Sprintf("%s:%d", f.To, port)
 		if prev, dup := sinks[key]; dup {
 			return bad("flows %d and %d share sink %s", prev, i, key)
 		}
 		sinks[key] = i
+	}
+	if perDevice > 1 || (perDevice > 0 && gwFlows > perDevice) {
+		return bad("a per_device gateway template must be the only gateway flow (its replicas cover every device)")
 	}
 	for _, ns := range s.Nodes {
 		if ns.ID <= 0 || ns.ID >= n {
@@ -817,6 +1016,34 @@ func (s *Spec) Validate() error {
 		}
 		if ns.MinInterval < 0 || ns.MaxInterval < 0 {
 			return bad("node %d: negative min/max interval", ns.ID)
+		}
+	}
+	if a := s.AllNodes; a != nil {
+		if a.SleepInterval < 0 || (a.FastInterval != nil && *a.FastInterval < 0) {
+			return bad("all_nodes: negative sleep/fast interval")
+		}
+		if a.MinInterval < 0 || a.MaxInterval < 0 {
+			return bad("all_nodes: negative min/max interval")
+		}
+	}
+	if g := s.Gateway; g != nil {
+		if g.MaxConns < 0 {
+			return bad("gateway: negative max_conns")
+		}
+		if g.IdleTimeout < 0 {
+			return bad("gateway: negative idle_timeout")
+		}
+		if g.WAN.BandwidthKbps < 0 {
+			return bad("gateway: negative wan bandwidth_kbps")
+		}
+		if g.WAN.RTT < 0 {
+			return bad("gateway: negative wan rtt")
+		}
+		if g.WAN.Loss < 0 || g.WAN.Loss >= 1 {
+			return bad("gateway: wan loss %v out of range [0,1)", g.WAN.Loss)
+		}
+		if g.WAN.QueueCap < 0 {
+			return bad("gateway: negative wan queue_cap")
 		}
 	}
 	if s.Net.PER < 0 || s.Net.PER >= 1 {
@@ -855,19 +1082,56 @@ func (s *Spec) withDefaults() *Spec {
 	if len(out.Seeds) == 0 {
 		out.Seeds = []int64{1}
 	}
-	out.Flows = append([]FlowSpec(nil), s.Flows...)
+	// Materialize the all_nodes role template for every mesh node
+	// without an explicit entry (in id order, deterministically).
+	out.Nodes = append([]NodeSpec(nil), s.Nodes...)
+	if s.AllNodes != nil {
+		have := map[int]bool{}
+		for _, ns := range out.Nodes {
+			have[ns.ID] = true
+		}
+		for id := 1; id < out.Topology.nodeCount(); id++ {
+			if have[id] {
+				continue
+			}
+			ns := *s.AllNodes
+			ns.ID = id
+			out.Nodes = append(out.Nodes, ns)
+		}
+		out.AllNodes = nil
+	}
+	// Replicate per_device flow templates across the device fleet before
+	// per-flow defaulting, so each replica gets its own label.
+	out.Flows = make([]FlowSpec, 0, len(s.Flows))
+	for _, f := range s.Flows {
+		if !f.PerDevice {
+			out.Flows = append(out.Flows, f)
+			continue
+		}
+		for id := 1; id < out.Topology.nodeCount(); id++ {
+			r := f
+			r.PerDevice = false
+			r.From = NodeID(id)
+			if f.Label != "" {
+				r.Label = fmt.Sprintf("%s-%d", f.Label, id)
+			}
+			out.Flows = append(out.Flows, r)
+		}
+	}
 	for i := range out.Flows {
 		f := &out.Flows[i]
-		if f.Port == 0 {
+		if f.Port == 0 && !f.To.Gateway {
+			// Gateway flows keep port 0: they share the gateway's
+			// terminator ports instead of a private sink.
 			f.Port = uint16(80 + i)
 		}
 		if f.Label == "" {
 			f.Label = fmt.Sprintf("%s->%s", f.From, f.To)
 		}
 		if f.Pattern == "" {
-			// Non-TCP protocols carry telemetry; TCP defaults to a
-			// saturating stream.
-			if flows.Canonical(f.Protocol) != flows.ProtocolTCP {
+			// Non-TCP protocols and gateway flows carry telemetry; direct
+			// TCP defaults to a saturating stream.
+			if f.To.Gateway || flows.Canonical(f.Protocol) != flows.ProtocolTCP {
 				f.Pattern = PatternAnemometer
 			} else {
 				f.Pattern = PatternBulk

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so benchmark trajectories
+// can accumulate across PRs (make bench-json):
+//
+//	go test -run=NONE -bench=. -benchtime=1x ./... | go run ./tools/benchjson > BENCH_6.json
+//
+// It understands the standard bench line — name-GOMAXPROCS, iteration
+// count, then (value, unit) metric pairs — plus the pkg:/goos:/goarch:
+// headers, and ignores everything else (PASS/ok/no-test-files noise).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchName splits "BenchmarkFoo-8" into the bare name and GOMAXPROCS.
+var benchName = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?$`)
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		m := benchName.FindStringSubmatch(fields[0])
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a Benchmark-prefixed non-result line
+		}
+		b := Benchmark{
+			Pkg:        pkg,
+			Name:       strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		if m[2] != "" {
+			b.Procs, _ = strconv.Atoi(m[2])
+		}
+		// The rest of the line is (value, unit) pairs: ns/op first, then
+		// any custom ReportMetric units.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad metric value %q in %q", fields[i], line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rep, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
