@@ -315,8 +315,10 @@ type Collector struct {
 // Delivered count the collector maintains.
 func NewCollector(host *stack.Node, port uint16, credit map[ip6.Addr]*SensorStats) *Collector {
 	col := &Collector{tcpRemainder: map[*tcplp.Conn]int{}}
+	// One drain buffer shared by every sensor connection (drains run
+	// synchronously; the collector only counts, never keeps the bytes).
+	buf := make([]byte, 4096)
 	host.TCP.Listen(port, func(c *tcplp.Conn) {
-		buf := make([]byte, 4096)
 		c.OnReadable = func() {
 			for {
 				n := c.Read(buf)

@@ -43,9 +43,11 @@ func listenSink(node *stack.Node, port uint16, cfg *tcplp.Config) *Sink {
 // on every drained chunk (the reading-parsing collector rides on it).
 func listenSinkData(node *stack.Node, port uint16, cfg *tcplp.Config, onData func([]byte)) *Sink {
 	s := &Sink{eng: node.Eng()}
+	// One drain buffer per sink, shared across accepted connections:
+	// drains run synchronously and no onData hook retains the chunk.
+	buf := make([]byte, 4096)
 	l := node.TCP.Listen(port, func(c *tcplp.Conn) {
 		s.Conn = c
-		buf := make([]byte, 4096)
 		c.OnReadable = func() {
 			for {
 				n := c.Read(buf)

@@ -144,6 +144,8 @@ var Registry = []Experiment{
 		Run: one(Pacing), SweepsVariants: true, MultiSeed: true},
 	{ID: "gateway_capacity", Desc: "Gateway tier: WAN capacity sweep, e2e delivery + credit fairness",
 		Run: one(GatewayCapacity), SweepsVariants: true, MultiSeed: true},
+	{ID: "citysweep", Desc: "City-scale mesh: node-count sweep, delivery + simulator throughput",
+		Run: one(CitySweep), SweepsVariants: true, MultiSeed: true},
 }
 
 // Find returns the experiment with the given id.

@@ -98,6 +98,12 @@ type Gateway struct {
 	entries []*entry
 	regs    map[ip6.Addr]*registration
 
+	// rdBuf is the drain scratch buffer shared by every accepted
+	// connection: drains run synchronously on the engine and the stream
+	// reassembly copies what it keeps, so one per gateway suffices (a
+	// per-connection buffer is 4 KB × the city's device count).
+	rdBuf []byte
+
 	Stats Stats
 }
 
@@ -115,11 +121,12 @@ func New(node *stack.Node, cfg Config, seed int64) *Gateway {
 		cfg.WANOverhead = DefaultWANOverhead
 	}
 	g := &Gateway{
-		node: node,
-		eng:  node.Eng(),
-		cfg:  cfg,
-		wan:  netem.NewWANLink(node.Eng(), cfg.WAN, seed),
-		regs: map[ip6.Addr]*registration{},
+		node:  node,
+		eng:   node.Eng(),
+		cfg:   cfg,
+		wan:   netem.NewWANLink(node.Eng(), cfg.WAN, seed),
+		regs:  map[ip6.Addr]*registration{},
+		rdBuf: make([]byte, 4096),
 	}
 	sinkCfg := cfg.SinkCfg
 	l := node.TCP.Listen(cfg.TCPPort, g.accept)
@@ -239,15 +246,14 @@ func (g *Gateway) accept(c *tcplp.Conn) {
 	}
 	e.conn = c
 	e.stream = &app.ReadingStream{Deliver: func(seq uint32) { g.onReading(e, seq) }}
-	buf := make([]byte, 4096)
 	c.OnReadable = func() {
 		for {
-			n := c.Read(buf)
+			n := c.Read(g.rdBuf)
 			if n == 0 {
 				break
 			}
 			e.lastActive = g.eng.Now()
-			e.stream.Feed(buf[:n])
+			e.stream.Feed(g.rdBuf[:n])
 		}
 		g.flush(e)
 	}

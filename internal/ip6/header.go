@@ -52,10 +52,15 @@ type Packet struct {
 	Payload []byte
 }
 
-// Encode serializes the packet, setting PayloadLen from the payload.
-func (p *Packet) Encode() []byte {
+// AppendEncode serializes the packet onto dst, setting PayloadLen from
+// the payload, and returns the extended slice. Callers that encode
+// repeatedly can pass a reused buffer (dst[:0]) to avoid a fresh
+// allocation per packet.
+func (p *Packet) AppendEncode(dst []byte) []byte {
 	p.PayloadLen = uint16(len(p.Payload))
-	b := make([]byte, HeaderLen+len(p.Payload))
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen)...)
+	b := dst[off:]
 	b[0] = 6<<4 | p.TrafficClass>>4
 	b[1] = p.TrafficClass<<4 | uint8(p.FlowLabel>>16)
 	binary.BigEndian.PutUint16(b[2:], uint16(p.FlowLabel))
@@ -64,8 +69,12 @@ func (p *Packet) Encode() []byte {
 	b[7] = p.HopLimit
 	copy(b[8:24], p.Src[:])
 	copy(b[24:40], p.Dst[:])
-	copy(b[40:], p.Payload)
-	return b
+	return append(dst, p.Payload...)
+}
+
+// Encode serializes the packet into a fresh buffer.
+func (p *Packet) Encode() []byte {
+	return p.AppendEncode(make([]byte, 0, HeaderLen+len(p.Payload)))
 }
 
 // Decode errors.

@@ -88,6 +88,16 @@ type txJob struct {
 	attempts int
 	nb, be   int
 	indirect bool
+
+	// Scheduler callbacks, built once per job instead of once per
+	// backoff step / retry / load: a job under CSMA pressure schedules
+	// many events, and per-event closures dominated the MAC's
+	// allocation profile. Each checks m.inflight == job, so a stale
+	// event for a finished job is a no-op.
+	resumeFn func() // load done or retry delay elapsed: start CSMA
+	stepFn   func() // radio freed mid-backoff: take another backoff step
+	fireFn   func() // backoff+CCA delay elapsed: assess the channel
+	txDoneFn func() // frame left the air
 }
 
 // Mac is one node's MAC instance.
@@ -102,6 +112,16 @@ type Mac struct {
 	ackTimer    *sim.Timer
 	sendingAck  bool
 	kickPending bool
+	// Prebuilt callbacks for per-Mac (not per-job) events, plus the
+	// state the ACK-completion callback needs (one ACK transmission can
+	// be outstanding at a time).
+	kickFn        func()
+	ackDoneFn     func()
+	ackWasWaiting bool
+	// rxFrame is the decode target for inbound frames: one reception is
+	// processed at a time, and no handler retains the Frame (payload
+	// consumers copy what they keep), so one struct per MAC suffices.
+	rxFrame phy.Frame
 	// lastAckPending records the frame-pending bit of the most recent
 	// ACK that completed one of our transmissions (data-request polls).
 	lastAckPending bool
@@ -142,9 +162,44 @@ func New(eng *sim.Engine, radio *phy.Radio, params Params) *Mac {
 		seenSeq:        map[phy.Addr]bool{},
 	}
 	m.ackTimer = sim.NewTimer(eng, m.ackTimeout)
+	m.kickFn = func() {
+		m.kickPending = false
+		m.kick()
+	}
+	m.ackDoneFn = func() {
+		m.radio.OnTxDone = nil
+		m.sendingAck = false
+		m.Stats.AcksSent++
+		if m.ackWasWaiting && m.inflight != nil {
+			// Our own pending exchange lost its ACK window; retry it.
+			m.linkRetry(TxNoAck)
+		} else {
+			m.applyIdleState()
+			m.kick()
+		}
+	}
 	radio.OnReceive = m.radioReceive
 	m.applyIdleState()
 	return m
+}
+
+// newJob builds a transmit job with its scheduler callbacks, which are
+// shared by every load, backoff step, and retry of the job's lifetime.
+func (m *Mac) newJob(f *phy.Frame, done func(TxStatus)) *txJob {
+	job := &txJob{frame: f, done: done}
+	job.resumeFn = func() {
+		if m.inflight == job {
+			m.startCSMA()
+		}
+	}
+	job.stepFn = func() {
+		if m.inflight == job {
+			m.backoffStep()
+		}
+	}
+	job.fireFn = func() { m.backoffFire(job) }
+	job.txDoneFn = func() { m.txDone(job) }
+	return job
 }
 
 // Radio returns the underlying radio.
@@ -202,7 +257,7 @@ func (m *Mac) Send(dst phy.Addr, payload []byte, done func(TxStatus)) {
 		AckRequest: !dst.IsBroadcast(),
 		Payload:    payload,
 	}
-	job := &txJob{frame: f, done: done}
+	job := m.newJob(f, done)
 	if m.sleepyChildren[dst] {
 		job.indirect = true
 		m.indirectQ[dst] = append(m.indirectQ[dst], job)
@@ -225,11 +280,11 @@ func (m *Mac) SendDataRequest(parent phy.Addr, done func(TxStatus, bool)) {
 		AckRequest: true,
 	}
 	m.Stats.DataReqSent++
-	m.enqueue(&txJob{frame: f, done: func(s TxStatus) {
+	m.enqueue(m.newJob(f, func(s TxStatus) {
 		if done != nil {
 			done(s, m.lastAckPending)
 		}
-	}})
+	}))
 }
 
 // QueueLen returns the number of frames waiting (excluding indirect).
@@ -263,10 +318,7 @@ func (m *Mac) kick() {
 		// proved fragile (a lost wakeup strands the queue forever).
 		if !m.kickPending {
 			m.kickPending = true
-			m.eng.Schedule(phy.UnitBackoff, func() {
-				m.kickPending = false
-				m.kick()
-			})
+			m.eng.Schedule(phy.UnitBackoff, m.kickFn)
 		}
 		return
 	}
@@ -280,11 +332,7 @@ func (m *Mac) kick() {
 	// (§4).
 	m.radio.SetListen(true)
 	job.wire = job.frame.Encode()
-	m.eng.Schedule(phy.LoadTime(len(job.wire)), func() {
-		if m.inflight == job {
-			m.startCSMA()
-		}
-	})
+	m.eng.Schedule(phy.LoadTime(len(job.wire)), job.resumeFn)
 }
 
 func (m *Mac) startCSMA() {
@@ -305,32 +353,31 @@ func (m *Mac) backoffStep() {
 	}
 	slots := m.eng.Rand().Intn(1 << job.be)
 	delay := sim.Duration(slots)*phy.UnitBackoff + phy.CCATime
-	m.eng.Schedule(delay, func() {
-		if m.inflight != job {
-			return
-		}
-		if m.radio.Transmitting() {
-			// An ACK we owed someone is on air; retry shortly.
-			m.eng.Schedule(phy.UnitBackoff, func() {
-				if m.inflight == job {
-					m.backoffStep()
-				}
-			})
-			return
-		}
-		if m.radio.ChannelClear() {
-			m.transmit()
-			return
-		}
-		job.nb++
-		job.be = min(job.be+1, m.params.MaxBE)
-		if job.nb > m.params.MaxCSMABackoffs {
-			m.Stats.CSMAFailures++
-			m.linkRetry(TxChannelBusy)
-			return
-		}
-		m.backoffStep()
-	})
+	m.eng.Schedule(delay, job.fireFn)
+}
+
+// backoffFire assesses the channel after a backoff+CCA delay.
+func (m *Mac) backoffFire(job *txJob) {
+	if m.inflight != job {
+		return
+	}
+	if m.radio.Transmitting() {
+		// An ACK we owed someone is on air; retry shortly.
+		m.eng.Schedule(phy.UnitBackoff, job.stepFn)
+		return
+	}
+	if m.radio.ChannelClear() {
+		m.transmit()
+		return
+	}
+	job.nb++
+	job.be = min(job.be+1, m.params.MaxBE)
+	if job.nb > m.params.MaxCSMABackoffs {
+		m.Stats.CSMAFailures++
+		m.linkRetry(TxChannelBusy)
+		return
+	}
+	m.backoffStep()
 }
 
 func (m *Mac) transmit() {
@@ -338,19 +385,22 @@ func (m *Mac) transmit() {
 	if job.attempts > 0 {
 		m.Stats.Retries++
 	}
-	m.radio.OnTxDone = func() {
-		m.radio.OnTxDone = nil
-		if m.inflight != job {
-			m.applyIdleState()
-			return
-		}
-		if !job.frame.AckRequest {
-			m.finish(TxOK)
-			return
-		}
-		m.ackTimer.Reset(phy.AckWait)
-	}
+	m.radio.OnTxDone = job.txDoneFn
 	m.radio.TransmitLoaded(job.wire)
+}
+
+// txDone runs when job's frame has left the air.
+func (m *Mac) txDone(job *txJob) {
+	m.radio.OnTxDone = nil
+	if m.inflight != job {
+		m.applyIdleState()
+		return
+	}
+	if !job.frame.AckRequest {
+		m.finish(TxOK)
+		return
+	}
+	m.ackTimer.Reset(phy.AckWait)
 }
 
 func (m *Mac) ackTimeout() {
@@ -373,11 +423,7 @@ func (m *Mac) linkRetry(cause TxStatus) {
 	if d := m.params.RetryDelayMax; d > 0 {
 		delay = sim.Duration(m.eng.Rand().Int63n(int64(d) + 1))
 	}
-	m.eng.Schedule(delay, func() {
-		if m.inflight == job {
-			m.startCSMA()
-		}
-	})
+	m.eng.Schedule(delay, job.resumeFn)
 }
 
 func (m *Mac) finish(status TxStatus) {
@@ -400,8 +446,8 @@ func (m *Mac) finish(status TxStatus) {
 }
 
 func (m *Mac) radioReceive(data []byte) {
-	f, err := phy.DecodeFrame(data)
-	if err != nil {
+	f := &m.rxFrame
+	if err := phy.DecodeFrameInto(f, data); err != nil {
 		return
 	}
 	if f.Type == phy.FrameAck {
@@ -459,21 +505,10 @@ func (m *Mac) sendAck(seq uint8, pending bool) {
 	// transmit forfeits it (half-duplex); the retry path recovers. A job
 	// that is merely loading or in CSMA backoff is NOT "waiting" — its
 	// own scheduled steps continue independently.
-	wasWaiting := m.ackTimer.Armed()
+	m.ackWasWaiting = m.ackTimer.Armed()
 	m.ackTimer.Stop()
 	m.sendingAck = true
-	m.radio.OnTxDone = func() {
-		m.radio.OnTxDone = nil
-		m.sendingAck = false
-		m.Stats.AcksSent++
-		if wasWaiting && m.inflight != nil {
-			// Our own pending exchange lost its ACK window; retry it.
-			m.linkRetry(TxNoAck)
-		} else {
-			m.applyIdleState()
-			m.kick()
-		}
-	}
+	m.radio.OnTxDone = m.ackDoneFn
 	// ACKs are generated from radio-internal state: no SPI load, just the
 	// turnaround (inside TransmitLoaded).
 	m.radio.TransmitLoaded(phy.AckFor(seq, pending).Encode())

@@ -1,50 +1,58 @@
 package mesh
 
-// Routes holds next-hop forwarding state for every (src, dst) pair,
-// computed as shortest paths over the connectivity graph. The paper uses
-// OpenThread's routing but explicitly studies TCP, not routing (§5);
-// static shortest-path routes preserve the data-plane behaviour while
-// keeping experiments reproducible (the paper likewise pins routes "for
-// experimental consistency", §9.5).
+// Routes holds next-hop forwarding state computed as shortest paths over
+// the connectivity graph. The paper uses OpenThread's routing but
+// explicitly studies TCP, not routing (§5); static shortest-path routes
+// preserve the data-plane behaviour while keeping experiments reproducible
+// (the paper likewise pins routes "for experimental consistency", §9.5).
+//
+// Columns are computed lazily, one bounded BFS per *queried destination*,
+// instead of materialising the all-pairs matrix: a thousand-node field
+// whose flows all terminate at a border router costs one BFS, not n. Like
+// the simulation engine it serves, Routes is single-goroutine state.
 type Routes struct {
-	next [][]int // next[src][dst] = next hop node id, -1 unreachable
-	dist [][]int // dist[src][dst] = hop count, -1 unreachable
+	adj  [][]int
+	next map[int][]int // next[dst][src] = next hop toward dst, -1 unreachable
+	dist map[int][]int // dist[dst][src] = hop count to dst, -1 unreachable
 }
 
-// ComputeRoutes runs BFS from every node over adj.
+// ComputeRoutes prepares shortest-path routing over adj. Per-destination
+// state is built on first use.
 func ComputeRoutes(adj [][]int) *Routes {
-	n := len(adj)
-	r := &Routes{
-		next: make([][]int, n),
-		dist: make([][]int, n),
+	return &Routes{
+		adj:  adj,
+		next: map[int][]int{},
+		dist: map[int][]int{},
 	}
+}
+
+// column returns the next-hop and distance vectors toward dst, running the
+// BFS on first use. Next hops match the eager all-pairs construction this
+// replaced: the first neighbor (in adjacency order) one step closer to dst.
+func (r *Routes) column(dst int) (next, dist []int) {
+	if next, ok := r.next[dst]; ok {
+		return next, r.dist[dst]
+	}
+	distTo := bfs(r.adj, dst)
+	n := len(r.adj)
+	next = make([]int, n)
 	for src := 0; src < n; src++ {
-		r.next[src] = make([]int, n)
-		r.dist[src] = make([]int, n)
-		for i := range r.next[src] {
-			r.next[src][i] = -1
-			r.dist[src][i] = -1
+		next[src] = -1
+		if src == dst || distTo[src] < 0 {
+			continue
 		}
-	}
-	// BFS from each destination, recording predecessor distances, then
-	// derive next hops: next[src][dst] is any neighbor of src one step
-	// closer to dst.
-	for dst := 0; dst < n; dst++ {
-		distTo := bfs(adj, dst)
-		for src := 0; src < n; src++ {
-			if src == dst || distTo[src] < 0 {
-				continue
-			}
-			r.dist[src][dst] = distTo[src]
-			for _, nb := range adj[src] {
-				if distTo[nb] >= 0 && distTo[nb] == distTo[src]-1 {
-					r.next[src][dst] = nb
-					break
-				}
+		for _, nb := range r.adj[src] {
+			if distTo[nb] >= 0 && distTo[nb] == distTo[src]-1 {
+				next[src] = nb
+				break
 			}
 		}
 	}
-	return r
+	dist = distTo
+	dist[dst] = 0
+	r.next[dst] = next
+	r.dist[dst] = dist
+	return next, dist
 }
 
 func bfs(adj [][]int, from int) []int {
@@ -69,10 +77,11 @@ func bfs(adj [][]int, from int) []int {
 
 // NextHop returns the next node on the path from src to dst.
 func (r *Routes) NextHop(src, dst int) (int, bool) {
-	if src < 0 || src >= len(r.next) || dst < 0 || dst >= len(r.next) {
+	if src < 0 || src >= len(r.adj) || dst < 0 || dst >= len(r.adj) {
 		return 0, false
 	}
-	nh := r.next[src][dst]
+	next, _ := r.column(dst)
+	nh := next[src]
 	return nh, nh >= 0
 }
 
@@ -81,7 +90,8 @@ func (r *Routes) Hops(src, dst int) int {
 	if src == dst {
 		return 0
 	}
-	return r.dist[src][dst]
+	_, dist := r.column(dst)
+	return dist[src]
 }
 
 // Parent returns a leaf's next hop toward the border router — its Thread

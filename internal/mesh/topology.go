@@ -7,6 +7,8 @@ package mesh
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 
 	"tcplp/internal/phy"
 )
@@ -91,17 +93,134 @@ func Office() Topology {
 	return Topology{Positions: pos, TxRange: 10, SenseRange: 13}
 }
 
+// RandomGeometric places n nodes uniformly in a square sized so the
+// expected node degree is density, with node 0 (the border router) at the
+// center. Placement is deterministic in seed. Each node is guaranteed a
+// decode-range neighbor among the nodes placed before it, so the topology
+// is always connected: samples with no neighbor are rejected, and after
+// repeated rejections the node is dropped next to an already-placed one —
+// the physical analogue of an installer moving a sensor into coverage.
+func RandomGeometric(n int, density float64, seed int64) Topology {
+	const txRange, senseRange = 10.0, 13.0
+	if density <= 0 {
+		density = 6
+	}
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := math.Sqrt(float64(n) * math.Pi * txRange * txRange / density)
+	if side < txRange {
+		side = txRange
+	}
+	pos := make([]phy.Point, 0, n)
+	pos = append(pos, phy.Point{X: side / 2, Y: side / 2})
+	for len(pos) < n {
+		placed := false
+		for try := 0; try < 100; try++ {
+			p := phy.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+			for _, q := range pos {
+				if p.Dist(q) <= txRange {
+					pos = append(pos, p)
+					placed = true
+					break
+				}
+			}
+			if placed {
+				break
+			}
+		}
+		if !placed {
+			anchor := pos[rng.Intn(len(pos))]
+			angle := rng.Float64() * 2 * math.Pi
+			d := txRange * (0.3 + 0.6*rng.Float64())
+			pos = append(pos, phy.Point{X: anchor.X + d*math.Cos(angle), Y: anchor.Y + d*math.Sin(angle)})
+		}
+	}
+	return Topology{Positions: pos, TxRange: txRange, SenseRange: senseRange}
+}
+
+// Tree lays out a fanout-ary tree of the given depth in concentric rings
+// spacing apart, node 0 the root/border router, ids assigned level by
+// level. Each node sits at the middle of its subtree's angular sector, so
+// parent-child pairs are in decode range while ring-skipping shortcuts are
+// not: shortest-path hop count equals tree depth. Nodes in adjacent
+// sectors of the same ring may still hear each other — they share the
+// physical medium, as in a real deployment.
+func Tree(depth, fanout int, spacing float64) Topology {
+	if depth < 0 {
+		depth = 0
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	type sector struct {
+		at     phy.Point
+		lo, hi float64 // direction cone inherited by the subtree
+	}
+	level := []sector{{phy.Point{}, 0, 2 * math.Pi}}
+	pos := []phy.Point{{}}
+	for d := 1; d <= depth; d++ {
+		nextLevel := make([]sector, 0, len(level)*fanout)
+		for _, s := range level {
+			step := (s.hi - s.lo) / float64(fanout)
+			for k := 0; k < fanout; k++ {
+				lo, hi := s.lo+float64(k)*step, s.lo+float64(k+1)*step
+				mid := (lo + hi) / 2
+				// Exactly one spacing from the parent, heading into the
+				// child's own direction cone: parent-child links always
+				// decode, ring-skipping shortcuts never do.
+				p := phy.Point{X: s.at.X + spacing*math.Cos(mid), Y: s.at.Y + spacing*math.Sin(mid)}
+				pos = append(pos, p)
+				nextLevel = append(nextLevel, sector{at: p, lo: lo, hi: hi})
+			}
+		}
+		level = nextLevel
+	}
+	return Topology{Positions: pos, TxRange: spacing * 1.25, SenseRange: spacing * 1.25}
+}
+
+// TreeNodes returns the node count of Tree(depth, fanout, ·).
+func TreeNodes(depth, fanout int) int {
+	total, level := 1, 1
+	for d := 1; d <= depth; d++ {
+		level *= fanout
+		total += level
+	}
+	return total
+}
+
 // Adjacency returns the connectivity graph under the unit-disk decode
-// range.
+// range, built with a uniform grid so the cost is O(n·degree) rather than
+// all-pairs. Neighbor lists are ordered by node id, matching the scan this
+// replaced.
 func (t Topology) Adjacency() [][]int {
 	n := t.N()
 	adj := make([][]int, n)
+	if n == 0 || t.TxRange <= 0 {
+		return adj
+	}
+	cell := t.TxRange
+	cells := make(map[[2]int32][]int, n)
+	key := func(p phy.Point) [2]int32 {
+		return [2]int32{int32(math.Floor(p.X / cell)), int32(math.Floor(p.Y / cell))}
+	}
+	for i, p := range t.Positions {
+		k := key(p)
+		cells[k] = append(cells[k], i)
+	}
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j && t.Positions[i].Dist(t.Positions[j]) <= t.TxRange {
-				adj[i] = append(adj[i], j)
+		k := key(t.Positions[i])
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for _, j := range cells[[2]int32{k[0] + dx, k[1] + dy}] {
+					if i != j && t.Positions[i].Dist(t.Positions[j]) <= t.TxRange {
+						adj[i] = append(adj[i], j)
+					}
+				}
 			}
 		}
+		sort.Ints(adj[i])
 	}
 	return adj
 }

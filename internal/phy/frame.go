@@ -187,29 +187,33 @@ var (
 	ErrBadAddressing = errors.New("phy: unsupported addressing mode")
 )
 
-// DecodeFrame parses a wire-format frame.
-func DecodeFrame(b []byte) (*Frame, error) {
+// DecodeFrameInto parses a wire-format frame into f, overwriting every
+// field, without allocating: f.Payload aliases b and is valid only as
+// long as b is. The MAC's receive path reuses one Frame per radio this
+// way; consumers that keep payload bytes past the delivery callback must
+// copy them (the 6LoWPAN reassembler and fragment forwarder both do).
+func DecodeFrameInto(f *Frame, b []byte) error {
 	if len(b) > MaxPHYPayload {
-		return nil, ErrFrameTooLong
+		return ErrFrameTooLong
 	}
 	if len(b) < AckFrameLen {
-		return nil, ErrFrameTooShort
+		return ErrFrameTooShort
 	}
 	fcf := binary.LittleEndian.Uint16(b[:2])
-	f := &Frame{
+	*f = Frame{
 		Type:         FrameType(fcf & fcfTypeMask),
 		Seq:          b[2],
 		AckRequest:   fcf&fcfAckRequest != 0,
 		FramePending: fcf&fcfPending != 0,
 	}
 	if f.Type == FrameAck {
-		return f, nil
+		return nil
 	}
 	if fcf&fcfDstExtended != fcfDstExtended || fcf&fcfSrcExtended != fcfSrcExtended {
-		return nil, ErrBadAddressing
+		return ErrBadAddressing
 	}
 	if len(b) < DataHeaderLen+FCSLen {
-		return nil, ErrFrameTooShort
+		return ErrFrameTooShort
 	}
 	f.PAN = binary.LittleEndian.Uint16(b[3:5])
 	copy(f.Dst[:], b[5:13])
@@ -217,13 +221,26 @@ func DecodeFrame(b []byte) (*Frame, error) {
 	rest := b[21 : len(b)-FCSLen]
 	if f.Type == FrameCommand {
 		if len(rest) < 1 {
-			return nil, ErrFrameTooShort
+			return ErrFrameTooShort
 		}
 		f.Command = CommandID(rest[0])
 		rest = rest[1:]
 	}
 	if len(rest) > 0 {
-		f.Payload = append([]byte(nil), rest...)
+		f.Payload = rest
+	}
+	return nil
+}
+
+// DecodeFrame parses a wire-format frame into a fresh Frame whose
+// payload is an independent copy of the input.
+func DecodeFrame(b []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := DecodeFrameInto(f, b); err != nil {
+		return nil, err
+	}
+	if len(f.Payload) > 0 {
+		f.Payload = append([]byte(nil), f.Payload...)
 	}
 	return f, nil
 }

@@ -43,13 +43,27 @@ type Radio struct {
 	eng  *sim.Engine
 	ch   *Channel
 	id   int
+	idx  int // registration index on the channel
 	addr Addr
 	pos  Point
+
+	// spatial-index state (see gridIndex in channel.go)
+	cellKey     [2]int32
+	nbrs        []nbrEntry
+	nbrsVersion uint64
+	sensedCount int // on-air transmissions from sensed neighbors
 
 	state       State
 	stateSince  sim.Time
 	durations   [4]sim.Duration
 	energySince sim.Time
+
+	// preallocated transmit closures + their per-transmission arguments;
+	// a radio has at most one frame in flight, so these are reused.
+	txBeginFn func()
+	txDoneFn  func()
+	txData    []byte
+	txAir     sim.Duration
 
 	// NoiseOnly marks an interference source: its transmissions corrupt
 	// receptions and trip CCAs but are never decoded by anyone.
@@ -60,8 +74,13 @@ type Radio struct {
 	rxCorrupted bool
 
 	// OnReceive is invoked with the raw frame bytes of each successfully
-	// decoded frame. The slice is owned by the callee.
+	// decoded frame. The slice is the radio's receive buffer: it is valid
+	// only for the duration of the callback and is overwritten by the next
+	// reception, like a real transceiver's frame buffer. Callers that need
+	// the bytes longer must copy them.
 	OnReceive func(data []byte)
+	// rxBuf backs the slices handed to OnReceive.
+	rxBuf [MaxPHYPayload]byte
 	// OnTxDone is invoked when a transmission completes (frame fully on
 	// air and trailing SPI work done).
 	OnTxDone func()
@@ -80,6 +99,14 @@ func (r *Radio) Addr() Addr { return r.addr }
 
 // Pos returns the radio's position.
 func (r *Radio) Pos() Point { return r.pos }
+
+// SetPos moves the radio, re-filing it in the channel's spatial index and
+// invalidating all cached neighbor sets. Frames already in flight keep the
+// sensing snapshot taken when they hit the air.
+func (r *Radio) SetPos(pos Point) {
+	r.pos = pos
+	r.ch.moved(r)
+}
 
 // State returns the current radio state.
 func (r *Radio) State() State { return r.state }
@@ -204,15 +231,9 @@ func (r *Radio) transmitAfter(data []byte, lead sim.Duration) {
 	air := AirTime(len(data))
 	r.txEnd = r.eng.Now().Add(lead + air)
 	r.framesSent++
-	r.eng.Schedule(lead, func() {
-		r.ch.beginTx(r, data, air)
-	})
-	r.eng.Schedule(lead+air, func() {
-		r.setState(StateListen)
-		if r.OnTxDone != nil {
-			r.OnTxDone()
-		}
-	})
+	r.txData, r.txAir = data, air
+	r.eng.Schedule(lead, r.txBeginFn)
+	r.eng.Schedule(lead+air, r.txDoneFn)
 }
 
 // channel-side reception hooks
@@ -247,7 +268,7 @@ func (r *Radio) endRx(t *transmission, per float64) {
 	}
 	r.framesRecv++
 	if r.OnReceive != nil {
-		data := append([]byte(nil), t.data...)
-		r.OnReceive(data)
+		n := copy(r.rxBuf[:], t.data)
+		r.OnReceive(r.rxBuf[:n])
 	}
 }

@@ -30,6 +30,14 @@ func (t TopologySpec) build() mesh.Topology {
 		return mesh.Office()
 	case TopoTwinLeaf:
 		return mesh.TwinLeaf(t.PathHops, spacing)
+	case TopoRandomGeometric:
+		seed := t.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		return mesh.RandomGeometric(t.Nodes, t.Density, seed)
+	case TopoTree:
+		return mesh.Tree(t.Depth, t.Fanout, spacing)
 	}
 	panic(fmt.Sprintf("scenario: unvalidated topology kind %q", t.Kind))
 }
@@ -337,6 +345,7 @@ func (rc *runContext) collect() Result {
 		Seed:       rc.seed,
 		FramesSent: rc.net.TotalFramesSent() - rc.framesBase,
 		LossEvents: rc.net.TotalLossEvents() - rc.lossBase,
+		Events:     rc.net.Eng.Processed(),
 		DCSamples:  rc.dcSamples,
 	}
 	idle := rc.spec.IdleWindow > 0

@@ -105,6 +105,10 @@ type Result struct {
 	AggregateKbps float64      `json:"aggregate_kbps"`
 	FramesSent    uint64       `json:"frames_sent"`
 	LossEvents    uint64       `json:"loss_events"`
+	// Events counts simulator events processed over the whole run
+	// (warmup included) — the denominator of the engine-performance
+	// metrics (events/sec, allocs/event). Deterministic per (spec, seed).
+	Events uint64 `json:"events,omitempty"`
 	// Gateway reports the gateway tier of a spec that installs one.
 	Gateway *GatewayResult `json:"gateway,omitempty"`
 	// DCSamples holds the periodic mean radio duty cycle across flow

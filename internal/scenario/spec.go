@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"tcplp/internal/gateway"
+	"tcplp/internal/mesh"
 	"tcplp/internal/scenario/flows"
 	"tcplp/internal/sim"
 	"tcplp/internal/tcplp/cc"
@@ -146,18 +147,36 @@ const (
 	TopoStar     = "star"     // n-1 nodes around the border router
 	TopoOffice   = "office"   // the 15-node Fig. 3 office testbed stand-in
 	TopoTwinLeaf = "twinleaf" // Table 9: a relay path ending in two leaves
+	// TopoRandomGeometric scatters nodes uniformly in a square sized for a
+	// target mean degree, the border router at the center — the city-scale
+	// generator (guaranteed connected, deterministic in its seed).
+	TopoRandomGeometric = "random_geometric"
+	// TopoTree embeds a fanout-ary tree of the given depth around the
+	// border router; shortest-path hop count equals tree depth.
+	TopoTree = "tree"
 )
 
 // TopologySpec selects and parameterizes the mesh layout.
 type TopologySpec struct {
-	// Kind is one of chain, star, office, twinleaf.
+	// Kind is one of chain, star, office, twinleaf, random_geometric, tree.
 	Kind string `json:"kind"`
-	// Nodes is the node count for chain/star (ignored otherwise).
+	// Nodes is the node count for chain/star/random_geometric (ignored
+	// otherwise).
 	Nodes int `json:"nodes,omitempty"`
 	// PathHops is the twinleaf relay-path length in hops.
 	PathHops int `json:"path_hops,omitempty"`
-	// Spacing is the inter-node distance (default 10).
+	// Spacing is the inter-node distance (default 10); random_geometric
+	// instead derives its field size from Density.
 	Spacing float64 `json:"spacing,omitempty"`
+	// Density is the random_geometric target mean node degree (default 6).
+	Density float64 `json:"density,omitempty"`
+	// Depth and Fanout shape the tree topology.
+	Depth  int `json:"depth,omitempty"`
+	Fanout int `json:"fanout,omitempty"`
+	// Seed fixes the random_geometric placement (default 1). It is
+	// deliberately separate from the channel seed list: every seed of a
+	// run explores the same city.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // NetSpec sets network-wide knobs: link conditions, segment sizing, the
@@ -320,6 +339,11 @@ type FlowSpec struct {
 	// gateway capacity sweeps, where a devices axis regrows the fleet.
 	// Requires "to": "gateway"; From in the template is ignored.
 	PerDevice bool `json:"per_device,omitempty"`
+	// Stride thins a per_device template to every stride-th device
+	// (ids 1, 1+stride, 1+2·stride, …) — the city-scale idiom, where a
+	// thousand-node mesh carries a hundred instrumented flows rather than
+	// one per node. 0 or 1 keeps every device.
+	Stride int `json:"stride,omitempty"`
 }
 
 // AxisValue is one coordinate of an expanded sweep cell, e.g.
@@ -344,8 +368,14 @@ type Sweep struct {
 	// devices). Pair it with a per_device flow template so the flow set
 	// regrows with the fleet.
 	Devices []int `json:"devices,omitempty"`
+	// Nodes sweeps the random_geometric node count directly — the
+	// city-scale axis. Chain and star fleets use hops/devices instead.
+	Nodes []int `json:"nodes,omitempty"`
 	// PER sweeps the uniform per-frame corruption probability.
 	PER []float64 `json:"per,omitempty"`
+	// InjectedLoss sweeps the border-router drop probability — the §9.4
+	// loss-injection axis.
+	InjectedLoss []float64 `json:"injected_loss,omitempty"`
 	// RetryDelay sweeps the §7.1 link-retry delay d ("0s" gives
 	// hidden-terminal conditions).
 	RetryDelay []Duration `json:"retry_delay,omitempty"`
@@ -459,7 +489,8 @@ func (o *Override) apply(c *Spec) {
 
 // empty reports whether no axis has any values.
 func (sw *Sweep) empty() bool {
-	return len(sw.Hops) == 0 && len(sw.Devices) == 0 && len(sw.PER) == 0 &&
+	return len(sw.Hops) == 0 && len(sw.Devices) == 0 && len(sw.Nodes) == 0 &&
+		len(sw.PER) == 0 && len(sw.InjectedLoss) == 0 &&
 		len(sw.RetryDelay) == 0 && len(sw.SegFrames) == 0 &&
 		len(sw.WindowSegs) == 0 && len(sw.Variants) == 0 && len(sw.Protocols) == 0
 }
@@ -589,6 +620,13 @@ func (sw *Sweep) axes() [][]sweepOpt {
 			func(c *Spec) { c.Topology.Nodes = d + 1 }})
 	}
 	add(devs)
+	var sizes []sweepOpt
+	for _, n := range sw.Nodes {
+		n := n
+		sizes = append(sizes, sweepOpt{AxisValue{"n", strconv.Itoa(n)},
+			func(c *Spec) { c.Topology.Nodes = n }})
+	}
+	add(sizes)
 	var pers []sweepOpt
 	for _, p := range sw.PER {
 		p := p
@@ -598,6 +636,13 @@ func (sw *Sweep) axes() [][]sweepOpt {
 			func(c *Spec) { c.Net.PER = p }})
 	}
 	add(pers)
+	var losses []sweepOpt
+	for _, p := range sw.InjectedLoss {
+		p := p
+		losses = append(losses, sweepOpt{AxisValue{"loss", strconv.FormatFloat(p*100, 'g', 6, 64) + "%"},
+			func(c *Spec) { c.Net.InjectedLoss = p }})
+	}
+	add(losses)
 	var ds []sweepOpt
 	for _, d := range sw.RetryDelay {
 		d := d
@@ -735,9 +780,22 @@ func (s *Spec) validateSweep() error {
 			return bad("devices value %d < 1", d)
 		}
 	}
+	if len(sw.Nodes) > 0 && s.Topology.Kind != TopoRandomGeometric {
+		return bad("nodes axis needs a random_geometric topology, not %q (chain/star sizes sweep via hops/devices)", s.Topology.Kind)
+	}
+	for _, n := range sw.Nodes {
+		if n < 2 {
+			return bad("nodes value %d < 2", n)
+		}
+	}
 	for _, p := range sw.PER {
 		if p < 0 || p >= 1 {
 			return bad("per value %v out of range [0,1)", p)
+		}
+	}
+	for _, p := range sw.InjectedLoss {
+		if p < 0 || p >= 1 {
+			return bad("injected_loss value %v out of range [0,1)", p)
 		}
 	}
 	for _, d := range sw.RetryDelay {
@@ -786,7 +844,7 @@ func (s *Spec) validateSweep() error {
 		for axis, want := range ov.When {
 			vs := axisValues[axis]
 			if vs == nil {
-				return bad("override %d conditions on axis %q, which the sweep does not populate (keys: hops, dev, per, d, mss, w, cc, proto)", i, axis)
+				return bad("override %d conditions on axis %q, which the sweep does not populate (keys: hops, dev, n, per, loss, d, mss, w, cc, proto)", i, axis)
 			}
 			if !vs[want] {
 				have := make([]string, 0, len(vs))
@@ -819,12 +877,14 @@ func (s *Spec) validateSweep() error {
 // nodeCount returns the mesh node count the topology will instantiate.
 func (t TopologySpec) nodeCount() int {
 	switch t.Kind {
-	case TopoChain, TopoStar:
+	case TopoChain, TopoStar, TopoRandomGeometric:
 		return t.Nodes
 	case TopoOffice:
 		return 15
 	case TopoTwinLeaf:
 		return t.PathHops + 2
+	case TopoTree:
+		return mesh.TreeNodes(t.Depth, t.Fanout)
 	}
 	return 0
 }
@@ -860,8 +920,19 @@ func (s *Spec) Validate() error {
 		if s.Topology.PathHops < 1 {
 			return bad("topology twinleaf needs path_hops >= 1")
 		}
+	case TopoRandomGeometric:
+		if s.Topology.Nodes < 2 {
+			return bad("topology random_geometric needs nodes >= 2")
+		}
+		if s.Topology.Density < 0 {
+			return bad("topology random_geometric: negative density")
+		}
+	case TopoTree:
+		if s.Topology.Depth < 1 || s.Topology.Fanout < 1 {
+			return bad("topology tree needs depth >= 1 and fanout >= 1")
+		}
 	default:
-		return bad("unknown topology kind %q (have chain, star, office, twinleaf)", s.Topology.Kind)
+		return bad("unknown topology kind %q (have chain, star, office, twinleaf, random_geometric, tree)", s.Topology.Kind)
 	}
 	n := s.Topology.nodeCount()
 	if len(s.Flows) == 0 {
@@ -942,6 +1013,12 @@ func (s *Spec) Validate() error {
 		}
 		if f.PerDevice && !f.To.Gateway {
 			return bad("flow %d: per_device needs \"to\": \"gateway\"", i)
+		}
+		if f.Stride < 0 {
+			return bad("flow %d: negative stride", i)
+		}
+		if f.Stride > 1 && !f.PerDevice {
+			return bad("flow %d: stride only thins a per_device template", i)
 		}
 		if _, err := cc.Parse(f.Variant); err != nil {
 			return bad("flow %d: %v", i, err)
@@ -1108,9 +1185,14 @@ func (s *Spec) withDefaults() *Spec {
 			out.Flows = append(out.Flows, f)
 			continue
 		}
-		for id := 1; id < out.Topology.nodeCount(); id++ {
+		step := f.Stride
+		if step < 1 {
+			step = 1
+		}
+		for id := 1; id < out.Topology.nodeCount(); id += step {
 			r := f
 			r.PerDevice = false
+			r.Stride = 0
 			r.From = NodeID(id)
 			if f.Label != "" {
 				r.Label = fmt.Sprintf("%s-%d", f.Label, id)

@@ -9,11 +9,17 @@ import (
 // created by Engine.Schedule and Engine.At. An Event may be cancelled
 // before it fires; cancelling a fired or already-cancelled event is a
 // harmless no-op, which lets protocol code unconditionally cancel timers.
+//
+// Event objects are pooled: once an event has fired (or been cancelled and
+// collected), the engine may reuse the object for a future Schedule/At
+// call, so holders must drop their reference at that point — exactly what
+// Timer does by clearing its pointer before invoking the callback.
 type Event struct {
 	when      Time
 	seq       uint64 // tie-break so equal-time events fire in schedule order
-	index     int    // heap index, -1 once removed
+	index     int    // overflow-heap index, -1 while wheel-resident or free
 	fn        func()
+	next      *Event // wheel slot list / free list link
 	cancelled bool
 }
 
@@ -23,6 +29,7 @@ func (ev *Event) When() Time { return ev.when }
 // Cancelled reports whether Cancel was called before the event fired.
 func (ev *Event) Cancelled() bool { return ev.cancelled }
 
+// eventQueue orders the overflow heap by (when, seq).
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
@@ -55,13 +62,21 @@ func (q *eventQueue) Pop() any {
 // Engine is a single-threaded discrete-event scheduler with a deterministic
 // random source. It is not safe for concurrent use: the entire simulated
 // network runs in one goroutine, which is what makes runs reproducible.
+//
+// Internally the queue is a hierarchical timer wheel (see wheel.go) plus an
+// overflow heap, with fired events recycled through a free list, so the
+// steady-state hot path of Schedule → fire performs no allocation. Firing
+// order is bit-identical to a single (when, seq) priority queue.
 type Engine struct {
-	now    Time
-	queue  eventQueue
-	seq    uint64
-	rng    *rand.Rand
-	fired  uint64
-	halted bool
+	now      Time
+	wheel    wheel
+	overflow eventQueue
+	free     *Event // recycled Event objects
+	seq      uint64
+	live     int // scheduled, uncancelled, unfired events
+	rng      *rand.Rand
+	fired    uint64
+	halted   bool
 }
 
 // NewEngine returns an engine whose clock starts at 0 and whose random
@@ -81,7 +96,7 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Processed() uint64 { return e.fired }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule arms fn to run after delay d. A negative delay is treated as
 // zero. The returned Event can be cancelled.
@@ -99,22 +114,97 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{when: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
+	ev := e.alloc()
+	ev.when, ev.seq, ev.fn = t, e.seq, fn
+	if e.wheel.queued == 0 && e.wheel.base < e.now {
+		// Empty wheel: pull the base up so short delays stay in level 0.
+		e.wheel.base = e.now
+	}
+	if !e.wheel.insert(ev) {
+		heap.Push(&e.overflow, ev)
+	}
+	e.live++
 	return ev
 }
 
+func (e *Engine) alloc() *Event {
+	if ev := e.free; ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		ev.index = -1
+		ev.cancelled = false
+		return ev
+	}
+	return &Event{index: -1}
+}
+
+// recycle returns a fired or cancelled-and-collected event to the free
+// list. Leaving cancelled set keeps post-fire Cancel calls no-ops until the
+// object is reused.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.cancelled = true
+	ev.next = e.free
+	e.free = ev
+}
+
 // Cancel removes ev from the queue if it has not fired. Safe to call with
-// nil or with an event that already fired.
+// nil or with an event that already fired (until the object is reused).
+// Cancellation is lazy: the entry stays queued and is discarded when its
+// fire time is reached.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.index < 0 {
-		if ev != nil {
-			ev.cancelled = true
-		}
+	if ev == nil || ev.cancelled {
 		return
 	}
 	ev.cancelled = true
-	heap.Remove(&e.queue, ev.index)
+	e.live--
+}
+
+// popNext removes and returns the next live event in (when, seq) order,
+// discarding cancelled entries as it goes. It returns nil when nothing live
+// remains.
+func (e *Engine) popNext() *Event {
+	for {
+		haveWheel := e.wheel.settle()
+		var ev *Event
+		if len(e.overflow) > 0 && (!haveWheel || e.overflow[0].when <= e.wheel.minWhen()) {
+			// On a time tie the overflow entry was scheduled first (the
+			// base is monotone), so the heap pops before the wheel.
+			ev = heap.Pop(&e.overflow).(*Event)
+		} else if haveWheel {
+			ev = e.wheel.popMin()
+		} else {
+			return nil
+		}
+		if ev.cancelled {
+			e.recycle(ev)
+			continue
+		}
+		return ev
+	}
+}
+
+// nextWhen reports the fire time of the next live event, purging cancelled
+// entries from the front of the queue as a side effect.
+func (e *Engine) nextWhen() (Time, bool) {
+	for {
+		haveWheel := e.wheel.settle()
+		if len(e.overflow) > 0 && (!haveWheel || e.overflow[0].when <= e.wheel.minWhen()) {
+			if e.overflow[0].cancelled {
+				e.recycle(heap.Pop(&e.overflow).(*Event))
+				continue
+			}
+			return e.overflow[0].when, true
+		}
+		if !haveWheel {
+			return 0, false
+		}
+		if ev := e.wheel.peekMin(); ev.cancelled {
+			e.recycle(e.wheel.popMin())
+		} else {
+			return ev.when, true
+		}
+	}
 }
 
 // Halt stops Run/RunUntil after the current event returns.
@@ -123,13 +213,16 @@ func (e *Engine) Halt() { e.halted = true }
 // Step fires the next event, advancing the clock. It returns false when
 // the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev := e.popNext()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.when
+	e.live--
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
 	return true
 }
 
@@ -138,7 +231,11 @@ func (e *Engine) Step() bool {
 // within the deadline.
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
-	for !e.halted && len(e.queue) > 0 && e.queue[0].when <= deadline {
+	for !e.halted {
+		when, ok := e.nextWhen()
+		if !ok || when > deadline {
+			break
+		}
 		e.Step()
 	}
 	if !e.halted && e.now < deadline {

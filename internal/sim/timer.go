@@ -5,32 +5,32 @@ package sim
 // and the callback is fixed at construction. It wraps Engine events so a
 // stale (already-cancelled) event can never fire the callback.
 type Timer struct {
-	eng *Engine
-	fn  func()
-	ev  *Event
+	eng  *Engine
+	fn   func()
+	wrap func() // built once so Reset does not allocate
+	ev   *Event
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it fires.
 func NewTimer(eng *Engine, fn func()) *Timer {
-	return &Timer{eng: eng, fn: fn}
+	t := &Timer{eng: eng, fn: fn}
+	t.wrap = func() {
+		t.ev = nil
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire after d, replacing any pending firing.
 func (t *Timer) Reset(d Duration) {
 	t.Stop()
-	t.ev = t.eng.Schedule(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.eng.Schedule(d, t.wrap)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time when.
 func (t *Timer) ResetAt(when Time) {
 	t.Stop()
-	t.ev = t.eng.At(when, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.eng.At(when, t.wrap)
 }
 
 // Stop disarms the timer. Safe to call on a stopped timer.

@@ -1,0 +1,136 @@
+package sim
+
+import "math/bits"
+
+// Hierarchical timer wheel backing Engine's event queue.
+//
+// The wheel has wheelLevels levels of wheelSlots slots each, with a 1 µs
+// tick at level 0, so level l covers a 2^(wheelBits*(l+1)) µs window around
+// the wheel base. An event lives at the lowest level whose parent window it
+// shares with the base (Linux-style placement): level 0 slots therefore hold
+// exactly one distinct fire time each, which is what lets pops preserve the
+// engine's (when, seq) firing order bit-identically — slot lists are
+// appended in schedule order, and the base only ever advances, so an event
+// cascading down from a higher level was always scheduled (and therefore
+// sequenced) before any event inserted directly into the lower slot.
+//
+// Events outside the top-level window — and events behind the base, which
+// can exist transiently after an overflow pop — go to a (when, seq) min-heap
+// instead. On equal fire times the heap entry was always scheduled first
+// (the base is monotone, so the far-away insert happened earlier), which is
+// why Engine pops the overflow heap on ties.
+const (
+	wheelBits     = 6
+	wheelSlots    = 1 << wheelBits
+	wheelMask     = wheelSlots - 1
+	wheelLevels   = 5
+	wheelSpanBits = wheelBits * wheelLevels // ≈ 17.9 simulated minutes
+)
+
+// evList is an intrusive singly-linked FIFO of events threaded through
+// Event.next.
+type evList struct {
+	head, tail *Event
+}
+
+func (l *evList) append(ev *Event) {
+	ev.next = nil
+	if l.tail == nil {
+		l.head = ev
+	} else {
+		l.tail.next = ev
+	}
+	l.tail = ev
+}
+
+type wheel struct {
+	base   Time // no wheel-resident event fires before base
+	slot   [wheelLevels][wheelSlots]evList
+	occ    [wheelLevels]uint64 // per-level slot-occupancy bitmaps
+	queued int                 // wheel-resident entries, cancelled included
+}
+
+// insert files ev at the lowest level sharing a parent window with base.
+// It reports false — leaving ev untouched — when the event belongs in the
+// overflow heap instead (fires beyond the top window, or behind the base).
+func (w *wheel) insert(ev *Event) bool {
+	if ev.when < w.base {
+		return false
+	}
+	d := uint64(ev.when ^ w.base)
+	if d>>wheelSpanBits != 0 {
+		return false
+	}
+	level := 0
+	if d != 0 {
+		level = (bits.Len64(d) - 1) / wheelBits
+	}
+	s := (uint64(ev.when) >> (level * wheelBits)) & wheelMask
+	w.slot[level][s].append(ev)
+	w.occ[level] |= 1 << s
+	w.queued++
+	return true
+}
+
+// settle cascades higher-level slots down until level 0 is occupied,
+// advancing the base to each drained slot's start along the way. It reports
+// false when the wheel holds no events at all.
+func (w *wheel) settle() bool {
+	for w.occ[0] == 0 {
+		level := 1
+		for ; level < wheelLevels; level++ {
+			if w.occ[level] != 0 {
+				break
+			}
+		}
+		if level == wheelLevels {
+			return false
+		}
+		s := bits.TrailingZeros64(w.occ[level])
+		shift := uint(level * wheelBits)
+		parentMask := Time(1)<<(shift+wheelBits) - 1
+		w.base = (w.base &^ parentMask) | Time(s)<<shift
+		lst := w.slot[level][s]
+		w.slot[level][s] = evList{}
+		w.occ[level] &^= 1 << uint(s)
+		for ev := lst.head; ev != nil; {
+			next := ev.next
+			w.queued--
+			w.insert(ev) // always lands at a lower level: same window as base now
+			ev = next
+		}
+	}
+	return true
+}
+
+// minWhen returns the earliest wheel fire time. Only valid after settle
+// returned true: the minimum is then always in level 0, where each occupied
+// slot holds a single distinct time at or after the base.
+func (w *wheel) minWhen() Time {
+	s := bits.TrailingZeros64(w.occ[0])
+	return w.base&^wheelMask | Time(s)
+}
+
+// peekMin returns the earliest event without removing it. Only valid after
+// settle returned true.
+func (w *wheel) peekMin() *Event {
+	s := bits.TrailingZeros64(w.occ[0])
+	return w.slot[0][s].head
+}
+
+// popMin removes and returns the earliest event (head of the minimum
+// level-0 slot = smallest seq at that time) and advances the base to it.
+// Only valid after settle returned true.
+func (w *wheel) popMin() *Event {
+	s := bits.TrailingZeros64(w.occ[0])
+	lst := &w.slot[0][s]
+	ev := lst.head
+	lst.head = ev.next
+	if lst.head == nil {
+		lst.tail = nil
+		w.occ[0] &^= 1 << uint(s)
+	}
+	w.queued--
+	w.base = ev.when
+	return ev
+}

@@ -1,5 +1,7 @@
 package tcplp
 
+import "math/bits"
+
 // ReceiveQueue buffers inbound data and performs out-of-order reassembly.
 // Offsets passed to Write are relative to rcv.nxt (0 = next expected
 // byte). Two implementations back the §4.3.2 discussion: RecvBuffer is
@@ -50,9 +52,68 @@ func NewRecvBuffer(capacity int) *RecvBuffer {
 }
 
 func (b *RecvBuffer) bit(i int) bool  { return b.bits[i/64]&(1<<(i%64)) != 0 }
-func (b *RecvBuffer) setBit(i int)    { b.bits[i/64] |= 1 << (i % 64) }
-func (b *RecvBuffer) clearBit(i int)  { b.bits[i/64] &^= 1 << (i % 64) }
 func (b *RecvBuffer) idx(off int) int { return (b.start + off) % len(b.buf) }
+
+// setRange sets bits [lo, hi) (linear positions, no wrap) a word at a
+// time and returns how many were previously clear.
+func (b *RecvBuffer) setRange(lo, hi int) int {
+	fresh := 0
+	for lo < hi {
+		w, r := lo/64, lo%64
+		n := 64 - r
+		if n > hi-lo {
+			n = hi - lo
+		}
+		mask := (^uint64(0) >> (64 - n)) << r
+		old := b.bits[w]
+		fresh += n - bits.OnesCount64(old&mask)
+		b.bits[w] = old | mask
+		lo += n
+	}
+	return fresh
+}
+
+// clearRange clears bits [lo, hi) (linear positions, no wrap).
+func (b *RecvBuffer) clearRange(lo, hi int) {
+	for lo < hi {
+		w, r := lo/64, lo%64
+		n := 64 - r
+		if n > hi-lo {
+			n = hi - lo
+		}
+		b.bits[w] &^= (^uint64(0) >> (64 - n)) << r
+		lo += n
+	}
+}
+
+// scanFrom returns the first offset in [i, win) whose presence bit
+// matches want, or win if none, walking the bitmap a word at a time.
+// Offsets are relative to the in-sequence frontier.
+func (b *RecvBuffer) scanFrom(i, win int, want bool) int {
+	for i < win {
+		p := b.idx(b.readable + i)
+		r := p % 64
+		word := b.bits[p/64] >> r
+		if !want {
+			word = ^word
+		}
+		// Stay inside this word, this side of the circular wrap, and
+		// inside the window: past any of those the bits belong to other
+		// positions (the tail word's spare bits, or the readable region).
+		span := 64 - r
+		if m := len(b.buf) - p; span > m {
+			span = m
+		}
+		if rem := win - i; span > rem {
+			span = rem
+		}
+		if tz := bits.TrailingZeros64(word); tz < span {
+			return i + tz
+		}
+		i += span
+	}
+	return win
+}
 
 // Capacity implements ReceiveQueue.
 func (b *RecvBuffer) Capacity() int { return len(b.buf) }
@@ -85,21 +146,35 @@ func (b *RecvBuffer) Write(off int, data []byte) int {
 	if off+len(data) > win {
 		data = data[:win-off]
 	}
-	for i, c := range data {
-		p := b.idx(b.readable + off + i)
-		if !b.bit(p) {
-			b.setBit(p)
-			b.ooo++
-		}
-		b.buf[p] = c
+	// Land the bytes at their final circular positions (at most one wrap)
+	// and mark them present, counting only the genuinely new ones.
+	p0 := b.idx(b.readable + off)
+	n1 := len(data)
+	if n1 > len(b.buf)-p0 {
+		n1 = len(b.buf) - p0
 	}
-	// Advance the in-sequence frontier over any contiguous present bytes.
+	copy(b.buf[p0:], data[:n1])
+	copy(b.buf, data[n1:])
+	b.ooo += b.setRange(p0, p0+n1) + b.setRange(0, len(data)-n1)
+	// Advance the in-sequence frontier over any contiguous present bytes,
+	// a word-sized run at a time.
 	advanced := 0
-	for b.readable < len(b.buf) && b.bit(b.idx(b.readable)) {
-		b.readable++
-		b.ooo--
-		advanced++
+	for b.readable < len(b.buf) {
+		p := b.idx(b.readable)
+		run := bits.TrailingZeros64(^(b.bits[p/64] >> (p % 64)))
+		if m := len(b.buf) - p; run > m {
+			run = m
+		}
+		if rem := len(b.buf) - b.readable; run > rem {
+			run = rem
+		}
+		if run == 0 {
+			break
+		}
+		b.readable += run
+		advanced += run
 	}
+	b.ooo -= advanced
 	return advanced
 }
 
@@ -109,11 +184,14 @@ func (b *RecvBuffer) Read(p []byte) int {
 	if n > b.readable {
 		n = b.readable
 	}
-	for i := 0; i < n; i++ {
-		pos := b.idx(i)
-		p[i] = b.buf[pos]
-		b.clearBit(pos)
+	n1 := n
+	if n1 > len(b.buf)-b.start {
+		n1 = len(b.buf) - b.start
 	}
+	copy(p[:n1], b.buf[b.start:b.start+n1])
+	copy(p[n1:n], b.buf[:n-n1])
+	b.clearRange(b.start, b.start+n1)
+	b.clearRange(0, n-n1)
 	b.start = b.idx(n)
 	b.readable -= n
 	return n
@@ -126,16 +204,11 @@ func (b *RecvBuffer) SACKRanges(max int) [][2]int {
 	win := b.Window()
 	i := 1 // offset 0 cannot be present (it would have advanced)
 	for i < win && len(out) < max {
-		for i < win && !b.bit(b.idx(b.readable+i)) {
-			i++
-		}
-		if i >= win {
+		start := b.scanFrom(i, win, true)
+		if start >= win {
 			break
 		}
-		start := i
-		for i < win && b.bit(b.idx(b.readable+i)) {
-			i++
-		}
+		i = b.scanFrom(start, win, false)
 		out = append(out, [2]int{start, i})
 	}
 	return out

@@ -50,9 +50,10 @@ func (b *CopySendBuffer) Write(p []byte) int {
 	if w > b.Free() {
 		w = b.Free()
 	}
-	for i := 0; i < w; i++ {
-		b.buf[(b.start+b.n+i)%len(b.buf)] = p[i]
-	}
+	// At most one wrap: copy the run to the end of the buffer, then the rest.
+	pos := (b.start + b.n) % len(b.buf)
+	n1 := copy(b.buf[pos:], p[:w])
+	copy(b.buf, p[n1:w])
 	b.n += w
 	return w
 }
@@ -66,9 +67,9 @@ func (b *CopySendBuffer) ReadAt(p []byte, off int) int {
 	if r > b.n-off {
 		r = b.n - off
 	}
-	for i := 0; i < r; i++ {
-		p[i] = b.buf[(b.start+off+i)%len(b.buf)]
-	}
+	pos := (b.start + off) % len(b.buf)
+	n1 := copy(p[:r], b.buf[pos:])
+	copy(p[n1:r], b.buf[:r-n1])
 	return r
 }
 

@@ -2,16 +2,27 @@
 // machine-readable JSON document on stdout, so benchmark trajectories
 // can accumulate across PRs (make bench-json):
 //
-//	go test -run=NONE -bench=. -benchtime=1x ./... | go run ./tools/benchjson > BENCH_6.json
+//	go test -run=NONE -bench=. -benchmem -benchtime=1x ./... | go run ./tools/benchjson > BENCH_7.json
 //
 // It understands the standard bench line — name-GOMAXPROCS, iteration
-// count, then (value, unit) metric pairs — plus the pkg:/goos:/goarch:
-// headers, and ignores everything else (PASS/ok/no-test-files noise).
+// count, then (value, unit) metric pairs (-benchmem's B/op and
+// allocs/op included) — plus the pkg:/goos:/goarch: headers, and
+// ignores everything else (PASS/ok/no-test-files noise).
+//
+// Diff mode compares two snapshots instead:
+//
+//	go run ./tools/benchjson -diff BENCH_6.json BENCH_7.json
+//
+// It prints per-benchmark deltas for ns/op and allocs/op and emits a
+// warning line (GitHub-annotation formatted) for every regression past
+// 20%. The exit status is always 0: the trajectory check flags drift,
+// it does not gate merges on a noisy shared runner.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -89,7 +100,79 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	return rep, sc.Err()
 }
 
+// load reads a Report back from a snapshot file.
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchjson: bad snapshot %s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// diff compares two snapshots on the wall-clock and allocation metrics
+// and writes a per-benchmark report; regressions past the threshold get
+// a ::warning:: annotation line. It never fails the build.
+func diff(oldPath, newPath string, threshold float64) error {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	prev := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		prev[b.Pkg+"."+b.Name] = b
+	}
+	regressions := 0
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := prev[nb.Pkg+"."+nb.Name]
+		if !ok {
+			fmt.Printf("%-40s  new benchmark\n", nb.Name)
+			continue
+		}
+		var cols []string
+		for _, metric := range []string{"ns/op", "allocs/op"} {
+			ov, nv := ob.Metrics[metric], nb.Metrics[metric]
+			if ov <= 0 || nv <= 0 {
+				continue
+			}
+			delta := (nv - ov) / ov
+			cols = append(cols, fmt.Sprintf("%s %+.1f%%", metric, delta*100))
+			if delta > threshold {
+				regressions++
+				fmt.Printf("::warning::bench regression: %s %s %.0f -> %.0f (%+.1f%%, threshold %.0f%%)\n",
+					nb.Name, metric, ov, nv, delta*100, threshold*100)
+			}
+		}
+		fmt.Printf("%-40s  %s\n", nb.Name, strings.Join(cols, "  "))
+	}
+	if regressions == 0 {
+		fmt.Printf("no regressions past %.0f%% (%s -> %s)\n", threshold*100, oldPath, newPath)
+	}
+	return nil
+}
+
 func main() {
+	diffMode := flag.Bool("diff", false, "compare two snapshots: benchjson -diff OLD.json NEW.json (warns, never fails)")
+	threshold := flag.Float64("threshold", 0.20, "relative regression threshold for -diff warnings")
+	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := diff(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	rep, err := parse(sc)
