@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"tcplp/internal/experiments"
+	"tcplp/internal/obs"
 	"tcplp/internal/scenario"
 	"tcplp/internal/stack"
 	"tcplp/internal/tcplp/cc"
@@ -56,6 +57,11 @@ func main() {
 		format   = flag.String("format", "summary", "scenario output: summary|csv|json")
 		durFlag  = flag.String("duration", "", "override every scenario spec's measurement window (e.g. 5s)")
 		warmFlag = flag.String("warmup", "", "override every scenario spec's warmup (e.g. 1s)")
+		traceOut = flag.String("trace-out", "", "capture every 802.15.4 frame to this pcapng file (scenario runs)")
+		evOut    = flag.String("events-out", "", "write the structured NDJSON event trace to this file (scenario runs)")
+		metrIntv = flag.String("metrics-interval", "", "sample per-layer metrics into -events-out at this period (e.g. 10s)")
+		stallWin = flag.String("flight-stall", "4s", "flight-recorder stall window (0 disables the stall checker)")
+		delivThr = flag.Float64("flight-threshold", 0.5, "flight-recorder end-of-run delivery-ratio dump threshold (0 disables)")
 	)
 	flag.Parse()
 
@@ -89,11 +95,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-scenario cannot be combined with -exp/-scale/-markdown; set durations and seeds in the spec file")
 			os.Exit(1)
 		}
-		runScenario(*scenFile, *workers, *seeds, *format, *durFlag, *warmFlag)
+		oc := buildObsConfig(*traceOut, *evOut, *metrIntv, *stallWin, *delivThr)
+		runScenario(*scenFile, *workers, *seeds, *format, *durFlag, *warmFlag, oc)
 		return
 	}
 	if *durFlag != "" || *warmFlag != "" {
 		fmt.Fprintln(os.Stderr, "-duration/-warmup only apply to -scenario; use -scale for experiments")
+		os.Exit(1)
+	}
+	if *traceOut != "" || *evOut != "" || *metrIntv != "" {
+		fmt.Fprintln(os.Stderr, "-trace-out/-events-out/-metrics-interval only apply to -scenario runs")
 		os.Exit(1)
 	}
 
@@ -159,10 +170,61 @@ func parseDur(flagName, s string) scenario.Duration {
 	return scenario.Duration(d / time.Microsecond)
 }
 
+// buildObsConfig assembles the scenario runner's observability config
+// from the CLI flags; nil when no capture was requested. The flight
+// recorder rides along whenever any capture is on, dumping stalled or
+// low-delivery flow timelines to stderr.
+func buildObsConfig(traceOut, evOut, metrIntv, stallWin string, delivThr float64) *scenario.ObsConfig {
+	if traceOut == "" && evOut == "" {
+		if metrIntv != "" {
+			fmt.Fprintln(os.Stderr, "-metrics-interval needs -events-out to write the samples to")
+			os.Exit(1)
+		}
+		return nil
+	}
+	oc := &scenario.ObsConfig{}
+	if evOut != "" {
+		f, err := os.Create(evOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		oc.Events = obs.NewNDJSONWriter(f)
+		if metrIntv != "" {
+			oc.MetricsInterval = parseDur("metrics-interval", metrIntv).D()
+		}
+	} else if metrIntv != "" {
+		fmt.Fprintln(os.Stderr, "-metrics-interval needs -events-out to write the samples to")
+		os.Exit(1)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pw, err := obs.NewPcapWriter(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		oc.Pcap = pw
+	}
+	fc := &scenario.FlightConfig{
+		DeliveryThreshold: delivThr,
+		Out:               obs.NewDumpWriter(os.Stderr),
+	}
+	if stallWin != "" && stallWin != "0" {
+		fc.StallWindow = parseDur("flight-stall", stallWin).D()
+	}
+	oc.Flight = fc
+	return oc
+}
+
 // runScenario loads a spec file, applies schedule/seed overrides,
 // expands sweeps, fans the cells out across the worker pool, and prints
 // the results in the requested format.
-func runScenario(path string, workers, seeds int, format, durOverride, warmOverride string) {
+func runScenario(path string, workers, seeds int, format, durOverride, warmOverride string, oc *scenario.ObsConfig) {
 	switch format {
 	case "summary", "csv", "json":
 	default:
@@ -214,7 +276,7 @@ func runScenario(path string, workers, seeds int, format, durOverride, warmOverr
 		nRuns += n
 	}
 	fmt.Fprintf(os.Stderr, "running %d scenario cell(s), %d run(s)...\n", len(cells), nRuns)
-	results, err := (&scenario.Runner{Workers: workers}).RunAll(cells)
+	results, err := (&scenario.Runner{Workers: workers, Obs: oc}).RunAll(cells)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"tcplp/internal/ip6"
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 	"tcplp/internal/udp"
 )
@@ -49,6 +50,11 @@ type Client struct {
 	nextTok uint64
 
 	Stats ClientStats
+
+	// Trace/Node, when Trace is non-nil, emit retransmission and RTO
+	// events (obs).
+	Trace *obs.Trace
+	Node  int
 }
 
 // NewClient creates a client on sock targeting dst:dstPort.
@@ -145,6 +151,9 @@ func (c *Client) onTimeout() {
 	}
 	c.Stats.Retransmissions++
 	ex.rto = c.Policy.Backoff(ex.rto)
+	if tr := c.Trace; tr != nil {
+		tr.Emit(obs.Event{T: c.eng.Now(), Kind: obs.CoAPRtx, Node: c.Node, A: int64(ex.retries), B: int64(ex.rto)})
+	}
 	c.transmit(ex)
 	c.timer.Reset(ex.rto)
 }
@@ -167,6 +176,14 @@ func (c *Client) onDatagram(src ip6.Addr, srcPort uint16, payload []byte) {
 	c.timer.Stop()
 	c.Stats.Responses++
 	c.Policy.OnResponse(c.eng.Now().Sub(ex.firstTx), ex.retries)
+	if tr := c.Trace; tr != nil {
+		var overall int64
+		if rr, ok := c.Policy.(interface{ OverallRTO() sim.Duration }); ok {
+			overall = int64(rr.OverallRTO())
+		}
+		tr.Emit(obs.Event{T: c.eng.Now(), Kind: obs.CoAPRTO, Node: c.Node,
+			A: int64(c.eng.Now().Sub(ex.firstTx)), B: overall})
+	}
 	c.finish(ex, m.Type == ACK && m.Code != CodeNotFound)
 }
 

@@ -42,3 +42,12 @@ func (p *SamplingPolicy) OnResponse(sinceFirstTx sim.Duration, retransmissions i
 
 // OnGiveUp implements RTOPolicy by delegation.
 func (p *SamplingPolicy) OnGiveUp() { p.Inner.OnGiveUp() }
+
+// OverallRTO exposes the inner policy's blended RTO estimate when it
+// has one (CoCoA), so wrapping keeps the estimate observable.
+func (p *SamplingPolicy) OverallRTO() sim.Duration {
+	if rr, ok := p.Inner.(interface{ OverallRTO() sim.Duration }); ok {
+		return rr.OverallRTO()
+	}
+	return 0
+}

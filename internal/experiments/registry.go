@@ -133,6 +133,7 @@ var Registry = []Experiment{
 	{ID: "table9", Desc: "Two-flow fairness (Table 9 / Appendix A)", Run: one(Table9), MultiSeed: true},
 	{ID: "fig8", Desc: "Batching vs power (Fig. 8)", Run: one(Fig8), MultiSeed: true},
 	{ID: "fig9", Desc: "Injected loss sweep (Fig. 9)", Run: Fig9, MultiSeed: true},
+	{ID: "rto_inflation", Desc: "CoCoA RTO inflation vs injected loss (Fig. 9 mechanism)", Run: one(RTOInflation), MultiSeed: true},
 	{ID: "fig10", Desc: "Diurnal day run (Fig. 10)", Run: one(Fig10), MultiSeed: true},
 	{ID: "table8", Desc: "Full-day summary (Table 8)", Run: one(Table8), MultiSeed: true},
 	{ID: "fig12", Desc: "Fixed sleep interval sweep (Fig. 12 / Appendix C)", Run: one(Fig12), MultiSeed: true},

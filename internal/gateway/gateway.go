@@ -17,6 +17,7 @@ import (
 	"tcplp/internal/coap"
 	"tcplp/internal/ip6"
 	"tcplp/internal/netem"
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
 	"tcplp/internal/tcplp"
@@ -105,6 +106,10 @@ type Gateway struct {
 	rdBuf []byte
 
 	Stats Stats
+
+	// Trace, when non-nil, emits connection-table admit/evict events
+	// (obs), tagged with the border router's node id.
+	Trace *obs.Trace
 }
 
 // New installs a gateway on node (the border router): a shared TCP
@@ -137,6 +142,12 @@ func New(node *stack.Node, cfg Config, seed int64) *Gateway {
 		g.eng.Schedule(cfg.IdleTimeout, g.idleSweep)
 	}
 	return g
+}
+
+// SetTrace threads the obs trace through the gateway and its WAN link.
+func (g *Gateway) SetTrace(tr *obs.Trace) {
+	g.Trace = tr
+	g.wan.Trace, g.wan.Node = tr, g.node.ID
 }
 
 // TCPPort returns the LLN-side TCP terminator port.
@@ -191,6 +202,9 @@ func (g *Gateway) touch(addr ip6.Addr) *entry {
 	e := &entry{addr: addr, lastActive: now}
 	e.stream = &app.ReadingStream{Deliver: func(seq uint32) { g.onReading(e, seq) }}
 	g.entries = append(g.entries, e)
+	if tr := g.Trace; tr != nil {
+		tr.Emit(obs.Event{T: now, Kind: obs.GwAdmit, Node: g.node.ID, A: int64(len(g.entries))})
+	}
 	return e
 }
 
@@ -214,6 +228,9 @@ func (g *Gateway) evict(i int) {
 	e := g.entries[i]
 	g.entries = append(g.entries[:i], g.entries[i+1:]...)
 	g.Stats.Evicted++
+	if tr := g.Trace; tr != nil {
+		tr.Emit(obs.Event{T: g.eng.Now(), Kind: obs.GwEvict, Node: g.node.ID, A: int64(len(g.entries))})
+	}
 	if e.conn != nil {
 		e.conn.Close()
 		e.conn = nil

@@ -11,6 +11,7 @@
 package mac
 
 import (
+	"tcplp/internal/obs"
 	"tcplp/internal/phy"
 	"tcplp/internal/sim"
 )
@@ -130,6 +131,11 @@ type Mac struct {
 	// idle. Always-on routers return true; a SleepController installs a
 	// policy that usually returns false. Nil means always listen.
 	IdleListen func() bool
+
+	// Trace, when non-nil, receives MAC-layer events (obs). Hooks only
+	// read state after the RNG draws they describe, so enabling it
+	// cannot perturb a run.
+	Trace *obs.Trace
 
 	// OnReceive is invoked for every accepted data or command frame.
 	OnReceive func(f *phy.Frame)
@@ -352,6 +358,9 @@ func (m *Mac) backoffStep() {
 		return
 	}
 	slots := m.eng.Rand().Intn(1 << job.be)
+	if tr := m.Trace; tr != nil {
+		tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacBackoff, Node: m.radio.ID(), A: int64(job.be), B: int64(slots)})
+	}
 	delay := sim.Duration(slots)*phy.UnitBackoff + phy.CCATime
 	m.eng.Schedule(delay, job.fireFn)
 }
@@ -374,6 +383,9 @@ func (m *Mac) backoffFire(job *txJob) {
 	job.be = min(job.be+1, m.params.MaxBE)
 	if job.nb > m.params.MaxCSMABackoffs {
 		m.Stats.CSMAFailures++
+		if tr := m.Trace; tr != nil {
+			tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacCSMAFail, Node: m.radio.ID(), A: int64(job.nb)})
+		}
 		m.linkRetry(TxChannelBusy)
 		return
 	}
@@ -384,6 +396,9 @@ func (m *Mac) transmit() {
 	job := m.inflight
 	if job.attempts > 0 {
 		m.Stats.Retries++
+		if tr := m.Trace; tr != nil {
+			tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacRetry, Node: m.radio.ID(), A: int64(job.attempts)})
+		}
 	}
 	m.radio.OnTxDone = job.txDoneFn
 	m.radio.TransmitLoaded(job.wire)
@@ -437,6 +452,9 @@ func (m *Mac) finish(status TxStatus) {
 		}
 	} else {
 		m.Stats.DataDropped++
+		if tr := m.Trace; tr != nil {
+			tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacDrop, Node: m.radio.ID(), A: int64(status)})
+		}
 	}
 	m.applyIdleState()
 	if job.done != nil {

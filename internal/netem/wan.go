@@ -3,6 +3,7 @@ package netem
 import (
 	"math/rand"
 
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 )
 
@@ -55,6 +56,10 @@ type WANLink struct {
 	queued    int
 
 	Stats WANStats
+
+	// Trace/Node, when Trace is non-nil, emit enqueue/drop events (obs).
+	Trace *obs.Trace
+	Node  int
 }
 
 // NewWANLink builds a link on eng's clock with its own deterministic
@@ -93,6 +98,9 @@ func (l *WANLink) serialization(size int) sim.Duration {
 func (l *WANLink) Send(size int, deliver, lost func()) bool {
 	if l.queued >= l.cfg.QueueCap {
 		l.Stats.QueueDrops++
+		if tr := l.Trace; tr != nil {
+			tr.Emit(obs.Event{T: l.eng.Now(), Kind: obs.WanDrop, Node: l.Node, A: 1, Len: size})
+		}
 		return false
 	}
 	l.queued++
@@ -101,6 +109,9 @@ func (l *WANLink) Send(size int, deliver, lost func()) bool {
 	}
 	l.Stats.Sent++
 	l.Stats.BytesSent += uint64(size)
+	if tr := l.Trace; tr != nil {
+		tr.Emit(obs.Event{T: l.eng.Now(), Kind: obs.WanEnqueue, Node: l.Node, A: int64(l.queued), Len: size})
+	}
 	now := l.eng.Now()
 	start := l.busyUntil
 	if start < now {
@@ -115,6 +126,9 @@ func (l *WANLink) Send(size int, deliver, lost func()) bool {
 		l.queued--
 		if dropped {
 			l.Stats.LossDrops++
+			if tr := l.Trace; tr != nil {
+				tr.Emit(obs.Event{T: l.eng.Now(), Kind: obs.WanDrop, Node: l.Node, A: 2, Len: size})
+			}
 			if lost != nil {
 				lost()
 			}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tcplp/internal/sim"
+)
+
+func TestFlightRingWrap(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	fr.Bind(7, "anem-7")
+	for i := 1; i <= 6; i++ {
+		fr.Record(Event{T: sim.Time(i), Kind: TCPSend, Node: 7, A: int64(i)})
+	}
+	fr.Record(Event{T: 99, Kind: TCPSend, Node: 3}) // unbound node: ignored
+	evs := fr.Events(7)
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want cap 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(i + 3); e.A != want {
+			t.Errorf("event %d: A=%d, want %d (oldest-first after wrap)", i, e.A, want)
+		}
+	}
+	if got := fr.Events(3); got != nil {
+		t.Errorf("unbound node has events: %v", got)
+	}
+	if got := fr.Nodes(); len(got) != 1 || got[0] != 7 {
+		t.Errorf("Nodes() = %v", got)
+	}
+	if got := fr.Label(7); got != "anem-7" {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+func TestFlightProgressTracking(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Bind(2, "flow")
+	// Sends and retransmissions are attempts, not progress.
+	fr.Record(Event{T: 100, Kind: TCPSend, Node: 2})
+	fr.Record(Event{T: 200, Kind: TCPRTO, Node: 2})
+	fr.Record(Event{T: 300, Kind: MacRetry, Node: 2})
+	if got := fr.LastProgress(2); got != 0 {
+		t.Fatalf("attempts advanced LastProgress to %d", got)
+	}
+	fr.Record(Event{T: 400, Kind: TCPRecv, Node: 2})
+	if got := fr.LastProgress(2); got != 400 {
+		t.Fatalf("LastProgress = %d, want 400", got)
+	}
+	fr.Record(Event{T: 500, Kind: TCPSend, Node: 2})
+	if got := fr.LastProgress(2); got != 400 {
+		t.Fatalf("send moved LastProgress to %d", got)
+	}
+	for _, k := range []Kind{CoAPRTO, FragReassembled} {
+		if !isProgress(Event{Kind: k}) {
+			t.Errorf("%s should count as progress", k)
+		}
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Bind(4, "anem-4")
+	fr.Record(Event{T: 1000, Kind: CoAPRtx, Node: 4, A: 1, B: 3000000})
+	var buf bytes.Buffer
+	fr.Dump(NewDumpWriter(&buf), 4, "cell-b", 11, "stalled: no progress for 4000000 us")
+	out := buf.String()
+	for _, want := range []string{
+		`flow "anem-4" (node 4)`, `run "cell-b" seed 11`, "stalled", "(1 events)",
+		"coap_rtx", "a=1 b=3000000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	fr.Dump(&buf, 9, "cell-b", 11, "x") // unbound: silent no-op
+	if buf.Len() != 0 {
+		t.Errorf("dump for unbound node wrote %q", buf.String())
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// NDJSONWriter serializes trace events (and metric samples) as one JSON
+// object per line. One writer may be shared by every run of a parallel
+// sweep: Sink hands out a per-run tagging view and the writer itself is
+// mutex-guarded, so lines from concurrent runs interleave whole, each
+// carrying its run name and seed.
+//
+// Event lines look like:
+//
+//	{"type":"event","run":"fig6","seed":1,"t_us":1204,"kind":"mac_retry","node":3,"a":1,"b":0,"len":62}
+//
+// Metric-sample lines (the -metrics-interval sampler):
+//
+//	{"type":"metrics","run":"fig6","seed":1,"t_us":1000000,"layers":{"mac":{"retries":4}}}
+type NDJSONWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewNDJSONWriter wraps w.
+func NewNDJSONWriter(w io.Writer) *NDJSONWriter {
+	return &NDJSONWriter{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first write error, if any.
+func (n *NDJSONWriter) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// Sink returns an event sink that tags every record with run and seed.
+func (n *NDJSONWriter) Sink(run string, seed int64) Sink {
+	return &ndjsonSink{w: n, run: run, seed: seed}
+}
+
+type ndjsonSink struct {
+	w    *NDJSONWriter
+	run  string
+	seed int64
+}
+
+// Record implements Sink.
+func (s *ndjsonSink) Record(e Event) { s.w.writeEvent(s.run, s.seed, e) }
+
+func (n *NDJSONWriter) writeEvent(run string, seed int64, e Event) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b := n.buf[:0]
+	b = append(b, `{"type":"event","run":`...)
+	b = strconv.AppendQuote(b, run)
+	b = append(b, `,"seed":`...)
+	b = strconv.AppendInt(b, seed, 10)
+	b = append(b, `,"t_us":`...)
+	b = strconv.AppendInt(b, int64(e.T), 10)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, e.Kind.String())
+	b = append(b, `,"node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	if e.A != 0 {
+		b = append(b, `,"a":`...)
+		b = strconv.AppendInt(b, e.A, 10)
+	}
+	if e.B != 0 {
+		b = append(b, `,"b":`...)
+		b = strconv.AppendInt(b, e.B, 10)
+	}
+	if e.Len != 0 {
+		b = append(b, `,"len":`...)
+		b = strconv.AppendInt(b, int64(e.Len), 10)
+	}
+	b = append(b, "}\n"...)
+	n.buf = b
+	n.write(b)
+}
+
+// Metrics writes one metric-sample line for run/seed at simulation time
+// t. Layer and metric keys are emitted sorted, so output is
+// deterministic for a fixed run.
+func (n *NDJSONWriter) Metrics(run string, seed int64, t int64, layers map[string]map[string]float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b := n.buf[:0]
+	b = append(b, `{"type":"metrics","run":`...)
+	b = strconv.AppendQuote(b, run)
+	b = append(b, `,"seed":`...)
+	b = strconv.AppendInt(b, seed, 10)
+	b = append(b, `,"t_us":`...)
+	b = strconv.AppendInt(b, t, 10)
+	b = append(b, `,"layers":{`...)
+	lnames := make([]string, 0, len(layers))
+	for l := range layers {
+		lnames = append(lnames, l)
+	}
+	sort.Strings(lnames)
+	for i, l := range lnames {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, l)
+		b = append(b, ":{"...)
+		m := layers[l]
+		mnames := make([]string, 0, len(m))
+		for k := range m {
+			mnames = append(mnames, k)
+		}
+		sort.Strings(mnames)
+		for j, k := range mnames {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendQuote(b, k)
+			b = append(b, ':')
+			b = strconv.AppendFloat(b, m[k], 'g', -1, 64)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, "}}\n"...)
+	n.buf = b
+	n.write(b)
+}
+
+func (n *NDJSONWriter) write(b []byte) {
+	if n.err != nil {
+		return
+	}
+	if _, err := n.w.Write(b); err != nil {
+		n.err = err
+	}
+}

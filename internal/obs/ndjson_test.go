@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNDJSONEvents(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNDJSONWriter(&buf)
+	sink := w.Sink("cell-a", 7)
+	sink.Record(Event{T: 1204, Kind: MacRetry, Node: 3, A: 1, Len: 62})
+	sink.Record(Event{T: 2000, Kind: TCPRecv, Node: 5}) // zero a/b/len omitted
+	w.Metrics("cell-a", 7, 1000000, map[string]map[string]float64{
+		"mac": {"retries": 4, "data_sent": 120},
+		"phy": {"frames_sent": 300},
+	})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	ev := lines[0]
+	if ev["type"] != "event" || ev["run"] != "cell-a" || ev["seed"] != 7.0 ||
+		ev["t_us"] != 1204.0 || ev["kind"] != "mac_retry" || ev["node"] != 3.0 ||
+		ev["a"] != 1.0 || ev["len"] != 62.0 {
+		t.Errorf("event line = %v", ev)
+	}
+	if _, ok := lines[1]["a"]; ok {
+		t.Errorf("zero a field not omitted: %v", lines[1])
+	}
+	ms := lines[2]
+	if ms["type"] != "metrics" {
+		t.Fatalf("metrics line = %v", ms)
+	}
+	layers := ms["layers"].(map[string]any)
+	if layers["mac"].(map[string]any)["retries"] != 4.0 ||
+		layers["phy"].(map[string]any)["frames_sent"] != 300.0 {
+		t.Errorf("metrics layers = %v", layers)
+	}
+}
+
+// TestNDJSONMetricsDeterministic pins sorted key order: identical input
+// maps must serialize byte-identically regardless of map iteration.
+func TestNDJSONMetricsDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		w := NewNDJSONWriter(&buf)
+		w.Metrics("r", 1, 5, map[string]map[string]float64{
+			"tcp": {"segs_in": 9, "conns_opened": 1},
+			"mac": {"retries": 2},
+			"ip":  {"queue_drops": 0},
+		})
+		return buf.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("nondeterministic metrics line:\n%s\nvs\n%s", got, first)
+		}
+	}
+	if !strings.Contains(first, `"ip":{`) || strings.Index(first, `"ip"`) > strings.Index(first, `"mac"`) {
+		t.Errorf("layers not sorted: %s", first)
+	}
+}

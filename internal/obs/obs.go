@@ -1,0 +1,159 @@
+// Package obs is the cross-layer observability subsystem: typed trace
+// events, frame capture, per-layer metric aggregation, exporters
+// (NDJSON, pcapng), and a per-flow flight recorder.
+//
+// The design constraint is zero overhead when disabled: every layer
+// holds a *Trace pointer that is nil by default, and every hook site is
+// guarded (`if tr != nil`). Events are small flat structs passed by
+// value, so the disabled path costs one predictable branch and no
+// allocations, and — because hooks only read state and never draw from
+// the engine RNG or schedule events — enabling a sink cannot perturb a
+// run's determinism.
+package obs
+
+import (
+	"tcplp/internal/sim"
+)
+
+// Kind identifies what a trace event records. The values are stable
+// export identifiers (they appear in NDJSON output); append only.
+type Kind uint8
+
+// Event kinds, grouped by layer.
+const (
+	KindUnknown Kind = iota
+
+	// Physical layer.
+	PhyTx        // frame put on air; Len = frame bytes, A = air time (µs)
+	PhyRxDrop    // reception lost to PER or a state change; A = 1 if PER draw
+	PhyCollision // reception corrupted by an overlapping transmission
+
+	// MAC layer.
+	MacBackoff  // CSMA backoff begins; A = backoff exponent, B = slots drawn
+	MacRetry    // link-layer retransmission; A = attempt number
+	MacCSMAFail // CSMA gave up (channel never clear); A = busy count
+	MacDrop     // frame dropped after exhausting retries; A = status code
+
+	// 6LoWPAN adaptation layer.
+	FragEmit        // datagram fragmented for transmission; A = fragment count, Len = datagram bytes
+	FragReassembled // datagram reassembled from fragments; A = tag, Len = datagram bytes
+	FragTimeout     // reassembly abandoned; A = tag
+
+	// Network layer (stack).
+	QueueDrop // outbound queue tail drop; A = queue length
+
+	// TCP.
+	TCPSend    // segment transmitted; A = relative seq, Len = payload bytes
+	TCPRecv    // segment received; Len = payload bytes
+	TCPRTO     // retransmission timeout fired; A = backoff shift, B = RTO (µs)
+	TCPFastRtx // fast retransmit triggered (3 dupacks)
+	TCPCwnd    // cwnd/ssthresh changed; A = cwnd, B = ssthresh
+	TCPState   // state transition; A = old state, B = new state
+
+	// CoAP.
+	CoAPRtx // confirmable retransmission; A = retry number, B = new RTO (µs)
+	CoAPRTO // RTO policy updated after a response; A = RTT sample since first tx (µs), B = overall RTO estimate (µs; 0 when the policy keeps none)
+
+	// Gateway connection table.
+	GwAdmit // device admitted to the table; A = table size after
+	GwEvict // entry evicted; A = table size after
+
+	// WAN backhaul.
+	WanEnqueue // message accepted onto the link; Len = bytes, A = queue depth
+	WanDrop    // message dropped; A = 1 for queue tail drop, 2 for in-flight loss
+
+	kindCount // sentinel
+)
+
+var kindNames = [...]string{
+	KindUnknown:     "unknown",
+	PhyTx:           "phy_tx",
+	PhyRxDrop:       "phy_rx_drop",
+	PhyCollision:    "phy_collision",
+	MacBackoff:      "mac_backoff",
+	MacRetry:        "mac_retry",
+	MacCSMAFail:     "mac_csma_fail",
+	MacDrop:         "mac_drop",
+	FragEmit:        "frag_emit",
+	FragReassembled: "frag_reassembled",
+	FragTimeout:     "frag_timeout",
+	QueueDrop:       "queue_drop",
+	TCPSend:         "tcp_send",
+	TCPRecv:         "tcp_recv",
+	TCPRTO:          "tcp_rto",
+	TCPFastRtx:      "tcp_fast_rtx",
+	TCPCwnd:         "tcp_cwnd",
+	TCPState:        "tcp_state",
+	CoAPRtx:         "coap_rtx",
+	CoAPRTO:         "coap_rto",
+	GwAdmit:         "gw_admit",
+	GwEvict:         "gw_evict",
+	WanEnqueue:      "wan_enqueue",
+	WanDrop:         "wan_drop",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// Event is one structured trace record. It is a flat value type so the
+// emit path allocates nothing; A and B carry kind-specific integers
+// (documented on each Kind) and Len a byte count where one applies.
+type Event struct {
+	T    sim.Time // simulation time (µs)
+	Kind Kind
+	Node int // originating node id (-1 when not node-scoped)
+	A, B int64
+	Len  int
+}
+
+// Sink receives trace events. Record is called synchronously on the
+// simulation goroutine; implementations must not touch engine state.
+type Sink interface {
+	Record(e Event)
+}
+
+// FrameSink receives raw 802.15.4 frames as they hit the air. The data
+// slice is only valid for the duration of the call.
+type FrameSink interface {
+	Frame(t sim.Time, node int, data []byte)
+}
+
+// Trace fans events out to its sinks. A nil *Trace is the disabled
+// state; layers must guard every hook with a nil check rather than
+// calling methods on a nil receiver, so the disabled path is a single
+// branch.
+type Trace struct {
+	sinks  []Sink
+	frames []FrameSink
+}
+
+// NewTrace returns an empty (but enabled) trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// AddSink attaches an event sink.
+func (t *Trace) AddSink(s Sink) { t.sinks = append(t.sinks, s) }
+
+// AddFrameSink attaches a frame capture sink.
+func (t *Trace) AddFrameSink(s FrameSink) { t.frames = append(t.frames, s) }
+
+// WantsFrames reports whether any frame sink is attached, so the PHY
+// can skip the capture call entirely otherwise.
+func (t *Trace) WantsFrames() bool { return len(t.frames) > 0 }
+
+// Emit delivers e to every event sink.
+func (t *Trace) Emit(e Event) {
+	for _, s := range t.sinks {
+		s.Record(e)
+	}
+}
+
+// Frame delivers a raw frame to every frame sink.
+func (t *Trace) Frame(now sim.Time, node int, data []byte) {
+	for _, s := range t.frames {
+		s.Frame(now, node, data)
+	}
+}

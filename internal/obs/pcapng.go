@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/binary"
+	"io"
+	"sync"
+
+	"tcplp/internal/sim"
+)
+
+// LinkTypeIEEE802154NoFCS is LINKTYPE_IEEE802_15_4_NOFCS (230): our
+// frames carry no trailing FCS, which this link type tells Wireshark.
+const LinkTypeIEEE802154NoFCS = 230
+
+// PcapWriter captures 802.15.4 frames as a pcapng stream that Wireshark
+// and tshark open directly. It writes one section header and one
+// interface (timestamp resolution 10⁻⁶ s, matching the simulator's
+// microsecond clock, so packet times are simulation times verbatim) and
+// then an Enhanced Packet Block per frame. Like NDJSONWriter it is
+// mutex-guarded so parallel runs may share one capture file.
+type PcapWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+	buf []byte
+}
+
+// NewPcapWriter writes the section and interface headers to w and
+// returns the writer.
+func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
+	p := &PcapWriter{w: w, buf: make([]byte, 0, 256)}
+	p.writeSHB()
+	p.writeIDB()
+	return p, p.err
+}
+
+// Err returns the first write error, if any.
+func (p *PcapWriter) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Frame implements FrameSink.
+func (p *PcapWriter) Frame(t sim.Time, node int, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.writeEPB(uint64(t), data)
+}
+
+func le32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func le16(b []byte, v uint16) []byte {
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// writeSHB emits the Section Header Block: byte-order magic 0x1A2B3C4D,
+// version 1.0, unknown section length (-1).
+func (p *PcapWriter) writeSHB() {
+	b := p.buf[:0]
+	b = le32(b, 0x0A0D0D0A) // block type
+	b = le32(b, 28)         // total length
+	b = le32(b, 0x1A2B3C4D) // byte-order magic
+	b = le16(b, 1)          // major
+	b = le16(b, 0)          // minor
+	b = le32(b, 0xFFFFFFFF) // section length -1
+	b = le32(b, 0xFFFFFFFF)
+	b = le32(b, 28) // trailing total length
+	p.buf = b
+	p.write(b)
+}
+
+// writeIDB emits the Interface Description Block with the 802.15.4
+// link type and an if_tsresol option of 6 (microseconds).
+func (p *PcapWriter) writeIDB() {
+	b := p.buf[:0]
+	b = le32(b, 1)  // block type: IDB
+	b = le32(b, 32) // total length
+	b = le16(b, LinkTypeIEEE802154NoFCS)
+	b = le16(b, 0) // reserved
+	b = le32(b, 0) // snaplen: unlimited
+	// option if_tsresol (code 9, length 1, value 6), padded to 32 bits
+	b = le16(b, 9)
+	b = le16(b, 1)
+	b = append(b, 6, 0, 0, 0)
+	// opt_endofopt
+	b = le16(b, 0)
+	b = le16(b, 0)
+	b = le32(b, 32) // trailing total length
+	p.buf = b
+	p.write(b)
+}
+
+// writeEPB emits one Enhanced Packet Block for interface 0 at
+// microsecond timestamp ts.
+func (p *PcapWriter) writeEPB(ts uint64, data []byte) {
+	pad := (4 - len(data)%4) % 4
+	total := uint32(32 + len(data) + pad)
+	b := p.buf[:0]
+	b = le32(b, 6) // block type: EPB
+	b = le32(b, total)
+	b = le32(b, 0) // interface id
+	b = le32(b, uint32(ts>>32))
+	b = le32(b, uint32(ts))
+	b = le32(b, uint32(len(data))) // captured length
+	b = le32(b, uint32(len(data))) // original length
+	b = append(b, data...)
+	for i := 0; i < pad; i++ {
+		b = append(b, 0)
+	}
+	b = le32(b, total)
+	p.buf = b
+	p.write(b)
+}
+
+func (p *PcapWriter) write(b []byte) {
+	if p.err != nil {
+		return
+	}
+	if _, err := p.w.Write(b); err != nil {
+		p.err = err
+	}
+}

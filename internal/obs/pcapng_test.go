@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+)
+
+// pcapBlock is one parsed pcapng block.
+type pcapBlock struct {
+	typ  uint32
+	body []byte // between the two length fields
+}
+
+// parsePcapng is a minimal little-endian pcapng reader: enough to check
+// our own output is structurally valid (block framing, trailing length
+// matches leading length) without a capture library.
+func parsePcapng(t *testing.T, data []byte) []pcapBlock {
+	t.Helper()
+	le := binary.LittleEndian
+	var out []pcapBlock
+	for off := 0; off < len(data); {
+		if len(data)-off < 12 {
+			t.Fatalf("truncated block header at offset %d", off)
+		}
+		typ := le.Uint32(data[off:])
+		total := le.Uint32(data[off+4:])
+		if total%4 != 0 || int(total) > len(data)-off {
+			t.Fatalf("bad block length %d at offset %d", total, off)
+		}
+		if trailer := le.Uint32(data[off+int(total)-4:]); trailer != total {
+			t.Fatalf("block at %d: trailing length %d != leading %d", off, trailer, total)
+		}
+		out = append(out, pcapBlock{typ: typ, body: data[off+8 : off+int(total)-4]})
+		off += int(total)
+	}
+	return out
+}
+
+func TestPcapngStructure(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame1 := []byte{0x41, 0x88, 0x01, 0xcd, 0xab, 0xff, 0xff, 0x01, 0x00} // 9 bytes: needs padding
+	frame2 := bytes.Repeat([]byte{0x61}, 12)                               // already aligned
+	w.Frame(1500, 2, frame1)
+	w.Frame(0x1_0000_2000, 3, frame2) // exercises the high timestamp word
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	le := binary.LittleEndian
+	blocks := parsePcapng(t, buf.Bytes())
+	if len(blocks) != 4 {
+		t.Fatalf("got %d blocks, want SHB+IDB+2 EPB", len(blocks))
+	}
+
+	shb := blocks[0]
+	if shb.typ != 0x0A0D0D0A {
+		t.Fatalf("first block type %#x, want SHB", shb.typ)
+	}
+	if magic := le.Uint32(shb.body); magic != 0x1A2B3C4D {
+		t.Errorf("byte-order magic %#x", magic)
+	}
+	if major, minor := le.Uint16(shb.body[4:]), le.Uint16(shb.body[6:]); major != 1 || minor != 0 {
+		t.Errorf("version %d.%d, want 1.0", major, minor)
+	}
+
+	idb := blocks[1]
+	if idb.typ != 1 {
+		t.Fatalf("second block type %#x, want IDB", idb.typ)
+	}
+	if lt := le.Uint16(idb.body); lt != LinkTypeIEEE802154NoFCS {
+		t.Errorf("link type %d, want %d", lt, LinkTypeIEEE802154NoFCS)
+	}
+	// Options start after linktype(2)+reserved(2)+snaplen(4).
+	if code, l, v := le.Uint16(idb.body[8:]), le.Uint16(idb.body[10:]), idb.body[12]; code != 9 || l != 1 || v != 6 {
+		t.Errorf("if_tsresol option = code %d len %d val %d, want 9/1/6", code, l, v)
+	}
+
+	for i, want := range []struct {
+		ts   uint64
+		data []byte
+	}{{1500, frame1}, {0x1_0000_2000, frame2}} {
+		epb := blocks[2+i]
+		if epb.typ != 6 {
+			t.Fatalf("block %d type %#x, want EPB", 2+i, epb.typ)
+		}
+		if ifc := le.Uint32(epb.body); ifc != 0 {
+			t.Errorf("EPB %d interface %d", i, ifc)
+		}
+		ts := uint64(le.Uint32(epb.body[4:]))<<32 | uint64(le.Uint32(epb.body[8:]))
+		if ts != want.ts {
+			t.Errorf("EPB %d timestamp %d, want %d", i, ts, want.ts)
+		}
+		capl, origl := le.Uint32(epb.body[12:]), le.Uint32(epb.body[16:])
+		if capl != uint32(len(want.data)) || origl != capl {
+			t.Errorf("EPB %d lengths %d/%d, want %d", i, capl, origl, len(want.data))
+		}
+		if !bytes.Equal(epb.body[20:20+capl], want.data) {
+			t.Errorf("EPB %d payload mismatch", i)
+		}
+	}
+}
+
+// TestPcapngHeaderGolden pins the exact 60 header bytes (SHB+IDB): any
+// change breaks every downstream consumer's parser, so it must be
+// deliberate.
+func TestPcapngHeaderGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewPcapWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := hex.DecodeString(
+		"0a0d0d0a1c0000004d3c2b1a01000000ffffffffffffffff1c000000" + // SHB
+			"0100000020000000e60000000000000009000100060000000000000020000000") // IDB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("header bytes changed:\n got %x\nwant %x", buf.Bytes(), golden)
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+// Registry accumulates named per-layer counters and gauges. The
+// scenario collector fills one from every node's existing stats blocks
+// at the end of a run, replacing the scattered one-off aggregation that
+// used to live in each renderer; encoding/json sorts map keys, so the
+// marshaled form is deterministic.
+type Registry struct {
+	layers map[string]map[string]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{layers: map[string]map[string]float64{}}
+}
+
+// Add accumulates v into layer/metric (counters sum across nodes).
+func (r *Registry) Add(layer, metric string, v float64) {
+	m := r.layers[layer]
+	if m == nil {
+		m = map[string]float64{}
+		r.layers[layer] = m
+	}
+	m[metric] += v
+}
+
+// AddUint is Add for the uint64 counters most stats blocks use.
+func (r *Registry) AddUint(layer, metric string, v uint64) {
+	r.Add(layer, metric, float64(v))
+}
+
+// Get returns layer/metric, or 0 when absent.
+func (r *Registry) Get(layer, metric string) float64 {
+	return r.layers[layer][metric]
+}
+
+// Layers returns the accumulated map (owned by the registry; callers
+// treat it as read-only).
+func (r *Registry) Layers() map[string]map[string]float64 { return r.layers }

@@ -3,6 +3,7 @@ package phy
 import (
 	"sort"
 
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 )
 
@@ -139,6 +140,11 @@ type Channel struct {
 	// PER returns the probability that a frame from src to dst is
 	// corrupted despite no collision. Nil means a perfect channel.
 	PER func(src, dst *Radio) float64
+
+	// Trace, when non-nil, receives phy-layer events and raw frame
+	// captures (obs). Hooks only read state, so enabling it cannot
+	// perturb a run.
+	Trace *obs.Trace
 }
 
 // NewChannel returns an empty channel using the given propagation model.
@@ -232,6 +238,12 @@ func (c *Channel) busyAt(r *Radio) bool {
 
 // beginTx is called by a radio when its frame's first bit hits the air.
 func (c *Channel) beginTx(sender *Radio, data []byte, air sim.Duration) {
+	if tr := c.Trace; tr != nil {
+		tr.Emit(obs.Event{T: c.eng.Now(), Kind: obs.PhyTx, Node: sender.id, A: int64(air), Len: len(data)})
+		if tr.WantsFrames() && !sender.NoiseOnly {
+			tr.Frame(c.eng.Now(), sender.id, data)
+		}
+	}
 	t := c.allocTx()
 	t.sender, t.data = sender, data
 	t.start, t.end = c.eng.Now(), c.eng.Now().Add(air)

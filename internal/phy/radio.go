@@ -3,6 +3,7 @@ package phy
 import (
 	"fmt"
 
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 )
 
@@ -260,10 +261,16 @@ func (r *Radio) endRx(t *transmission, per float64) {
 	r.setState(StateListen)
 	if corrupted {
 		r.rxDropped++
+		if tr := r.ch.Trace; tr != nil {
+			tr.Emit(obs.Event{T: r.eng.Now(), Kind: obs.PhyCollision, Node: r.id, Len: len(t.data)})
+		}
 		return
 	}
 	if per > 0 && r.eng.Rand().Float64() < per {
 		r.rxDropped++
+		if tr := r.ch.Trace; tr != nil {
+			tr.Emit(obs.Event{T: r.eng.Now(), Kind: obs.PhyRxDrop, Node: r.id, A: 1, Len: len(t.data)})
+		}
 		return
 	}
 	r.framesRecv++

@@ -6,6 +6,7 @@ import (
 	"tcplp/internal/gateway"
 	"tcplp/internal/mesh"
 	"tcplp/internal/netem"
+	"tcplp/internal/obs"
 	"tcplp/internal/scenario/flows"
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
@@ -101,12 +102,23 @@ type runContext struct {
 	gwBase     gateway.Stats
 	wanBase    netem.WANStats
 	dcSamples  []float64
+
+	// Observability (nil/zero unless the Runner carries an ObsConfig).
+	oc          *ObsConfig
+	trace       *obs.Trace
+	flight      *obs.FlightRecorder
+	stallDumped map[int]bool
 }
 
 // buildRun instantiates the spec onto the stack layers for one seed.
 // The spec must be validated and have defaults applied (withDefaults).
-func buildRun(spec *Spec, seed int64) (*runContext, error) {
-	net := stack.New(seed, spec.Topology.build(), spec.options())
+func buildRun(spec *Spec, seed int64, oc *ObsConfig) (*runContext, error) {
+	rc := &runContext{spec: spec, seed: seed}
+	rc.buildTrace(oc)
+	opt := spec.options()
+	opt.Trace = rc.trace
+	net := stack.New(seed, spec.Topology.build(), opt)
+	rc.net = net
 	if spec.needsHost() {
 		net.AttachHost()
 	}
@@ -141,7 +153,6 @@ func buildRun(spec *Spec, seed int64) (*runContext, error) {
 		}
 		sc.Start()
 	}
-	rc := &runContext{spec: spec, seed: seed, net: net}
 	if g := spec.Gateway; g != nil {
 		// seed+2: the WAN's loss source must be independent of both the
 		// channel (seed) and the border drop filter (seed+1).
@@ -158,6 +169,9 @@ func buildRun(spec *Spec, seed int64) (*runContext, error) {
 				QueueCap:      g.WAN.QueueCap,
 			},
 		}, seed+2)
+		if rc.trace != nil {
+			rc.gw.SetTrace(rc.trace)
+		}
 	}
 	for _, fs := range spec.Flows {
 		fr, err := rc.startFlow(fs)
@@ -165,6 +179,9 @@ func buildRun(spec *Spec, seed int64) (*runContext, error) {
 			return nil, err
 		}
 		rc.flows = append(rc.flows, fr)
+		if rc.flight != nil {
+			rc.flight.Bind(fr.src.ID, fr.spec.Label)
+		}
 	}
 	return rc, nil
 }
@@ -398,6 +415,8 @@ func (rc *runContext) collect() Result {
 				fres.IdleRadioDC = node.Radio.DutyCycle()
 			}
 		}
+		fres.RTOms = m.RTOms
+		rc.dumpLowDelivery(fr, &fres)
 		goodputs = append(goodputs, fres.GoodputKbps)
 		res.AggregateKbps += fres.GoodputKbps
 		res.Flows = append(res.Flows, fres)
@@ -406,6 +425,7 @@ func (rc *runContext) collect() Result {
 	if rc.gw != nil {
 		res.Gateway = rc.collectGateway(res.Flows)
 	}
+	res.Layers = rc.layerRegistry().Layers()
 	return res
 }
 
@@ -454,17 +474,22 @@ func flowProtocol(p string) string { return flows.Canonical(p) }
 // The run is entirely self-contained — its own engine, channel, and
 // stacks — which is what lets the Runner parallelize seeds safely.
 func RunOne(spec *Spec, seed int64) (Result, error) {
+	return RunOneObs(spec, seed, nil)
+}
+
+// RunOneObs is RunOne with cross-layer observability attached.
+func RunOneObs(spec *Spec, seed int64, oc *ObsConfig) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
-	return runDefaulted(spec.withDefaults(), seed)
+	return runDefaulted(spec.withDefaults(), seed, oc)
 }
 
 // runDefaulted is RunOne for a spec that is already validated and
 // defaulted — the Runner's worker path, which hoists both steps out of
 // the per-seed loop.
-func runDefaulted(spec *Spec, seed int64) (Result, error) {
-	rc, err := buildRun(spec, seed)
+func runDefaulted(spec *Spec, seed int64, oc *ObsConfig) (Result, error) {
+	rc, err := buildRun(spec, seed, oc)
 	if err != nil {
 		return Result{}, err
 	}
@@ -473,6 +498,8 @@ func runDefaulted(spec *Spec, seed int64) (Result, error) {
 	if spec.DCSample > 0 {
 		rc.scheduleDCSamples()
 	}
+	rc.scheduleMetricsSamples()
+	rc.scheduleStallChecks()
 	rc.net.Eng.RunFor(rc.spec.Duration.D())
 	if spec.IdleWindow > 0 {
 		rc.runIdlePhase()

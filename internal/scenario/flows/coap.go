@@ -26,6 +26,8 @@ type coapProbe struct {
 	sensor *app.Sensor
 	sink   *app.CountingSink
 
+	policy *coap.SamplingPolicy // wraps the flow's RTO policy
+
 	rtts               stats.Sample // exchange RTT samples over the flow's life, ms
 	lat                stats.Sample // per-reading latency since Mark, ms
 	base               coap.ClientStats
@@ -79,9 +81,12 @@ func (coapDriver) Start(env *Env, fs Spec) (Probe, error) {
 	// The sampling wrapper is a pure observer (no extra RNG draws, no
 	// timing change), so CON flows report RTT distributions like TCP
 	// flows do without perturbing results.
-	p.tr.Client.Policy = &coap.SamplingPolicy{Inner: policy, OnSample: func(d sim.Duration, retx int) {
+	p.policy = &coap.SamplingPolicy{Inner: policy, OnSample: func(d sim.Duration, retx int) {
 		p.rtts.Add(d.Milliseconds())
 	}}
+	p.tr.Client.Policy = p.policy
+	p.tr.Client.Trace = env.Net.Opt.Trace
+	p.tr.Client.Node = env.Src.ID
 	p.sensor = app.NewSensor(env.Src.Eng(), p.tr, app.CoAPQueueCap)
 	p.sensor.Interval = fs.Interval
 	p.sensor.Batch = fs.Batch
@@ -140,6 +145,7 @@ func (p *coapProbe) Collect() Metrics {
 		RTTp10ms:    p.rtts.Quantile(0.1),
 		RTTp90ms:    p.rtts.Quantile(0.9),
 		RTTMaxms:    p.rtts.Max(),
+		RTOms:       p.policy.OverallRTO().Milliseconds(),
 		Generated:   p.sensor.Stats.Generated - p.markGen,
 		Delivered:   p.sensor.Stats.Delivered - p.markDeliv,
 	}

@@ -117,6 +117,11 @@ type Metrics struct {
 	LatencyP50ms  float64
 	LatencyP99ms  float64
 
+	// RTOms is the retransmission-timeout estimate at window close:
+	// TCP's RTO, or CoCoA's overall estimate (0 for RTO policies that
+	// keep no state).
+	RTOms float64
+
 	// Gateway tier (flows riding a Spec.Gateway): readings credited at
 	// the cloud collector behind the WAN, readings lost crossing it, and
 	// the resulting end-to-end delivery ratio (Delivered above then

@@ -164,6 +164,7 @@ func (p *tcpProbe) Collect() Metrics {
 		Timeouts:    st.Timeouts - p.base.Timeouts,
 		FastRtx:     st.FastRetransmits - p.base.FastRetransmits,
 		SRTTms:      p.conn.SRTT().Milliseconds(),
+		RTOms:       p.conn.RTO().Milliseconds(),
 		MeanRTTms:   p.rtts.Mean(),
 		MedianRTTms: p.rtts.Median(),
 		RTTp10ms:    p.rtts.Quantile(0.1),

@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"tcplp/internal/obs"
+	"tcplp/internal/sim"
+)
+
+// FlightConfig parameterizes the per-flow flight recorder: a bounded
+// ring of each flow's most recent trace events, dumped when something
+// goes wrong.
+type FlightConfig struct {
+	// RingCap bounds each flow's event ring (<=0 selects 256).
+	RingCap int
+	// StallWindow enables the in-run stall checker: a flow that makes no
+	// progress (no received segment / completed exchange) for a full
+	// window gets its ring dumped once. It approximates the k·RTO stall
+	// criterion without per-flow RTO introspection. Zero disables the
+	// checker. Note the checker schedules engine events, so it changes
+	// Result.Events (never the protocol outcome).
+	StallWindow sim.Duration
+	// DeliveryThreshold dumps a telemetry flow's ring at collect time
+	// when its delivery ratio lands below the threshold (0 disables).
+	// This path schedules nothing.
+	DeliveryThreshold float64
+	// Out receives dumps; wrap a shared writer in obs.NewDumpWriter when
+	// runs execute in parallel.
+	Out io.Writer
+}
+
+// ObsConfig switches on cross-layer observability for every run a
+// Runner executes. The zero/nil config is fully disabled: no trace is
+// threaded and every layer hook stays a nil check.
+type ObsConfig struct {
+	// Events receives the structured NDJSON event trace, tagged with
+	// each run's name and seed.
+	Events *obs.NDJSONWriter
+	// Pcap captures every 802.15.4 frame put on air (pcapng,
+	// Wireshark-openable).
+	Pcap *obs.PcapWriter
+	// MetricsInterval samples the per-layer metric registry into Events
+	// as NDJSON "metrics" records at this period (0 disables; requires
+	// Events). The sampler schedules engine events, so it changes
+	// Result.Events — never the protocol outcome.
+	MetricsInterval sim.Duration
+	// Flight enables the per-flow flight recorder.
+	Flight *FlightConfig
+}
+
+// enabled reports whether the config asks for any instrumentation.
+func (oc *ObsConfig) enabled() bool {
+	return oc != nil && (oc.Events != nil || oc.Pcap != nil || oc.Flight != nil)
+}
+
+// buildTrace assembles the per-run trace fan-out. The NDJSON sink tags
+// records with (run, seed) so parallel runs sharing one writer stay
+// attributable.
+func (rc *runContext) buildTrace(oc *ObsConfig) {
+	if !oc.enabled() {
+		return
+	}
+	rc.oc = oc
+	tr := obs.NewTrace()
+	if oc.Events != nil {
+		tr.AddSink(oc.Events.Sink(rc.spec.Name, rc.seed))
+	}
+	if oc.Pcap != nil {
+		tr.AddFrameSink(oc.Pcap)
+	}
+	if fc := oc.Flight; fc != nil {
+		rc.flight = obs.NewFlightRecorder(fc.RingCap)
+		tr.AddSink(rc.flight)
+	}
+	rc.trace = tr
+}
+
+// layerRegistry aggregates every layer's counters across the run's
+// nodes into the named-metric registry. It reads existing statistics —
+// no trace required — so Result.Layers is identical whether or not
+// tracing is enabled, and deterministic per (spec, seed).
+func (rc *runContext) layerRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	for _, n := range rc.net.Nodes {
+		if n.Radio != nil {
+			reg.AddUint("phy", "frames_sent", n.Radio.FramesSent())
+			reg.AddUint("phy", "frames_recv", n.Radio.FramesReceived())
+			reg.AddUint("phy", "rx_dropped", n.Radio.ReceptionsDropped())
+		}
+		if n.Mac != nil {
+			st := n.Mac.Stats
+			reg.AddUint("mac", "data_sent", st.DataSent)
+			reg.AddUint("mac", "data_dropped", st.DataDropped)
+			reg.AddUint("mac", "retries", st.Retries)
+			reg.AddUint("mac", "csma_failures", st.CSMAFailures)
+			reg.AddUint("mac", "duplicates", st.Duplicates)
+		}
+		reg.AddUint("sixlowpan", "reassembly_timeouts", n.ReassemblyTimeouts())
+		reg.AddUint("ip", "packets_sent", n.Stats.PacketsSent)
+		reg.AddUint("ip", "packets_delivered", n.Stats.PacketsDelivered)
+		reg.AddUint("ip", "fragments_fwd", n.Stats.FragmentsFwd)
+		reg.AddUint("ip", "queue_drops", n.Stats.QueueDrops)
+		reg.AddUint("ip", "red_drops", n.Stats.REDDrops)
+		reg.AddUint("ip", "link_failures", n.Stats.LinkFailures)
+		ts := n.TCP.Stats
+		reg.AddUint("tcp", "segs_in", ts.SegsIn)
+		reg.AddUint("tcp", "no_socket", ts.NoSocket)
+		reg.AddUint("tcp", "rsts_sent", ts.RSTsSent)
+		reg.AddUint("tcp", "conns_opened", ts.ConnsOpened)
+		reg.AddUint("tcp", "conns_accepted", ts.ConnsAccepted)
+	}
+	if h := rc.net.Host; h != nil {
+		reg.AddUint("sixlowpan", "reassembly_timeouts", h.ReassemblyTimeouts())
+		reg.AddUint("ip", "packets_sent", h.Stats.PacketsSent)
+		reg.AddUint("ip", "packets_delivered", h.Stats.PacketsDelivered)
+		ts := h.TCP.Stats
+		reg.AddUint("tcp", "segs_in", ts.SegsIn)
+		reg.AddUint("tcp", "no_socket", ts.NoSocket)
+		reg.AddUint("tcp", "rsts_sent", ts.RSTsSent)
+		reg.AddUint("tcp", "conns_opened", ts.ConnsOpened)
+		reg.AddUint("tcp", "conns_accepted", ts.ConnsAccepted)
+	}
+	if rc.gw != nil {
+		gs, ws := rc.gw.Stats, rc.gw.WAN().Stats
+		reg.AddUint("gateway", "accepted", gs.Accepted)
+		reg.AddUint("gateway", "posts", gs.Posts)
+		reg.AddUint("gateway", "reused", gs.Reused)
+		reg.AddUint("gateway", "evicted", gs.Evicted)
+		reg.AddUint("gateway", "readings_in", gs.ReadingsIn)
+		reg.AddUint("gateway", "readings_out", gs.ReadingsOut)
+		reg.AddUint("gateway", "readings_lost", gs.ReadingsLost)
+		reg.AddUint("wan", "sent", ws.Sent)
+		reg.AddUint("wan", "delivered", ws.Delivered)
+		reg.AddUint("wan", "queue_drops", ws.QueueDrops)
+		reg.AddUint("wan", "loss_drops", ws.LossDrops)
+		reg.AddUint("wan", "bytes_sent", ws.BytesSent)
+	}
+	return reg
+}
+
+// scheduleMetricsSamples arms the periodic layer-metric sampler: every
+// MetricsInterval of the measurement window, snapshot the registry into
+// the NDJSON writer as a "metrics" record.
+func (rc *runContext) scheduleMetricsSamples() {
+	oc := rc.oc
+	if oc == nil || oc.Events == nil || oc.MetricsInterval <= 0 {
+		return
+	}
+	period := oc.MetricsInterval
+	n := int(rc.spec.Duration.D() / period)
+	for i := 1; i <= n; i++ {
+		rc.net.Eng.Schedule(sim.Duration(i)*period, func() {
+			oc.Events.Metrics(rc.spec.Name, rc.seed, int64(rc.net.Eng.Now()),
+				rc.layerRegistry().Layers())
+		})
+	}
+}
+
+// scheduleStallChecks arms the flight recorder's in-run stall checker:
+// every StallWindow, a bound flow whose last progress event is at least
+// one full window old gets its ring dumped (once per run).
+func (rc *runContext) scheduleStallChecks() {
+	oc := rc.oc
+	if oc == nil || oc.Flight == nil || oc.Flight.StallWindow <= 0 ||
+		oc.Flight.Out == nil || rc.flight == nil {
+		return
+	}
+	w := oc.Flight.StallWindow
+	start := rc.net.Eng.Now()
+	n := int(rc.spec.Duration.D() / w)
+	for i := 1; i <= n; i++ {
+		rc.net.Eng.Schedule(sim.Duration(i)*w, func() { rc.checkStalls(start, w) })
+	}
+}
+
+func (rc *runContext) checkStalls(start sim.Time, w sim.Duration) {
+	now := rc.net.Eng.Now()
+	for _, fr := range rc.flows {
+		node := fr.src.ID
+		if rc.stallDumped == nil {
+			rc.stallDumped = map[int]bool{}
+		}
+		if rc.stallDumped[node] {
+			continue
+		}
+		last := rc.flight.LastProgress(node)
+		if last < start {
+			last = start // run start is the baseline before any progress
+		}
+		if now.Sub(last) >= w {
+			rc.stallDumped[node] = true
+			rc.flight.Dump(rc.oc.Flight.Out, node, rc.spec.Name, rc.seed,
+				fmt.Sprintf("stalled: no progress for %d us (window %d us)",
+					int64(now.Sub(last)), int64(w)))
+		}
+	}
+}
+
+// dumpLowDelivery is the collect-time flight check: a telemetry flow
+// ending the run below the delivery threshold dumps its ring (unless
+// the stall checker already did).
+func (rc *runContext) dumpLowDelivery(fr *flowRun, fres *FlowResult) {
+	oc := rc.oc
+	if oc == nil || oc.Flight == nil || oc.Flight.Out == nil || rc.flight == nil {
+		return
+	}
+	th := oc.Flight.DeliveryThreshold
+	if th <= 0 || fres.Generated == 0 || fres.DeliveryRatio >= th {
+		return
+	}
+	node := fr.src.ID
+	if rc.stallDumped[node] {
+		return
+	}
+	if rc.stallDumped == nil {
+		rc.stallDumped = map[int]bool{}
+	}
+	rc.stallDumped[node] = true
+	rc.flight.Dump(oc.Flight.Out, node, rc.spec.Name, rc.seed,
+		fmt.Sprintf("delivery ratio %.3f below threshold %.3f", fres.DeliveryRatio, th))
+}

@@ -19,6 +19,9 @@ var csvHeader = []string{
 	"delivery_ratio", "lat_p50_ms", "lat_p99_ms",
 	"radio_dc", "cpu_dc", "jain", "aggregate_kbps",
 	"e2e_delivery_ratio", "credit_share",
+	"rto_ms",
+	"phy_frames_sent", "mac_csma_failures", "mac_data_dropped",
+	"frag_timeouts", "ip_queue_drops", "tcp_segs_in",
 }
 
 // WriteCSV emits one row per (spec, seed, flow); the run-level Jain
@@ -43,6 +46,10 @@ func WriteCSV(w io.Writer, results []*SpecResult) error {
 					f(fl.RadioDC), f(fl.CPUDC),
 					f(run.Jain), f(run.AggregateKbps),
 					f(fl.E2EDeliveryRatio), f(fl.CreditShare),
+					f(fl.RTOms),
+					f(run.layer("phy", "frames_sent")), f(run.layer("mac", "csma_failures")),
+					f(run.layer("mac", "data_dropped")), f(run.layer("sixlowpan", "reassembly_timeouts")),
+					f(run.layer("ip", "queue_drops")), f(run.layer("tcp", "segs_in")),
 				}
 				if err := cw.Write(rec); err != nil {
 					return err

@@ -64,8 +64,12 @@ type FlowResult struct {
 	WANLost          uint64  `json:"wan_lost,omitempty"`
 	E2EDeliveryRatio float64 `json:"e2e_delivery_ratio,omitempty"`
 	CreditShare      float64 `json:"credit_share,omitempty"`
-	RadioDC          float64 `json:"radio_dc"`
-	CPUDC            float64 `json:"cpu_dc"`
+	// RTOms is the flow's retransmission-timeout estimate at window
+	// close: TCP's RTO, or CoCoA's overall estimate (0 for policies that
+	// keep none) — the Fig. 9 RTO-inflation observable.
+	RTOms   float64 `json:"rto_ms,omitempty"`
+	RadioDC float64 `json:"radio_dc"`
+	CPUDC   float64 `json:"cpu_dc"`
 	// IdleRadioDC is the mesh endpoint's duty cycle over the idle phase
 	// of an idle_window spec (Fig. 14).
 	IdleRadioDC float64 `json:"idle_radio_dc,omitempty"`
@@ -114,6 +118,19 @@ type Result struct {
 	// DCSamples holds the periodic mean radio duty cycle across flow
 	// source nodes of a dc_sample spec (Fig. 10's hourly series).
 	DCSamples []float64 `json:"dc_samples,omitempty"`
+	// Layers is the per-layer metric registry aggregated across the
+	// run's nodes (layer → metric → value). It is computed from plain
+	// counters, so it is populated — and identical — whether or not
+	// tracing is enabled.
+	Layers map[string]map[string]float64 `json:"layers,omitempty"`
+}
+
+// layer reads one registry value ("" layers read as 0 — CSV-friendly).
+func (r *Result) layer(layer, metric string) float64 {
+	if m := r.Layers[layer]; m != nil {
+		return m[metric]
+	}
+	return 0
 }
 
 // FlowAggregate summarizes one flow across a spec's seeds.
@@ -169,6 +186,11 @@ type SpecResult struct {
 type Runner struct {
 	// Workers bounds concurrent runs; 0 uses all CPUs.
 	Workers int
+	// Obs switches on cross-layer observability for every run (nil
+	// disables it). Shared writers inside are mutex-guarded, so parallel
+	// runs interleave whole records; use Workers=1 for a strictly
+	// ordered trace.
+	Obs *ObsConfig
 }
 
 // Run executes one non-sweep spec over its seed list. A spec carrying a
@@ -224,7 +246,7 @@ func (r *Runner) RunAll(specs []*Spec) ([]*SpecResult, error) {
 			for ji := range ch {
 				j := jobs[ji]
 				d := defaulted[j.si]
-				res, err := runDefaulted(d, d.Seeds[j.ri])
+				res, err := runDefaulted(d, d.Seeds[j.ri], r.Obs)
 				if err != nil {
 					errs[ji] = err
 					continue

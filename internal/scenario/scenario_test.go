@@ -917,7 +917,7 @@ func TestPerFlowWindowAndPacing(t *testing.T) {
 	off := false
 	spec := twinMixed(5)
 	spec.Flows[0].Pacing = &off
-	rc, err := buildRun(spec.withDefaults(), 5)
+	rc, err := buildRun(spec.withDefaults(), 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

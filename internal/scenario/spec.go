@@ -376,6 +376,9 @@ type Sweep struct {
 	// InjectedLoss sweeps the border-router drop probability — the §9.4
 	// loss-injection axis.
 	InjectedLoss []float64 `json:"injected_loss,omitempty"`
+	// Interference sweeps the §9.5 office-interferer peak activity level
+	// (0 disables the interferers for that cell).
+	Interference []float64 `json:"interference,omitempty"`
 	// RetryDelay sweeps the §7.1 link-retry delay d ("0s" gives
 	// hidden-terminal conditions).
 	RetryDelay []Duration `json:"retry_delay,omitempty"`
@@ -490,7 +493,7 @@ func (o *Override) apply(c *Spec) {
 // empty reports whether no axis has any values.
 func (sw *Sweep) empty() bool {
 	return len(sw.Hops) == 0 && len(sw.Devices) == 0 && len(sw.Nodes) == 0 &&
-		len(sw.PER) == 0 && len(sw.InjectedLoss) == 0 &&
+		len(sw.PER) == 0 && len(sw.InjectedLoss) == 0 && len(sw.Interference) == 0 &&
 		len(sw.RetryDelay) == 0 && len(sw.SegFrames) == 0 &&
 		len(sw.WindowSegs) == 0 && len(sw.Variants) == 0 && len(sw.Protocols) == 0
 }
@@ -643,6 +646,13 @@ func (sw *Sweep) axes() [][]sweepOpt {
 			func(c *Spec) { c.Net.InjectedLoss = p }})
 	}
 	add(losses)
+	var intfs []sweepOpt
+	for _, v := range sw.Interference {
+		v := v
+		intfs = append(intfs, sweepOpt{AxisValue{"intf", strconv.FormatFloat(v*100, 'g', 6, 64) + "%"},
+			func(c *Spec) { c.Net.Interference = v }})
+	}
+	add(intfs)
 	var ds []sweepOpt
 	for _, d := range sw.RetryDelay {
 		d := d
@@ -796,6 +806,11 @@ func (s *Spec) validateSweep() error {
 	for _, p := range sw.InjectedLoss {
 		if p < 0 || p >= 1 {
 			return bad("injected_loss value %v out of range [0,1)", p)
+		}
+	}
+	for _, v := range sw.Interference {
+		if v < 0 {
+			return bad("negative interference value %v", v)
 		}
 	}
 	for _, d := range sw.RetryDelay {

@@ -97,9 +97,44 @@ func RewriteTag(b []byte, tag uint16) error {
 }
 
 // Fragmenter splits (compressed-header, payload) pairs into link
-// payloads. It owns the datagram tag counter of one interface.
+// payloads. It owns the datagram tag counter of one interface and a
+// free list of fragment buffers: callers return each buffer with
+// Release once the link layer is finished with it, so steady-state
+// fragmentation allocates nothing.
 type Fragmenter struct {
-	tag uint16
+	tag  uint16
+	free [][]byte
+}
+
+// getBuf returns an empty buffer with at least the requested capacity,
+// recycling a released one when possible.
+func (f *Fragmenter) getBuf(capacity int) []byte {
+	if n := len(f.free); n > 0 {
+		b := f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		if cap(b) >= capacity {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, capacity)
+}
+
+// Clone copies b into a pooled buffer — the relay path uses it so
+// forwarded fragments recycle through the same pool as locally
+// originated ones.
+func (f *Fragmenter) Clone(b []byte) []byte {
+	out := f.getBuf(len(b))
+	return append(out, b...)
+}
+
+// Release returns a fragment buffer produced by Fragment (or Clone) to
+// the pool. The caller must not touch the slice afterwards.
+func (f *Fragmenter) Release(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	f.free = append(f.free, b)
 }
 
 // NextTag returns a fresh datagram tag.
@@ -117,7 +152,7 @@ func (f *Fragmenter) NextTag() uint16 {
 // 8-octet boundary, as RFC 4944 requires.
 func (f *Fragmenter) Fragment(chdr, payload []byte, maxLink int) [][]byte {
 	if len(chdr)+len(payload) <= maxLink {
-		one := make([]byte, 0, len(chdr)+len(payload))
+		one := f.getBuf(len(chdr) + len(payload))
 		one = append(one, chdr...)
 		one = append(one, payload...)
 		return [][]byte{one}
@@ -138,7 +173,7 @@ func (f *Fragmenter) Fragment(chdr, payload []byte, maxLink int) [][]byte {
 	if p1 < 0 {
 		p1 = 0
 	}
-	frag1 := make([]byte, 0, Frag1HeaderLen+len(chdr)+p1)
+	frag1 := f.getBuf(Frag1HeaderLen + len(chdr) + p1)
 	frag1 = binary.BigEndian.AppendUint16(frag1, uint16(dispFRAG1)<<8|uint16(size))
 	frag1 = binary.BigEndian.AppendUint16(frag1, tag)
 	frag1 = append(frag1, chdr...)
@@ -152,7 +187,7 @@ func (f *Fragmenter) Fragment(chdr, payload []byte, maxLink int) [][]byte {
 		if end > len(payload) {
 			end = len(payload)
 		}
-		fn := make([]byte, 0, FragNHeaderLen+end-off)
+		fn := f.getBuf(FragNHeaderLen + end - off)
 		fn = binary.BigEndian.AppendUint16(fn, uint16(dispFRAGN)<<8|uint16(size))
 		fn = binary.BigEndian.AppendUint16(fn, tag)
 		fn = append(fn, byte((40+off)/8))

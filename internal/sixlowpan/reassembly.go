@@ -2,6 +2,7 @@ package sixlowpan
 
 import (
 	"tcplp/internal/ip6"
+	"tcplp/internal/obs"
 	"tcplp/internal/phy"
 	"tcplp/internal/sim"
 )
@@ -32,8 +33,19 @@ type Reassembler struct {
 	timeout  sim.Duration
 	inflight map[partialKey]*partial
 
+	// Free lists: partial descriptors and have bitmaps recycle on both
+	// the completion and expiry paths; payload buffers only on expiry
+	// (a completed payload escapes into the returned ip6.Packet).
+	freePartial []*partial
+	freeHave    [][]bool
+	freeBuf     [][]byte
+
 	// TimedOut counts datagrams dropped for missing fragments.
 	TimedOut uint64
+
+	// Trace/Node, when Trace is non-nil, emit reassembly events (obs).
+	Trace *obs.Trace
+	Node  int
 }
 
 // NewReassembler returns a reassembler with the default timeout.
@@ -61,8 +73,68 @@ func (r *Reassembler) expire() {
 		if now >= p.deadline {
 			delete(r.inflight, k)
 			r.TimedOut++
+			if tr := r.Trace; tr != nil {
+				tr.Emit(obs.Event{T: now, Kind: obs.FragTimeout, Node: r.Node, A: int64(k.tag)})
+			}
+			r.release(p, true)
 		}
 	}
+}
+
+// popPartial recycles a partial descriptor (or allocates one).
+func (r *Reassembler) popPartial() *partial {
+	if n := len(r.freePartial); n > 0 {
+		p := r.freePartial[n-1]
+		r.freePartial[n-1] = nil
+		r.freePartial = r.freePartial[:n-1]
+		return p
+	}
+	return &partial{}
+}
+
+// getBuf returns an n-byte payload buffer (contents undefined; deposit
+// overwrites every byte it credits as covered).
+func (r *Reassembler) getBuf(n int) []byte {
+	if ln := len(r.freeBuf); ln > 0 {
+		b := r.freeBuf[ln-1]
+		r.freeBuf[ln-1] = nil
+		r.freeBuf = r.freeBuf[:ln-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// getHave returns an n-entry coverage bitmap, zeroed.
+func (r *Reassembler) getHave(n int) []bool {
+	if ln := len(r.freeHave); ln > 0 {
+		h := r.freeHave[ln-1]
+		r.freeHave[ln-1] = nil
+		r.freeHave = r.freeHave[:ln-1]
+		if cap(h) >= n {
+			h = h[:n]
+			for i := range h {
+				h[i] = false
+			}
+			return h
+		}
+	}
+	return make([]bool, n)
+}
+
+// release returns a partial's storage to the free lists. withPayload is
+// false on the completion path, where the payload escapes into the
+// returned ip6.Packet.
+func (r *Reassembler) release(p *partial, withPayload bool) {
+	if withPayload && cap(p.payload) > 0 {
+		r.freeBuf = append(r.freeBuf, p.payload)
+	}
+	if cap(p.have) > 0 {
+		r.freeHave = append(r.freeHave, p.have)
+	}
+	*p = partial{}
+	r.freePartial = append(r.freePartial, p)
 }
 
 // Input processes one link payload from src. When a datagram completes,
@@ -111,11 +183,13 @@ func (r *Reassembler) get(src phy.Addr, fi FragInfo) *partial {
 	k := partialKey{src: src, tag: fi.Tag}
 	p := r.inflight[k]
 	if p == nil || p.size != int(fi.DatagramSize) {
-		p = &partial{
-			size:    int(fi.DatagramSize),
-			payload: make([]byte, int(fi.DatagramSize)-40),
-			have:    make([]bool, int(fi.DatagramSize)-40),
+		if p != nil {
+			r.release(p, true)
 		}
+		p = r.popPartial()
+		p.size = int(fi.DatagramSize)
+		p.payload = r.getBuf(int(fi.DatagramSize) - 40)
+		p.have = r.getHave(int(fi.DatagramSize) - 40)
 		r.inflight[k] = p
 	}
 	p.deadline = r.eng.Now().Add(r.timeout)
@@ -139,5 +213,9 @@ func (r *Reassembler) deposit(src phy.Addr, fi FragInfo, p *partial, off int, da
 	delete(r.inflight, partialKey{src: src, tag: fi.Tag})
 	pkt := &ip6.Packet{Header: *p.header, Payload: p.payload}
 	pkt.PayloadLen = uint16(len(pkt.Payload))
+	if tr := r.Trace; tr != nil {
+		tr.Emit(obs.Event{T: r.eng.Now(), Kind: obs.FragReassembled, Node: r.Node, A: int64(fi.Tag), Len: p.size})
+	}
+	r.release(p, false)
 	return pkt, nil
 }

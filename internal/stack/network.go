@@ -5,6 +5,7 @@ import (
 	"tcplp/internal/ip6"
 	"tcplp/internal/mac"
 	"tcplp/internal/mesh"
+	"tcplp/internal/obs"
 	"tcplp/internal/phy"
 	"tcplp/internal/sim"
 	"tcplp/internal/sixlowpan"
@@ -61,6 +62,10 @@ type Options struct {
 	PER float64
 	// CPUCosts overrides the CPU duty-cycle model.
 	CPUCosts *energy.Costs
+	// Trace, when non-nil, threads the obs instrumentation through
+	// every layer of every node (phy, MAC, 6LoWPAN, IP queue, TCP).
+	// Nil — the default — keeps every hook a single nil check.
+	Trace *obs.Trace
 }
 
 // DefaultOptions mirrors the paper's standard setup. QueueCap is sized
@@ -107,6 +112,7 @@ func New(seed int64, topo mesh.Topology, opt Options) *Network {
 	}
 	eng := sim.NewEngine(seed)
 	ch := phy.NewChannel(eng, phy.NewUnitDisk(topo.TxRange, topo.SenseRange))
+	ch.Trace = opt.Trace
 	if opt.PER > 0 {
 		per := opt.PER
 		ch.PER = func(src, dst *phy.Radio) float64 { return per }
@@ -139,11 +145,14 @@ func New(seed int64, topo mesh.Topology, opt Options) *Network {
 		n.Radio = ch.AddRadio(i, topo.Positions[i])
 		n.Mac = mac.New(eng, n.Radio, opt.MAC)
 		n.Mac.OnReceive = n.onFrame
+		n.Mac.Trace = opt.Trace
+		n.reasm.Trace, n.reasm.Node = opt.Trace, i
 		if net.Opt.RED && i != 0 {
 			n.red = mesh.DefaultRED(net.Opt.ECN)
 		}
 		n.TCP = tcplp.NewStack(eng, n.Addr, net.Opt.TCP)
 		n.TCP.Output = n.SendPacket
+		n.TCP.Trace, n.TCP.TraceNode = opt.Trace, i
 		n.UDP = udp.NewStack(n.Addr)
 		n.UDP.Output = n.SendPacket
 		net.Nodes = append(net.Nodes, n)
@@ -247,6 +256,8 @@ func (net *Network) AttachHost() *Node {
 	hostCfg.RecvBufSize = 64 * 1024
 	host.TCP = tcplp.NewStack(net.Eng, host.Addr, hostCfg)
 	host.TCP.Output = host.SendPacket
+	host.TCP.Trace, host.TCP.TraceNode = net.Opt.Trace, net.hostID
+	host.reasm.Trace, host.reasm.Node = net.Opt.Trace, net.hostID
 	host.UDP = udp.NewStack(host.Addr)
 	host.UDP.Output = host.SendPacket
 	net.Host = host
@@ -282,6 +293,7 @@ func (net *Network) Border() *Node { return net.Nodes[net.borderID] }
 func (n *Node) SetTCPConfig(cfg tcplp.Config) {
 	n.TCP = tcplp.NewStack(n.Net.Eng, n.Addr, cfg)
 	n.TCP.Output = n.SendPacket
+	n.TCP.Trace, n.TCP.TraceNode = n.Net.Opt.Trace, n.ID
 }
 
 // TotalFramesSent sums frames put on air by all mesh radios — the

@@ -9,6 +9,7 @@ import (
 	"tcplp/internal/ip6"
 	"tcplp/internal/mac"
 	"tcplp/internal/mesh"
+	"tcplp/internal/obs"
 	"tcplp/internal/phy"
 	"tcplp/internal/sim"
 	"tcplp/internal/sixlowpan"
@@ -160,6 +161,10 @@ func (n *Node) route(pkt *ip6.Packet, forwarded bool) {
 	}
 	chdr := sixlowpan.CompressHeader(&pkt.Header)
 	frames := n.frag.Fragment(chdr, pkt.Payload, phy.MaxMACPayload)
+	if tr := n.Net.Opt.Trace; tr != nil {
+		tr.Emit(obs.Event{T: n.Eng().Now(), Kind: obs.FragEmit, Node: n.ID,
+			A: int64(len(frames)), Len: len(chdr) + len(pkt.Payload)})
+	}
 	n.enqueue(&outItem{frames: frames, next: phy.AddrFromID(next)})
 }
 
@@ -174,10 +179,25 @@ func (n *Node) dropAtBorder(pkt *ip6.Packet) bool {
 func (n *Node) enqueue(it *outItem) {
 	if len(n.outQ) >= n.Net.Opt.QueueCap {
 		n.Stats.QueueDrops++
+		if tr := n.Net.Opt.Trace; tr != nil {
+			tr.Emit(obs.Event{T: n.Eng().Now(), Kind: obs.QueueDrop, Node: n.ID, A: int64(len(n.outQ))})
+		}
+		n.releaseFrames(it, it.idx)
 		return
 	}
 	n.outQ = append(n.outQ, it)
 	n.pump()
+}
+
+// releaseFrames recycles an item's fragment buffers from index from
+// onward (the link layer copies each frame into its own wire buffer at
+// load time, so a frame whose MAC callback has fired is no longer
+// referenced).
+func (n *Node) releaseFrames(it *outItem, from int) {
+	for i := from; i < len(it.frames); i++ {
+		n.frag.Release(it.frames[i])
+		it.frames[i] = nil
+	}
 }
 
 // pump drains the datagram queue one frame at a time; a link-layer
@@ -194,9 +214,14 @@ func (n *Node) pump() {
 	n.Mac.Send(it.next, frame, func(status mac.TxStatus) {
 		if status != mac.TxOK {
 			n.Stats.LinkFailures++
+			// Abandoning the datagram: the sent frame and the never-sent
+			// tail all go back to the pool.
+			n.releaseFrames(it, it.idx)
 			n.popAndContinue()
 			return
 		}
+		n.frag.Release(frame)
+		it.frames[it.idx] = nil
 		it.idx++
 		if it.idx >= len(it.frames) {
 			n.popAndContinue()
@@ -308,7 +333,7 @@ func (n *Node) tryForwardFragment(src phy.Addr, payload []byte) bool {
 			n.Stats.HopLimitDrops++
 			return true
 		}
-		fwd := append([]byte(nil), payload...)
+		fwd := n.frag.Clone(payload)
 		if kind == sixlowpan.KindFrag1 {
 			fi, err := sixlowpan.ParseFragment(fwd)
 			if err != nil {
@@ -340,7 +365,7 @@ func (n *Node) tryForwardFragment(src phy.Addr, payload []byte) bool {
 		if entry.drop {
 			return true
 		}
-		fwd := append([]byte(nil), payload...)
+		fwd := n.frag.Clone(payload)
 		if err := sixlowpan.RewriteTag(fwd, entry.newTag); err != nil {
 			return true
 		}

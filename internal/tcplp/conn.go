@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tcplp/internal/ip6"
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 	"tcplp/internal/tcplp/cc"
 )
@@ -377,7 +378,15 @@ func (c *Conn) setState(s State) {
 	if c.state == s {
 		return
 	}
+	c.emit(obs.TCPState, int64(c.state), int64(s), 0)
 	c.state = s
+}
+
+// emit records an obs event when the owning stack is traced.
+func (c *Conn) emit(k obs.Kind, a, b int64, n int) {
+	if tr := c.stack.Trace; tr != nil {
+		tr.Emit(obs.Event{T: c.stack.eng.Now(), Kind: k, Node: c.stack.TraceNode, A: a, B: b, Len: n})
+	}
 }
 
 // teardown finalizes the connection and releases stack state.
@@ -420,6 +429,7 @@ func (c *Conn) traceCwnd() {
 	if c.TraceCwnd != nil {
 		c.TraceCwnd(c.stack.eng.Now(), c.cong.Cwnd(), c.cong.Ssthresh())
 	}
+	c.emit(obs.TCPCwnd, int64(c.cong.Cwnd()), int64(c.cong.Ssthresh()), 0)
 }
 
 // now is the current simulation time (congestion-control hook argument).

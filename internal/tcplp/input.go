@@ -1,6 +1,7 @@
 package tcplp
 
 import (
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 )
 
@@ -8,6 +9,7 @@ import (
 // whether the IP header carried the ECN Congestion Experienced mark.
 func (c *Conn) input(seg *Segment, ce bool) {
 	c.Stats.SegsRecv++
+	c.emit(obs.TCPRecv, int64(seg.SeqNum), int64(seg.AckNum), len(seg.Payload))
 	switch c.state {
 	case StateClosed:
 		return
@@ -303,6 +305,7 @@ func (c *Conn) onDupAck() {
 		c.sackRtxNext = c.sndUna
 		c.rtxPipe = 0
 		c.Stats.FastRetransmits++
+		c.emit(obs.TCPFastRtx, int64(c.dupAcks), 0, 0)
 		n := minInt(mss, c.queuedEnd.Diff(c.sndUna))
 		if n > 0 {
 			c.sendData(c.sndUna, n, false, true)

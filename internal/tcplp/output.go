@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcplp/internal/ip6"
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 	"tcplp/internal/tcplp/cc"
 )
@@ -409,6 +410,7 @@ func (c *Conn) sendRST(seq Seq) {
 // marked ECT(0) when ECN is negotiated.
 func (c *Conn) transmit(seg *Segment, isData bool) {
 	c.Stats.SegsSent++
+	c.emit(obs.TCPSend, int64(seg.SeqNum), int64(seg.AckNum), len(seg.Payload))
 	var ecn ip6.ECN
 	if c.ecnOn && isData {
 		ecn = ip6.ECT0
@@ -457,6 +459,7 @@ func (c *Conn) onRTO() {
 	}
 	c.Stats.Timeouts++
 	c.rexmtShift++
+	c.emit(obs.TCPRTO, int64(c.rexmtShift), int64(c.rtt.RTO()), 0)
 	if c.rexmtShift > c.cfg.MaxRetransmits {
 		c.teardown(ErrConnTimeout)
 		return

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcplp/internal/ip6"
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 	"tcplp/internal/tcplp/cc"
 )
@@ -60,6 +61,11 @@ type Stack struct {
 	nextPort  uint16
 
 	Stats StackStats
+
+	// Trace/TraceNode, when Trace is non-nil, emit per-segment obs
+	// events tagged with the owning node's id.
+	Trace     *obs.Trace
+	TraceNode int
 }
 
 // NewStack creates a TCP instance bound to addr. An unknown
