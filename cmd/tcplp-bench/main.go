@@ -33,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"tcplp/internal/experiments"
@@ -62,8 +64,43 @@ func main() {
 		metrIntv = flag.String("metrics-interval", "", "sample per-layer metrics into -events-out at this period (e.g. 10s)")
 		stallWin = flag.String("flight-stall", "4s", "flight-recorder stall window (0 disables the stall checker)")
 		delivThr = flag.Float64("flight-threshold", 0.5, "flight-recorder end-of-run delivery-ratio dump threshold (0 disables)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (taken at exit, after GC) to this file")
+		phyWork  = flag.Int("phy-workers", -1, "default PHY fan-out worker bound: 0 serial, N>0 parallel, -1 keeps the built-in default; specs with phy_workers set keep their own value")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *phyWork >= 0 {
+		stack.DefaultPhyWorkers = *phyWork
+		fmt.Fprintf(os.Stderr, "phy fan-out workers: %d\n", *phyWork)
+	}
 
 	if *variant != "" {
 		v, err := cc.Parse(*variant)

@@ -96,7 +96,10 @@ type Gateway struct {
 
 	// entries is a slice, not a map: eviction scans must be
 	// deterministic for the runner's serial-vs-parallel bit-identity.
+	// byAddr indexes it for the per-arrival lookup, which at city scale
+	// would otherwise scan thousands of entries per segment.
 	entries []*entry
+	byAddr  map[ip6.Addr]*entry
 	regs    map[ip6.Addr]*registration
 
 	// rdBuf is the drain scratch buffer shared by every accepted
@@ -178,12 +181,7 @@ func (g *Gateway) Register(addr ip6.Addr, gwDeliver, e2eDeliver func(seq uint32)
 
 // lookup finds a device's table entry.
 func (g *Gateway) lookup(addr ip6.Addr) *entry {
-	for _, e := range g.entries {
-		if e.addr == addr {
-			return e
-		}
-	}
-	return nil
+	return g.byAddr[addr]
 }
 
 // touch returns the device's entry, creating one (evicting the
@@ -202,6 +200,10 @@ func (g *Gateway) touch(addr ip6.Addr) *entry {
 	e := &entry{addr: addr, lastActive: now}
 	e.stream = &app.ReadingStream{Deliver: func(seq uint32) { g.onReading(e, seq) }}
 	g.entries = append(g.entries, e)
+	if g.byAddr == nil {
+		g.byAddr = map[ip6.Addr]*entry{}
+	}
+	g.byAddr[addr] = e
 	if tr := g.Trace; tr != nil {
 		tr.Emit(obs.Event{T: now, Kind: obs.GwAdmit, Node: g.node.ID, A: int64(len(g.entries))})
 	}
@@ -227,6 +229,7 @@ func (g *Gateway) evictLRA() {
 func (g *Gateway) evict(i int) {
 	e := g.entries[i]
 	g.entries = append(g.entries[:i], g.entries[i+1:]...)
+	delete(g.byAddr, e.addr)
 	g.Stats.Evicted++
 	if tr := g.Trace; tr != nil {
 		tr.Emit(obs.Event{T: g.eng.Now(), Kind: obs.GwEvict, Node: g.node.ID, A: int64(len(g.entries))})

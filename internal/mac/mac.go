@@ -158,14 +158,14 @@ type Mac struct {
 // New wires a MAC onto a radio. The radio's OnReceive/OnTxDone callbacks
 // are owned by the MAC from this point on.
 func New(eng *sim.Engine, radio *phy.Radio, params Params) *Mac {
+	// The indirect-delivery and duplicate-suppression maps initialise
+	// lazily at their write sites: a 10k-node city is mostly idle
+	// listeners, and four empty maps per node was a visible slice of the
+	// fleet's base heap (nil maps read fine).
 	m := &Mac{
-		eng:            eng,
-		radio:          radio,
-		params:         params,
-		sleepyChildren: map[phy.Addr]bool{},
-		indirectQ:      map[phy.Addr][]*txJob{},
-		lastSeq:        map[phy.Addr]uint8{},
-		seenSeq:        map[phy.Addr]bool{},
+		eng:    eng,
+		radio:  radio,
+		params: params,
 	}
 	m.ackTimer = sim.NewTimer(eng, m.ackTimeout)
 	m.kickFn = func() {
@@ -222,6 +222,9 @@ func (m *Mac) SetRetryDelayMax(d sim.Duration) { m.params.RetryDelayMax = d }
 // frames to it are held in the indirect queue until it polls.
 func (m *Mac) SetChildSleepy(child phy.Addr, sleepy bool) {
 	if sleepy {
+		if m.sleepyChildren == nil {
+			m.sleepyChildren = map[phy.Addr]bool{}
+		}
 		m.sleepyChildren[child] = true
 	} else {
 		delete(m.sleepyChildren, child)
@@ -266,6 +269,9 @@ func (m *Mac) Send(dst phy.Addr, payload []byte, done func(TxStatus)) {
 	job := m.newJob(f, done)
 	if m.sleepyChildren[dst] {
 		job.indirect = true
+		if m.indirectQ == nil {
+			m.indirectQ = map[phy.Addr][]*txJob{}
+		}
 		m.indirectQ[dst] = append(m.indirectQ[dst], job)
 		return
 	}
@@ -490,6 +496,10 @@ func (m *Mac) radioReceive(data []byte) {
 	if m.seenSeq[f.Src] && m.lastSeq[f.Src] == f.Seq {
 		m.Stats.Duplicates++
 		return
+	}
+	if m.lastSeq == nil {
+		m.lastSeq = map[phy.Addr]uint8{}
+		m.seenSeq = map[phy.Addr]bool{}
 	}
 	m.lastSeq[f.Src] = f.Seq
 	m.seenSeq[f.Src] = true

@@ -10,10 +10,19 @@ package mesh
 // instead of materialising the all-pairs matrix: a thousand-node field
 // whose flows all terminate at a border router costs one BFS, not n. Like
 // the simulation engine it serves, Routes is single-goroutine state.
+//
+// Columns are stored as int32: a gateway fleet routes replies toward
+// every device, so a 10k-node city materialises hundreds of columns and
+// the 10k-node-profile showed them (and the BFS building them) as the
+// top allocation site. Halving the element size halves both the
+// resident column slabs and the BFS's cache footprint without touching
+// route choice.
 type Routes struct {
 	adj  [][]int
-	next map[int][]int // next[dst][src] = next hop toward dst, -1 unreachable
-	dist map[int][]int // dist[dst][src] = hop count to dst, -1 unreachable
+	next map[int][]int32 // next[dst][src] = next hop toward dst, -1 unreachable
+	dist map[int][]int32 // dist[dst][src] = hop count to dst, -1 unreachable
+
+	queue []int32 // BFS scratch, reused across columns
 }
 
 // ComputeRoutes prepares shortest-path routing over adj. Per-destination
@@ -21,21 +30,21 @@ type Routes struct {
 func ComputeRoutes(adj [][]int) *Routes {
 	return &Routes{
 		adj:  adj,
-		next: map[int][]int{},
-		dist: map[int][]int{},
+		next: map[int][]int32{},
+		dist: map[int][]int32{},
 	}
 }
 
 // column returns the next-hop and distance vectors toward dst, running the
 // BFS on first use. Next hops match the eager all-pairs construction this
 // replaced: the first neighbor (in adjacency order) one step closer to dst.
-func (r *Routes) column(dst int) (next, dist []int) {
+func (r *Routes) column(dst int) (next, dist []int32) {
 	if next, ok := r.next[dst]; ok {
 		return next, r.dist[dst]
 	}
-	distTo := bfs(r.adj, dst)
+	distTo := r.bfs(dst)
 	n := len(r.adj)
-	next = make([]int, n)
+	next = make([]int32, n)
 	for src := 0; src < n; src++ {
 		next[src] = -1
 		if src == dst || distTo[src] < 0 {
@@ -43,7 +52,7 @@ func (r *Routes) column(dst int) (next, dist []int) {
 		}
 		for _, nb := range r.adj[src] {
 			if distTo[nb] >= 0 && distTo[nb] == distTo[src]-1 {
-				next[src] = nb
+				next[src] = int32(nb)
 				break
 			}
 		}
@@ -55,23 +64,26 @@ func (r *Routes) column(dst int) (next, dist []int) {
 	return next, dist
 }
 
-func bfs(adj [][]int, from int) []int {
-	dist := make([]int, len(adj))
+func (r *Routes) bfs(from int) []int32 {
+	dist := make([]int32, len(r.adj))
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[from] = 0
-	queue := []int{from}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, nb := range adj[v] {
+	if cap(r.queue) < len(r.adj) {
+		r.queue = make([]int32, 0, len(r.adj))
+	}
+	queue := append(r.queue[:0], int32(from))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, nb := range r.adj[v] {
 			if dist[nb] < 0 {
 				dist[nb] = dist[v] + 1
-				queue = append(queue, nb)
+				queue = append(queue, int32(nb))
 			}
 		}
 	}
+	r.queue = queue[:0]
 	return dist
 }
 
@@ -82,7 +94,7 @@ func (r *Routes) NextHop(src, dst int) (int, bool) {
 	}
 	next, _ := r.column(dst)
 	nh := next[src]
-	return nh, nh >= 0
+	return int(nh), nh >= 0
 }
 
 // Hops returns the path length from src to dst (-1 if unreachable).
@@ -91,7 +103,7 @@ func (r *Routes) Hops(src, dst int) int {
 		return 0
 	}
 	_, dist := r.column(dst)
-	return dist[src]
+	return int(dist[src])
 }
 
 // Parent returns a leaf's next hop toward the border router — its Thread

@@ -1,0 +1,142 @@
+package phy
+
+import "sync"
+
+// Deterministic intra-run parallelism for large channel fan-outs.
+//
+// When a transmission starts or ends, the channel touches every cached
+// neighbor of the sender. All of that per-receiver work is receiver-local
+// and RNG-free — sensed-energy counters, busy/locked state evaluation,
+// the per-link PER computation, and the receive-buffer copy — so it can
+// be split across a bounded set of fork-join workers without changing
+// results. Everything that consumes the engine RNG (the loss draw in
+// finishRx) or observes global order (trace emission, OnReceive delivery
+// into the upper layers) runs afterwards on the engine thread, in fixed
+// receiver-id order: the cached neighbor list is sorted by registration
+// index, so the RNG stream is consumed in exactly the order the serial
+// path consumes it and a run's Result is bit-identical either way.
+//
+// The workers are forked per fan-out event and joined before the channel
+// returns to the engine, so a parallel channel owns no long-lived
+// goroutines — nothing to close, nothing to leak across the thousands of
+// independent simulations a sweep runs.
+
+// MinParallelFanout is the neighbor-set size below which a parallel
+// channel still takes the serial path. Forking and joining workers costs
+// tens of microseconds per event; under the unit-disk model the
+// per-receiver work is a few nanoseconds, so BenchmarkFanout measures
+// the serial loop winning up to fan-outs of several thousand. The
+// default therefore only engages the pool where the split could
+// plausibly pay — enormous broadcast fan-outs, or propagation models
+// whose per-receiver cost (SINR, fading) is orders of magnitude above
+// the unit disk's. It is a package variable so tests can force the
+// parallel path on small topologies; simulations only read it.
+var MinParallelFanout = 4096
+
+// SetWorkers bounds the fan-out worker count: 0 (the default) keeps
+// every fan-out on the engine thread, n > 0 splits fan-outs of at least
+// MinParallelFanout receivers across up to n workers (the engine thread
+// included). Only the spatially indexed path parallelizes; the
+// brute-force reference path (DisableIndex) is always serial. Requires
+// Channel.PER, if set, to be pure and safe for concurrent calls.
+func (c *Channel) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.workers = n
+}
+
+// Workers returns the configured fan-out worker bound.
+func (c *Channel) Workers() int { return c.workers }
+
+// rxPrep is one receiver's precomputed reception outcome, filled in by
+// the parallel phase of endTx and consumed serially.
+type rxPrep struct {
+	receiving bool
+	corrupted bool
+	per       float64
+	n         int // bytes staged in the receiver's rxBuf
+}
+
+// fanout runs fn over [0, n) split into one contiguous chunk per worker
+// (the calling goroutine takes the first chunk) and joins before
+// returning. Each index is visited exactly once.
+func fanout(workers, n int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	fn(0, chunk)
+	wg.Wait()
+}
+
+// beginTxParallel is beginTx's indexed fan-out split across workers.
+// Every mutation below is receiver-local (sensed counters, lock-on and
+// corruption state) and no branch draws from the RNG, so chunked
+// execution is equivalent to the serial loop.
+func (c *Channel) beginTxParallel(sender *Radio, t *transmission, nbrs []nbrEntry) {
+	fanout(c.workers, len(nbrs), func(lo, hi int) {
+		for _, nb := range nbrs[lo:hi] {
+			r := nb.r
+			r.sensedCount++
+			switch r.state {
+			case StateRx:
+				r.interfered()
+			case StateListen:
+				if !sender.NoiseOnly && nb.connected && r.sensedCount == 1 {
+					r.beginRx(t)
+				}
+			}
+		}
+	})
+}
+
+// endTxParallel is endTx's indexed fan-out: a parallel phase computes
+// every receiver's pure outcome (energy decrement, lock check, PER,
+// buffer staging), then the engine thread applies the RNG draws and
+// delivers, in neighbor-list (registration-id) order — the same order,
+// and therefore the same RNG stream, as the serial path.
+func (c *Channel) endTxParallel(t *transmission, nbrs []nbrEntry) {
+	if cap(c.prep) < len(nbrs) {
+		c.prep = make([]rxPrep, len(nbrs))
+	}
+	prep := c.prep[:len(nbrs)]
+	fanout(c.workers, len(nbrs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := nbrs[i].r
+			r.sensedCount--
+			p := rxPrep{}
+			if r.rx == t {
+				p.receiving = true
+				p.corrupted = r.rxCorrupted
+				if c.PER != nil {
+					p.per = c.PER(t.sender, r)
+				}
+				if !p.corrupted && r.OnReceive != nil {
+					p.n = copy(r.rxBuf[:], t.data)
+				}
+			}
+			prep[i] = p
+		}
+	})
+	// All energy is dropped and all buffers staged; the join above is the
+	// "decrement everywhere before delivering" barrier of the serial path
+	// (reception callbacks may run CCAs).
+	for i := range prep {
+		if prep[i].receiving {
+			nbrs[i].r.finishRx(prep[i].per, prep[i].corrupted, prep[i].n, len(t.data))
+		}
+	}
+}

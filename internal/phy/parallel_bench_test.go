@@ -1,0 +1,43 @@
+package phy_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tcplp/internal/phy"
+	"tcplp/internal/sim"
+)
+
+// BenchmarkFanout measures one transmission fan-out (begin + end) over a
+// star of n in-range listeners, serial vs parallel. It is the data
+// behind the MinParallelFanout default: the parallel path must only
+// engage where it actually beats the serial loop.
+func BenchmarkFanout(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		for _, workers := range []int{0, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				old := phy.MinParallelFanout
+				phy.MinParallelFanout = 1
+				defer func() { phy.MinParallelFanout = old }()
+				eng := sim.NewEngine(1)
+				ch := phy.NewChannel(eng, phy.NewUnitDisk(10, 13))
+				ch.SetWorkers(workers)
+				ch.PER = func(src, dst *phy.Radio) float64 { return 0.01 }
+				tx := ch.AddRadio(0, phy.Point{})
+				tx.SetListen(true)
+				for i := 1; i <= n; i++ {
+					// Pack listeners inside tx range in a tight disk.
+					r := ch.AddRadio(i, phy.Point{X: float64(i%97) * 0.05, Y: float64(i/97) * 0.05})
+					r.SetListen(true)
+					r.OnReceive = func([]byte) {}
+				}
+				frame := make([]byte, 100)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tx.Transmit(frame)
+					eng.Run()
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"tcplp/internal/phy"
+	"tcplp/internal/sim"
+)
+
+// TestPhyWorkersResultBitIdentity is the scenario-level face of the
+// parallel fan-out contract: a full Result — flow goodput, RTTs, duty
+// cycles, gateway accounting, event counts — must be bit-identical with
+// the PHY worker pool off and on. MinParallelFanout is forced to 1 so
+// the parallel path actually executes on these small test topologies.
+func TestPhyWorkersResultBitIdentity(t *testing.T) {
+	old := phy.MinParallelFanout
+	phy.MinParallelFanout = 1
+	defer func() { phy.MinParallelFanout = old }()
+
+	office := &Spec{
+		Name:     "office-bit",
+		Topology: TopologySpec{Kind: TopoOffice},
+		Flows: []FlowSpec{
+			{Label: "up", From: NodeID(14), To: NodeID(0), Port: 80},
+			{Label: "cross", From: NodeID(7), To: NodeID(0), Port: 81},
+		},
+		Warmup:   Duration(2 * sim.Second),
+		Duration: Duration(8 * sim.Second),
+		Seeds:    []int64{1},
+	}
+	for _, base := range []*Spec{office, twinMixed(1), citySpec(40)} {
+		serial := *base
+		serial.Net.PhyWorkers = 0
+		par := *base
+		par.Net.PhyWorkers = 4
+		rs, err := RunOne(&serial, 1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", base.Name, err)
+		}
+		rp, err := RunOne(&par, 1)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", base.Name, err)
+		}
+		if !reflect.DeepEqual(rs, rp) {
+			t.Fatalf("%s: parallel fan-out changed the result:\nserial:   %+v\nparallel: %+v",
+				base.Name, rs, rp)
+		}
+		if rs.Events == 0 {
+			t.Fatalf("%s: empty run proves nothing", base.Name)
+		}
+	}
+}

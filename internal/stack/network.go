@@ -29,6 +29,12 @@ var DefaultVariant = cc.NewReno
 // windows (≥ 8 segments) without touching each experiment.
 var DefaultWindowSegs = 4
 
+// DefaultPhyWorkers is the PHY fan-out worker bound DefaultOptions
+// seeds (0 = serial). cmd/tcplp-bench's -phy-workers flag overrides it
+// process-wide; runs are bit-identical at any setting, so this is purely
+// a wall-clock knob for very dense topologies.
+var DefaultPhyWorkers = 0
+
 // Options configures a simulated network.
 type Options struct {
 	// MAC holds the CSMA/ARQ parameters, including the §7.1 link-retry
@@ -66,6 +72,11 @@ type Options struct {
 	// every layer of every node (phy, MAC, 6LoWPAN, IP queue, TCP).
 	// Nil — the default — keeps every hook a single nil check.
 	Trace *obs.Trace
+	// PhyWorkers bounds the channel's deterministic fan-out worker pool
+	// (phy.Channel.SetWorkers): 0 keeps the serial reference path, N > 0
+	// splits large transmission fan-outs across up to N goroutines with
+	// Result bit-identical either way.
+	PhyWorkers int
 }
 
 // DefaultOptions mirrors the paper's standard setup. QueueCap is sized
@@ -81,6 +92,7 @@ func DefaultOptions() Options {
 		WindowSegs: DefaultWindowSegs,
 		QueueCap:   32,
 		WireDelay:  6 * sim.Millisecond,
+		PhyWorkers: DefaultPhyWorkers,
 	}
 }
 
@@ -113,6 +125,7 @@ func New(seed int64, topo mesh.Topology, opt Options) *Network {
 	eng := sim.NewEngine(seed)
 	ch := phy.NewChannel(eng, phy.NewUnitDisk(topo.TxRange, topo.SenseRange))
 	ch.Trace = opt.Trace
+	ch.SetWorkers(opt.PhyWorkers)
 	if opt.PER > 0 {
 		per := opt.PER
 		ch.PER = func(src, dst *phy.Radio) float64 { return per }
@@ -135,12 +148,11 @@ func New(seed int64, topo mesh.Topology, opt Options) *Network {
 	}
 	for i := 0; i < topo.N(); i++ {
 		n := &Node{
-			ID:       i,
-			Net:      net,
-			Addr:     ip6.AddrFromID(i),
-			fwdCache: map[fwdKey]*fwdEntry{},
-			reasm:    sixlowpan.NewReassembler(eng),
-			CPU:      energy.NewCPUMeter(eng, costs),
+			ID:    i,
+			Net:   net,
+			Addr:  ip6.AddrFromID(i),
+			reasm: sixlowpan.NewReassembler(eng),
+			CPU:   energy.NewCPUMeter(eng, costs),
 		}
 		n.Radio = ch.AddRadio(i, topo.Positions[i])
 		n.Mac = mac.New(eng, n.Radio, opt.MAC)
@@ -152,6 +164,7 @@ func New(seed int64, topo mesh.Topology, opt Options) *Network {
 		}
 		n.TCP = tcplp.NewStack(eng, n.Addr, net.Opt.TCP)
 		n.TCP.Output = n.SendPacket
+		n.TCP.PoolEncode = true // SendPacket consumes payloads synchronously
 		n.TCP.Trace, n.TCP.TraceNode = opt.Trace, i
 		n.UDP = udp.NewStack(n.Addr)
 		n.UDP.Output = n.SendPacket
@@ -241,12 +254,11 @@ func (net *Network) AttachHost() *Node {
 	}
 	costs := energy.DefaultCosts()
 	host := &Node{
-		ID:       net.hostID,
-		Net:      net,
-		Addr:     ip6.AddrFromID(net.hostID),
-		fwdCache: map[fwdKey]*fwdEntry{},
-		reasm:    sixlowpan.NewReassembler(net.Eng),
-		CPU:      energy.NewCPUMeter(net.Eng, costs),
+		ID:    net.hostID,
+		Net:   net,
+		Addr:  ip6.AddrFromID(net.hostID),
+		reasm: sixlowpan.NewReassembler(net.Eng),
+		CPU:   energy.NewCPUMeter(net.Eng, costs),
 	}
 	// The host is unconstrained: large buffers, same protocol logic
 	// ("the TCP implementation in the FreeBSD operating system" on both
@@ -256,6 +268,7 @@ func (net *Network) AttachHost() *Node {
 	hostCfg.RecvBufSize = 64 * 1024
 	host.TCP = tcplp.NewStack(net.Eng, host.Addr, hostCfg)
 	host.TCP.Output = host.SendPacket
+	host.TCP.PoolEncode = true
 	host.TCP.Trace, host.TCP.TraceNode = net.Opt.Trace, net.hostID
 	host.reasm.Trace, host.reasm.Node = net.Opt.Trace, net.hostID
 	host.UDP = udp.NewStack(host.Addr)
@@ -293,6 +306,7 @@ func (net *Network) Border() *Node { return net.Nodes[net.borderID] }
 func (n *Node) SetTCPConfig(cfg tcplp.Config) {
 	n.TCP = tcplp.NewStack(n.Net.Eng, n.Addr, cfg)
 	n.TCP.Output = n.SendPacket
+	n.TCP.PoolEncode = true
 	n.TCP.Trace, n.TCP.TraceNode = n.Net.Opt.Trace, n.ID
 }
 
@@ -334,7 +348,12 @@ func connectWire(border, host *Node, delay sim.Duration) {
 }
 
 func (w *wireEnd) send(pkt *ip6.Packet) {
-	w.eng.Schedule(w.delay, func() { w.peer.wireReceive(pkt) })
+	// The wire holds the packet until the peer takes delivery; copy the
+	// payload so the sending stack may recycle its encode buffer the
+	// moment the synchronous transmit path returns (tcplp.PoolEncode).
+	cp := *pkt
+	cp.Payload = append([]byte(nil), pkt.Payload...)
+	w.eng.Schedule(w.delay, func() { w.peer.wireReceive(&cp) })
 }
 
 func (n *Node) wireReceive(pkt *ip6.Packet) {

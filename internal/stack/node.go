@@ -343,6 +343,9 @@ func (n *Node) tryForwardFragment(src phy.Addr, payload []byte) bool {
 			if err := sixlowpan.RewriteTag(fwd, newTag); err != nil {
 				return true
 			}
+			if n.fwdCache == nil {
+				n.fwdCache = map[fwdKey]*fwdEntry{}
+			}
 			n.fwdCache[fwdKey{src, fi.Tag}] = &fwdEntry{
 				next:    phy.AddrFromID(next),
 				newTag:  newTag,

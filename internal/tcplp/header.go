@@ -126,8 +126,22 @@ func (s *Segment) WireLen() int { return s.HeaderLen() + len(s.Payload) }
 // Encode serializes the segment and computes the checksum over the
 // IPv6-style pseudo header for src/dst.
 func (s *Segment) Encode(src, dst ip6.Addr) []byte {
+	return s.AppendEncode(nil, src, dst)
+}
+
+// AppendEncode encodes the segment into buf's backing array when it is
+// large enough (allocating otherwise) and returns the encoded slice —
+// the pooling-friendly form of Encode for callers that recycle wire
+// buffers.
+func (s *Segment) AppendEncode(buf []byte, src, dst ip6.Addr) []byte {
 	hl := s.HeaderLen()
-	b := make([]byte, hl+len(s.Payload))
+	n := hl + len(s.Payload)
+	var b []byte
+	if cap(buf) >= n {
+		b = buf[:n]
+	} else {
+		b = make([]byte, n)
+	}
 	binary.BigEndian.PutUint16(b[0:], s.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], s.DstPort)
 	binary.BigEndian.PutUint32(b[4:], uint32(s.SeqNum))
@@ -135,8 +149,12 @@ func (s *Segment) Encode(src, dst ip6.Addr) []byte {
 	b[12] = byte(hl/4) << 4
 	b[13] = byte(s.Flags & 0xff)
 	binary.BigEndian.PutUint16(b[14:], s.Window)
-	// Checksum at b[16:18] filled below; urgent pointer stays zero: the
-	// urgent mechanism is deliberately omitted (§4.1, RFC 6093).
+	// The checksum at b[16:18] is summed over the segment with the field
+	// itself zero, and the urgent pointer is always zero: the urgent
+	// mechanism is deliberately omitted (§4.1, RFC 6093). A recycled
+	// buffer holds stale bytes in both, so zero them explicitly.
+	b[16], b[17] = 0, 0
+	b[18], b[19] = 0, 0
 	i := BaseHeaderLen
 	if s.MSS != 0 {
 		b[i], b[i+1] = optMSS, 4

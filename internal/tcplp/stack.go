@@ -50,6 +50,15 @@ type Stack struct {
 	// wiring (internal/stack) supplies it.
 	Output func(pkt *ip6.Packet)
 
+	// PoolEncode recycles segment wire buffers through a stack-local
+	// free list instead of allocating one per segment. Only safe when
+	// Output consumes the packet's payload before returning — the node
+	// transmit path does (fragmentation, local decode, and the wire all
+	// copy); test shims that schedule delayed delivery of the same
+	// packet must leave this off (the default).
+	PoolEncode bool
+	encFree    [][]byte
+
 	// OnExpectingChange fires when the stack starts/stops having any
 	// connection with unacknowledged data — the duty-cycling hint wire
 	// (§9.2).
@@ -75,14 +84,14 @@ func NewStack(eng *sim.Engine, addr ip6.Addr, cfg Config) *Stack {
 	if !cc.Valid(cfg.Variant) {
 		panic(fmt.Sprintf("tcplp: unknown congestion-control variant %q", cfg.Variant))
 	}
+	// The demux maps initialise lazily at their write sites so a node
+	// that never opens a socket — most of a 10k-node city — carries no
+	// map headers (nil maps read fine).
 	return &Stack{
-		eng:       eng,
-		addr:      addr,
-		cfg:       cfg,
-		conns:     map[connKey]*Conn{},
-		listeners: map[uint16]*Listener{},
-		expecting: map[*Conn]bool{},
-		nextPort:  49152,
+		eng:      eng,
+		addr:     addr,
+		cfg:      cfg,
+		nextPort: 49152,
 	}
 }
 
@@ -103,6 +112,9 @@ func (s *Stack) tsNow() uint32 {
 // Listen opens a passive socket on port.
 func (s *Stack) Listen(port uint16, onAccept func(*Conn)) *Listener {
 	l := &Listener{stack: s, port: port, OnAccept: onAccept}
+	if s.listeners == nil {
+		s.listeners = map[uint16]*Listener{}
+	}
 	s.listeners[port] = l
 	return l
 }
@@ -120,7 +132,7 @@ func (s *Stack) ConnectConfig(raddr ip6.Addr, rport uint16, cfg Config) *Conn {
 	c.remoteAddr = raddr
 	c.localPort = s.allocPort()
 	c.remotePort = rport
-	s.conns[connKey{raddr, rport, c.localPort}] = c
+	s.addConn(connKey{raddr, rport, c.localPort}, c)
 	s.Stats.ConnsOpened++
 	c.connect()
 	return c
@@ -182,7 +194,7 @@ func (s *Stack) Input(pkt *ip6.Packet) {
 		c.remoteAddr = pkt.Src
 		c.localPort = seg.DstPort
 		c.remotePort = seg.SrcPort
-		s.conns[key] = c
+		s.addConn(key, c)
 		c.acceptSyn(seg)
 		return
 	}
@@ -211,6 +223,16 @@ func (s *Stack) sendRSTFor(src ip6.Addr, seg *Segment) {
 
 // sendSegment wraps a TCP segment in an IPv6 packet and transmits it.
 func (s *Stack) sendSegment(src, dst ip6.Addr, seg *Segment, ecn ip6.ECN) {
+	var payload []byte
+	if s.PoolEncode {
+		var buf []byte
+		if n := len(s.encFree); n > 0 {
+			buf, s.encFree = s.encFree[n-1], s.encFree[:n-1]
+		}
+		payload = seg.AppendEncode(buf, src, dst)
+	} else {
+		payload = seg.Encode(src, dst)
+	}
 	pkt := &ip6.Packet{
 		Header: ip6.Header{
 			NextHeader: ip6.ProtoTCP,
@@ -218,13 +240,23 @@ func (s *Stack) sendSegment(src, dst ip6.Addr, seg *Segment, ecn ip6.ECN) {
 			Src:        src,
 			Dst:        dst,
 		},
-		Payload: seg.Encode(src, dst),
+		Payload: payload,
 	}
 	pkt.SetECN(ecn)
 	pkt.PayloadLen = uint16(len(pkt.Payload))
 	if s.Output != nil {
 		s.Output(pkt)
 	}
+	if s.PoolEncode {
+		s.encFree = append(s.encFree, payload[:0])
+	}
+}
+
+func (s *Stack) addConn(key connKey, c *Conn) {
+	if s.conns == nil {
+		s.conns = map[connKey]*Conn{}
+	}
+	s.conns[key] = c
 }
 
 // removeConn drops a closed connection's demux entry.
@@ -246,6 +278,9 @@ func (s *Stack) notifyAccept(c *Conn) {
 func (s *Stack) noteExpecting(c *Conn, on bool) {
 	before := len(s.expecting) > 0
 	if on {
+		if s.expecting == nil {
+			s.expecting = map[*Conn]bool{}
+		}
 		s.expecting[c] = true
 	} else {
 		delete(s.expecting, c)

@@ -63,9 +63,10 @@ type Stack struct {
 	nextPort uint16
 }
 
-// NewStack returns a UDP endpoint bound to addr.
+// NewStack returns a UDP endpoint bound to addr. The handler map
+// initialises on first Bind so unbound nodes carry no map header.
 func NewStack(addr ip6.Addr) *Stack {
-	return &Stack{addr: addr, handlers: map[uint16]Handler{}, nextPort: 40000}
+	return &Stack{addr: addr, nextPort: 40000}
 }
 
 // Bind registers a handler for a port, returning the port (0 picks an
@@ -79,6 +80,9 @@ func (s *Stack) Bind(port uint16, h Handler) uint16 {
 				break
 			}
 		}
+	}
+	if s.handlers == nil {
+		s.handlers = map[uint16]Handler{}
 	}
 	s.handlers[port] = h
 	return port
