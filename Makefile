@@ -20,7 +20,7 @@ bench-smoke:
 # trajectory): one JSON document per PR, BENCH_<n>.json, with -benchmem
 # so allocation trajectories (allocs/op, B/op) accumulate alongside
 # wall-clock.
-BENCH_JSON ?= BENCH_9.json
+BENCH_JSON ?= BENCH_10.json
 
 bench-json:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./tools/benchjson > $(BENCH_JSON)

@@ -35,10 +35,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"tcplp/internal/experiments"
 	"tcplp/internal/obs"
+	"tcplp/internal/obs/journey"
 	"tcplp/internal/scenario"
 	"tcplp/internal/stack"
 	"tcplp/internal/tcplp/cc"
@@ -61,6 +63,10 @@ func main() {
 		warmFlag = flag.String("warmup", "", "override every scenario spec's warmup (e.g. 1s)")
 		traceOut = flag.String("trace-out", "", "capture every 802.15.4 frame to this pcapng file (scenario runs)")
 		evOut    = flag.String("events-out", "", "write the structured NDJSON event trace to this file (scenario runs)")
+		evLayers = flag.String("events-layers", "", "filter -events-out to these comma-separated layers (phy,mac,sixlowpan,ip,tcp,coap,gateway,wan,journey)")
+		evFlows  = flag.String("events-flow", "", "filter -events-out to these comma-separated flow labels' source nodes")
+		jrny     = flag.Bool("journey", false, "reconstruct per-reading packet journeys and attach latency attribution to flow results (scenario runs)")
+		jrnyOut  = flag.String("journey-out", "", "write per-reading span trees as Chrome trace events to this file (Perfetto-loadable; implies -journey)")
 		metrIntv = flag.String("metrics-interval", "", "sample per-layer metrics into -events-out at this period (e.g. 10s)")
 		stallWin = flag.String("flight-stall", "4s", "flight-recorder stall window (0 disables the stall checker)")
 		delivThr = flag.Float64("flight-threshold", 0.5, "flight-recorder end-of-run delivery-ratio dump threshold (0 disables)")
@@ -132,16 +138,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-scenario cannot be combined with -exp/-scale/-markdown; set durations and seeds in the spec file")
 			os.Exit(1)
 		}
-		oc := buildObsConfig(*traceOut, *evOut, *metrIntv, *stallWin, *delivThr)
+		oc, finish := buildObsConfig(*traceOut, *evOut, *evLayers, *evFlows, *metrIntv, *stallWin, *jrny, *jrnyOut, *delivThr)
 		runScenario(*scenFile, *workers, *seeds, *format, *durFlag, *warmFlag, oc)
+		finish()
 		return
 	}
 	if *durFlag != "" || *warmFlag != "" {
 		fmt.Fprintln(os.Stderr, "-duration/-warmup only apply to -scenario; use -scale for experiments")
 		os.Exit(1)
 	}
-	if *traceOut != "" || *evOut != "" || *metrIntv != "" {
-		fmt.Fprintln(os.Stderr, "-trace-out/-events-out/-metrics-interval only apply to -scenario runs")
+	if *traceOut != "" || *evOut != "" || *metrIntv != "" || *jrny || *jrnyOut != "" {
+		fmt.Fprintln(os.Stderr, "-trace-out/-events-out/-journey/-journey-out/-metrics-interval only apply to -scenario runs")
 		os.Exit(1)
 	}
 
@@ -210,16 +217,46 @@ func parseDur(flagName, s string) scenario.Duration {
 // buildObsConfig assembles the scenario runner's observability config
 // from the CLI flags; nil when no capture was requested. The flight
 // recorder rides along whenever any capture is on, dumping stalled or
-// low-delivery flow timelines to stderr.
-func buildObsConfig(traceOut, evOut, metrIntv, stallWin string, delivThr float64) *scenario.ObsConfig {
-	if traceOut == "" && evOut == "" {
+// low-delivery flow timelines to stderr. The returned finish func
+// flushes deferred writers (the Chrome trace's closing bracket) and
+// must run after the scenario completes.
+func buildObsConfig(traceOut, evOut, evLayers, evFlows, metrIntv, stallWin string, jrny bool, jrnyOut string, delivThr float64) (*scenario.ObsConfig, func()) {
+	finish := func() {}
+	if traceOut == "" && evOut == "" && !jrny && jrnyOut == "" {
 		if metrIntv != "" {
 			fmt.Fprintln(os.Stderr, "-metrics-interval needs -events-out to write the samples to")
 			os.Exit(1)
 		}
-		return nil
+		if evLayers != "" || evFlows != "" {
+			fmt.Fprintln(os.Stderr, "-events-layers/-events-flow need -events-out to filter")
+			os.Exit(1)
+		}
+		return nil, finish
 	}
-	oc := &scenario.ObsConfig{}
+	oc := &scenario.ObsConfig{Journey: jrny}
+	if evLayers != "" || evFlows != "" {
+		if evOut == "" {
+			fmt.Fprintln(os.Stderr, "-events-layers/-events-flow need -events-out to filter")
+			os.Exit(1)
+		}
+		oc.EventLayers = splitList(evLayers)
+		oc.EventFlows = splitList(evFlows)
+	}
+	if jrnyOut != "" {
+		f, err := os.Create(jrnyOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cw := journey.NewChromeWriter(f)
+		oc.JourneyOut = cw
+		finish = func() {
+			if err := cw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}
 	if evOut != "" {
 		f, err := os.Create(evOut)
 		if err != nil {
@@ -255,7 +292,18 @@ func buildObsConfig(traceOut, evOut, metrIntv, stallWin string, delivThr float64
 		fc.StallWindow = parseDur("flight-stall", stallWin).D()
 	}
 	oc.Flight = fc
-	return oc
+	return oc, finish
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // runScenario loads a spec file, applies schedule/seed overrides,

@@ -5,6 +5,7 @@ import (
 
 	"tcplp/internal/coap"
 	"tcplp/internal/ip6"
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
 	"tcplp/internal/tcplp"
@@ -73,6 +74,21 @@ type Sensor struct {
 	stopped bool
 	genTime map[uint32]sim.Time // queued-reading generation times, by seq
 
+	// Trace/Node, when Trace is non-nil, emit per-reading journey
+	// events (generation, transport acceptance, app-queue loss). All
+	// journey bookkeeping below is gated on Trace so the disabled path
+	// allocates nothing.
+	Trace *obs.Trace
+	Node  int
+	// enqSeqs holds queued-but-not-yet-accepted reading seqs in order;
+	// acceptedBytes counts transport-accepted bytes (transports may
+	// accept partial readings), and enqCount numbers fully accepted
+	// readings — the acceptance index journey analysis maps to TCP
+	// stream offsets.
+	enqSeqs       []uint32
+	acceptedBytes int64
+	enqCount      int64
+
 	Stats SensorStats
 }
 
@@ -137,12 +153,21 @@ func (s *Sensor) sample() {
 	}
 	s.Stats.Generated++
 	s.seq++
+	if tr := s.Trace; tr != nil {
+		tr.Emit(obs.Event{T: s.eng.Now(), Kind: obs.JourneyGen, Node: s.Node, A: int64(s.seq)})
+	}
 	if len(s.queue)/ReadingSize >= s.QueueCap {
 		s.Stats.Dropped++
+		if tr := s.Trace; tr != nil {
+			tr.Emit(obs.Event{T: s.eng.Now(), Kind: obs.JourneyLoss, Node: s.Node, A: int64(s.seq), Cause: obs.CauseAppQueueFull})
+		}
 	} else {
 		s.queue = append(s.queue, s.makeReading()...)
 		s.Stats.Queued++
 		s.genTime[s.seq] = s.eng.Now()
+		if s.Trace != nil {
+			s.enqSeqs = append(s.enqSeqs, s.seq)
+		}
 	}
 	if s.seq%1024 == 0 {
 		s.pruneGenTimes()
@@ -175,6 +200,25 @@ func (s *Sensor) drain() {
 		// Only whole readings leave the queue; transports accept
 		// arbitrary byte counts but we account in readings.
 		s.queue = s.queue[n:]
+		s.noteAccepted(n)
+	}
+}
+
+// noteAccepted advances the journey acceptance boundary: once the
+// transport has taken a reading's last byte, the reading has left the
+// application queue and a JourneyEnq marks it with its acceptance index
+// (its 0-based position in the transport byte stream, in readings).
+func (s *Sensor) noteAccepted(n int) {
+	tr := s.Trace
+	if tr == nil {
+		return
+	}
+	s.acceptedBytes += int64(n)
+	for len(s.enqSeqs) > 0 && s.acceptedBytes >= (s.enqCount+1)*ReadingSize {
+		seq := s.enqSeqs[0]
+		s.enqSeqs = s.enqSeqs[1:]
+		tr.Emit(obs.Event{T: s.eng.Now(), Kind: obs.JourneyEnq, Node: s.Node, A: int64(seq), B: s.enqCount})
+		s.enqCount++
 	}
 }
 
@@ -239,6 +283,12 @@ type CoAPTransport struct {
 	// MessageSize is the payload bytes per POST.
 	MessageSize int
 
+	// Trace/Node, when Trace is non-nil, tag each POST with a journey
+	// packet id and emit per-batch journey events (obs).
+	Trace *obs.Trace
+	Node  int
+
+	eng      *sim.Engine
 	sensor   *Sensor
 	blockNum uint32
 }
@@ -257,7 +307,7 @@ func NewCoAPTransportPort(node *stack.Node, collector ip6.Addr, port uint16, con
 		sc := node.Sleep
 		cl.OnExpectingChange = func(on bool) { sc.SetExpecting(on) }
 	}
-	return &CoAPTransport{Client: cl, Confirmable: confirmable, MessageSize: msgSize}
+	return &CoAPTransport{Client: cl, Confirmable: confirmable, MessageSize: msgSize, eng: node.Eng()}
 }
 
 // Attach links the sensor that drains through this transport.
@@ -287,9 +337,27 @@ func (t *CoAPTransport) Send(p []byte) int {
 	payload := append([]byte(nil), p[:n]...)
 	blk := &coap.Block1{Num: t.blockNum, More: false, SZX: 6}
 	t.blockNum++
-	t.Client.Post("telemetry", payload, t.Confirmable, blk, func(ok bool) {
+	var jid int64
+	if tr := t.Trace; tr != nil {
+		jid = tr.NextID()
+		reliable := int64(0)
+		if t.Confirmable {
+			reliable = 1
+		}
+		tr.Emit(obs.Event{T: t.eng.Now(), Kind: obs.JourneyData, Node: t.Node, J: jid,
+			A: int64(binary.BigEndian.Uint32(payload)), B: int64(n / ReadingSize), Len: int(reliable)})
+	}
+	t.Client.PostJID("telemetry", payload, t.Confirmable, blk, jid, func(ok bool) {
 		// Delivery is counted at the collector (server side), as the
 		// paper measures reliability; here we only resume draining.
+		if !ok && t.Confirmable {
+			if tr := t.Trace; tr != nil {
+				now := t.eng.Now()
+				ForEachReading(payload, func(seq uint32) {
+					tr.Emit(obs.Event{T: now, Kind: obs.JourneyLoss, Node: t.Node, A: int64(seq), Cause: obs.CauseCoAPGiveUp})
+				})
+			}
+		}
 		if t.sensor != nil {
 			t.sensor.NotifyWritable()
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"tcplp/internal/ip6"
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
 	"tcplp/internal/tcplp"
@@ -69,6 +70,11 @@ type UDPTransport struct {
 	// MessageSize is the payload bytes per datagram.
 	MessageSize int
 
+	// Trace/Node, when Trace is non-nil, tag each datagram with a
+	// journey packet id for causal tracing (obs).
+	Trace *obs.Trace
+	Node  int
+
 	sensor *Sensor
 
 	// Sent counts datagrams put on the wire; SentBytes their payload.
@@ -99,7 +105,13 @@ func (t *UDPTransport) Send(p []byte) int {
 	if n == 0 {
 		return 0
 	}
-	t.sock.UDP.Send(t.dst, t.dstPort, t.srcPort, p[:n])
+	var jid int64
+	if tr := t.Trace; tr != nil {
+		jid = tr.NextID()
+		tr.Emit(obs.Event{T: t.sock.Eng().Now(), Kind: obs.JourneyData, Node: t.Node, J: jid,
+			A: int64(binary.BigEndian.Uint32(p)), B: int64(n / ReadingSize)})
+	}
+	t.sock.UDP.SendJID(t.dst, t.dstPort, t.srcPort, p[:n], jid)
 	t.Sent++
 	t.SentBytes += uint64(n)
 	return n

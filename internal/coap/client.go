@@ -25,6 +25,7 @@ type exchange struct {
 	retries     int
 	firstTx     sim.Time
 	rto         sim.Duration
+	jid         int64 // journey packet id; shared by every retransmission of the exchange
 }
 
 // Client is a CoAP client bound to one server, enforcing NSTART=1 (one
@@ -85,6 +86,15 @@ func (c *Client) Pending() int {
 // report success/failure via done; nonconfirmable ones are fire-and-
 // forget (done, if set, is called optimistically after transmission).
 func (c *Client) Post(path string, payload []byte, confirmable bool, block *Block1, done func(ok bool)) {
+	c.PostJID(path, payload, confirmable, block, 0, done)
+}
+
+// PostJID is Post with a journey packet id for causal tracing. The id is
+// deliberately reused across every retransmission of the exchange — the
+// analyzer sees one packet identity per CoAP message, a documented
+// simplification (per-attempt MAC/PHY events still distinguish attempts
+// by time).
+func (c *Client) PostJID(path string, payload []byte, confirmable bool, block *Block1, jid int64, done func(ok bool)) {
 	typ := NON
 	if confirmable {
 		typ = CON
@@ -106,7 +116,7 @@ func (c *Client) Post(path string, payload []byte, confirmable bool, block *Bloc
 	if block != nil {
 		m.AddOption(OptBlock1, block.Encode())
 	}
-	c.queue = append(c.queue, &exchange{msg: m, confirmable: confirmable, done: done})
+	c.queue = append(c.queue, &exchange{msg: m, confirmable: confirmable, done: done, jid: jid})
 	c.pump()
 }
 
@@ -134,7 +144,7 @@ func (c *Client) pump() {
 }
 
 func (c *Client) transmit(ex *exchange) {
-	c.sock.Send(c.dst, c.dstPort, c.srcPort, ex.msg.Encode())
+	c.sock.SendJID(c.dst, c.dstPort, c.srcPort, ex.msg.Encode(), ex.jid)
 }
 
 func (c *Client) onTimeout() {
@@ -152,7 +162,7 @@ func (c *Client) onTimeout() {
 	c.Stats.Retransmissions++
 	ex.rto = c.Policy.Backoff(ex.rto)
 	if tr := c.Trace; tr != nil {
-		tr.Emit(obs.Event{T: c.eng.Now(), Kind: obs.CoAPRtx, Node: c.Node, A: int64(ex.retries), B: int64(ex.rto)})
+		tr.Emit(obs.Event{T: c.eng.Now(), Kind: obs.CoAPRtx, Node: c.Node, A: int64(ex.retries), B: int64(ex.rto), J: ex.jid})
 	}
 	c.transmit(ex)
 	c.timer.Reset(ex.rto)

@@ -225,7 +225,9 @@ func (g *Gateway) evictLRA() {
 	g.evict(victim)
 }
 
-// evict closes and removes the entry at index i.
+// evict closes and removes the entry at index i. Readings parsed but
+// not yet flushed to the WAN die with the entry; each is reported as a
+// terminal journey loss so the conformance checker can account for it.
 func (g *Gateway) evict(i int) {
 	e := g.entries[i]
 	g.entries = append(g.entries[:i], g.entries[i+1:]...)
@@ -233,10 +235,47 @@ func (g *Gateway) evict(i int) {
 	g.Stats.Evicted++
 	if tr := g.Trace; tr != nil {
 		tr.Emit(obs.Event{T: g.eng.Now(), Kind: obs.GwEvict, Node: g.node.ID, A: int64(len(g.entries))})
+		g.emitReadingLoss(e, e.pending, obs.CauseGwEvict)
 	}
+	e.pending = nil
 	if e.conn != nil {
 		e.conn.Close()
 		e.conn = nil
+	}
+}
+
+// emitReadingLoss records a terminal JourneyLoss for each of a device's
+// readings, keyed by the device's node id (the journey analyzer keys
+// readings by source node + seq).
+func (g *Gateway) emitReadingLoss(e *entry, seqs []uint32, cause obs.Cause) {
+	tr := g.Trace
+	if tr == nil || len(seqs) == 0 {
+		return
+	}
+	node, ok := e.addr.ID()
+	if !ok {
+		return
+	}
+	now := g.eng.Now()
+	for _, seq := range seqs {
+		tr.Emit(obs.Event{T: now, Kind: obs.JourneyLoss, Node: node, A: int64(seq), Cause: cause})
+	}
+}
+
+// emitWanEnq records per-reading WAN acceptance (journey boundary
+// between the gateway table and the backhaul).
+func (g *Gateway) emitWanEnq(e *entry, seqs []uint32) {
+	tr := g.Trace
+	if tr == nil || len(seqs) == 0 {
+		return
+	}
+	node, ok := e.addr.ID()
+	if !ok {
+		return
+	}
+	now := g.eng.Now()
+	for _, seq := range seqs {
+		tr.Emit(obs.Event{T: now, Kind: obs.JourneyWanEnq, Node: node, A: int64(seq)})
 	}
 }
 
@@ -326,12 +365,16 @@ func (g *Gateway) flush(e *entry) {
 		}
 	}, func() {
 		g.Stats.ReadingsLost += uint64(len(seqs))
+		g.emitReadingLoss(e, seqs, obs.CauseWanLoss)
 		if r != nil && r.wanLost != nil {
 			r.wanLost(len(seqs))
 		}
 	})
-	if !ok {
+	if ok {
+		g.emitWanEnq(e, seqs)
+	} else {
 		g.Stats.ReadingsLost += uint64(len(seqs))
+		g.emitReadingLoss(e, seqs, obs.CauseWanQueueDrop)
 		if r != nil && r.wanLost != nil {
 			r.wanLost(len(seqs))
 		}

@@ -50,6 +50,12 @@ func (h *Header) SetECN(e ECN) { h.TrafficClass = h.TrafficClass&^0x3 | uint8(e)
 type Packet struct {
 	Header
 	Payload []byte
+
+	// JID is the journey packet id for causal tracing (0 = untagged).
+	// It rides alongside the packet as simulator metadata — Encode never
+	// serializes it and Decode leaves it zero — so tagging a packet can
+	// never change wire bytes, air time, or any RNG draw.
+	JID int64
 }
 
 // AppendEncode serializes the packet onto dst, setting PayloadLen from

@@ -89,6 +89,7 @@ type txJob struct {
 	attempts int
 	nb, be   int
 	indirect bool
+	jid      int64 // journey packet id of the carried datagram (0 = untagged)
 
 	// Scheduler callbacks, built once per job instead of once per
 	// backoff step / retry / load: a job under CSMA pressure schedules
@@ -257,6 +258,14 @@ func (m *Mac) RefreshIdleState() { m.applyIdleState() }
 // link-layer outcome. Frames to registered sleepy children are placed on
 // the indirect queue instead of the air.
 func (m *Mac) Send(dst phy.Addr, payload []byte, done func(TxStatus)) {
+	m.SendJID(dst, payload, 0, done)
+}
+
+// SendJID is Send with a journey packet id attached to the frame for
+// causal tracing. The id is simulator metadata: it tags the job, the
+// radio's in-flight transmission, and the obs events of every backoff,
+// retry, and drop, but never appears in wire bytes.
+func (m *Mac) SendJID(dst phy.Addr, payload []byte, jid int64, done func(TxStatus)) {
 	m.seq++
 	f := &phy.Frame{
 		Type:       phy.FrameData,
@@ -267,6 +276,7 @@ func (m *Mac) Send(dst phy.Addr, payload []byte, done func(TxStatus)) {
 		Payload:    payload,
 	}
 	job := m.newJob(f, done)
+	job.jid = jid
 	if m.sleepyChildren[dst] {
 		job.indirect = true
 		if m.indirectQ == nil {
@@ -365,7 +375,7 @@ func (m *Mac) backoffStep() {
 	}
 	slots := m.eng.Rand().Intn(1 << job.be)
 	if tr := m.Trace; tr != nil {
-		tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacBackoff, Node: m.radio.ID(), A: int64(job.be), B: int64(slots)})
+		tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacBackoff, Node: m.radio.ID(), A: int64(job.be), B: int64(slots), J: job.jid})
 	}
 	delay := sim.Duration(slots)*phy.UnitBackoff + phy.CCATime
 	m.eng.Schedule(delay, job.fireFn)
@@ -390,7 +400,7 @@ func (m *Mac) backoffFire(job *txJob) {
 	if job.nb > m.params.MaxCSMABackoffs {
 		m.Stats.CSMAFailures++
 		if tr := m.Trace; tr != nil {
-			tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacCSMAFail, Node: m.radio.ID(), A: int64(job.nb)})
+			tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacCSMAFail, Node: m.radio.ID(), A: int64(job.nb), J: job.jid})
 		}
 		m.linkRetry(TxChannelBusy)
 		return
@@ -402,11 +412,9 @@ func (m *Mac) transmit() {
 	job := m.inflight
 	if job.attempts > 0 {
 		m.Stats.Retries++
-		if tr := m.Trace; tr != nil {
-			tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacRetry, Node: m.radio.ID(), A: int64(job.attempts)})
-		}
 	}
 	m.radio.OnTxDone = job.txDoneFn
+	m.radio.TxJID = job.jid
 	m.radio.TransmitLoaded(job.wire)
 }
 
@@ -444,6 +452,13 @@ func (m *Mac) linkRetry(cause TxStatus) {
 	if d := m.params.RetryDelayMax; d > 0 {
 		delay = sim.Duration(m.eng.Rand().Int63n(int64(d) + 1))
 	}
+	// The retry event is emitted here — where the delay is drawn — rather
+	// than at the retransmission itself, so the analyzer can attribute
+	// the wait (B) to the journey, and so a retry whose CSMA never
+	// completes is still visible.
+	if tr := m.Trace; tr != nil {
+		tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacRetry, Node: m.radio.ID(), A: int64(job.attempts), B: int64(delay), J: job.jid})
+	}
 	m.eng.Schedule(delay, job.resumeFn)
 }
 
@@ -459,7 +474,11 @@ func (m *Mac) finish(status TxStatus) {
 	} else {
 		m.Stats.DataDropped++
 		if tr := m.Trace; tr != nil {
-			tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacDrop, Node: m.radio.ID(), A: int64(status)})
+			cause := obs.CauseRetriesExhausted
+			if status == TxChannelBusy {
+				cause = obs.CauseCSMAFail
+			}
+			tr.Emit(obs.Event{T: m.eng.Now(), Kind: obs.MacDrop, Node: m.radio.ID(), A: int64(status), J: job.jid, Cause: cause})
 		}
 	}
 	m.applyIdleState()
@@ -474,6 +493,9 @@ func (m *Mac) radioReceive(data []byte) {
 	if err := phy.DecodeFrameInto(f, data); err != nil {
 		return
 	}
+	// The journey id rides beside the wire bytes, not in them: decode
+	// zeroed f.J, the radio holds the id of the frame being delivered.
+	f.J = m.radio.RxJID
 	if f.Type == phy.FrameAck {
 		m.handleAck(f)
 		return
@@ -538,7 +560,8 @@ func (m *Mac) sendAck(seq uint8, pending bool) {
 	m.sendingAck = true
 	m.radio.OnTxDone = m.ackDoneFn
 	// ACKs are generated from radio-internal state: no SPI load, just the
-	// turnaround (inside TransmitLoaded).
+	// turnaround (inside TransmitLoaded). They carry no journey id.
+	m.radio.TxJID = 0
 	m.radio.TransmitLoaded(phy.AckFor(seq, pending).Encode())
 }
 

@@ -99,7 +99,7 @@ func (l *WANLink) Send(size int, deliver, lost func()) bool {
 	if l.queued >= l.cfg.QueueCap {
 		l.Stats.QueueDrops++
 		if tr := l.Trace; tr != nil {
-			tr.Emit(obs.Event{T: l.eng.Now(), Kind: obs.WanDrop, Node: l.Node, A: 1, Len: size})
+			tr.Emit(obs.Event{T: l.eng.Now(), Kind: obs.WanDrop, Node: l.Node, A: 1, Len: size, Cause: obs.CauseWanQueueDrop})
 		}
 		return false
 	}
@@ -127,7 +127,7 @@ func (l *WANLink) Send(size int, deliver, lost func()) bool {
 		if dropped {
 			l.Stats.LossDrops++
 			if tr := l.Trace; tr != nil {
-				tr.Emit(obs.Event{T: l.eng.Now(), Kind: obs.WanDrop, Node: l.Node, A: 2, Len: size})
+				tr.Emit(obs.Event{T: l.eng.Now(), Kind: obs.WanDrop, Node: l.Node, A: 2, Len: size, Cause: obs.CauseWanLoss})
 			}
 			if lost != nil {
 				lost()

@@ -1,0 +1,47 @@
+package obs
+
+// FilterSink forwards events to an inner sink only when they pass a
+// layer mask and (optionally) a node allow-set. It backs the
+// `-events-layers` / `-events-flow` flags: a 10k-node city run emits
+// millions of events, and filtering at the sink keeps the NDJSON file
+// tractable without touching the emit path.
+type FilterSink struct {
+	inner  Sink
+	layers map[string]bool // nil = all layers pass
+	nodes  map[int]bool    // nil = all nodes pass
+}
+
+// NewFilterSink wraps inner. layers is the set of Kind.Layer() names to
+// keep (nil or empty keeps all).
+func NewFilterSink(inner Sink, layers []string) *FilterSink {
+	f := &FilterSink{inner: inner}
+	if len(layers) > 0 {
+		f.layers = make(map[string]bool, len(layers))
+		for _, l := range layers {
+			f.layers[l] = true
+		}
+	}
+	return f
+}
+
+// AllowNode restricts the sink to events from the given node. The first
+// call switches from "all nodes" to "listed nodes only"; further calls
+// extend the set. Must be called before the run starts (the engine is
+// single-threaded, but the sink does no locking).
+func (f *FilterSink) AllowNode(node int) {
+	if f.nodes == nil {
+		f.nodes = make(map[int]bool)
+	}
+	f.nodes[node] = true
+}
+
+// Record implements Sink.
+func (f *FilterSink) Record(e Event) {
+	if f.layers != nil && !f.layers[e.Kind.Layer()] {
+		return
+	}
+	if f.nodes != nil && !f.nodes[e.Node] {
+		return
+	}
+	f.inner.Record(e)
+}

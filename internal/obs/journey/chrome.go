@@ -1,0 +1,168 @@
+package journey
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"tcplp/internal/sim"
+)
+
+// chromeEvent is one Chrome trace-event record (the "JSON Array
+// Format" chrome://tracing and Perfetto load directly). Timestamps are
+// microseconds — the simulator's native unit, so sim.Time casts
+// straight through.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeWriter streams journey span trees as Chrome trace events. Each
+// run becomes one synthetic process (named "<run> seed=<seed>"), each
+// source node one thread, each reading one complete event with nested
+// per-stage child spans; losses become instant events carrying their
+// cause. Safe for parallel runs: AddRun serializes whole runs under a
+// mutex.
+type ChromeWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	n       int
+	nextPid int
+	err     error
+}
+
+// NewChromeWriter wraps w (typically a file) in a trace-event stream.
+// Call Close to terminate the JSON array.
+func NewChromeWriter(w io.Writer) *ChromeWriter { return &ChromeWriter{w: w, nextPid: 1} }
+
+func (cw *ChromeWriter) emit(e chromeEvent) {
+	if cw.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		cw.err = err
+		return
+	}
+	sep := ",\n"
+	if cw.n == 0 {
+		sep = "[\n"
+	}
+	cw.n++
+	if _, err := fmt.Fprintf(cw.w, "%s%s", sep, b); err != nil {
+		cw.err = err
+	}
+}
+
+func dur(d sim.Duration) *int64 {
+	v := int64(d)
+	return &v
+}
+
+func (cw *ChromeWriter) span(pid, tid int, name string, start sim.Time, d sim.Duration, args map[string]any) {
+	if d < 0 {
+		d = 0
+	}
+	cw.emit(chromeEvent{Name: name, Cat: "journey", Ph: "X", Ts: int64(start),
+		Dur: dur(d), Pid: pid, Tid: tid, Args: args})
+}
+
+// AddRun appends one analyzed run's span trees.
+func (cw *ChromeWriter) AddRun(run string, seed int64, rep *Report) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	pid := cw.nextPid
+	cw.nextPid++
+	cw.emit(chromeEvent{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": fmt.Sprintf("%s seed=%d", run, seed)}})
+	for _, r := range rep.Readings {
+		cw.addReading(pid, r)
+	}
+}
+
+func (cw *ChromeWriter) addReading(pid int, r *Reading) {
+	name := fmt.Sprintf("reading %d", r.Seq)
+	switch r.State {
+	case StateDelivered:
+		b := &r.Buckets
+		cw.span(pid, r.Node, name, r.Gen, r.End.Sub(r.Gen), map[string]any{
+			"state": "delivered", "packet_id": r.PID,
+		})
+		t := r.Gen
+		for _, st := range []struct {
+			name string
+			d    sim.Duration
+		}{
+			{"app-queue", b.AppQueue}, {"send-wait", b.SendWait},
+			{"rtx-stall", b.RtxStall}, {"mesh", b.Mesh},
+			{"gateway", b.Gateway}, {"wan", b.WAN},
+		} {
+			if st.d <= 0 {
+				continue
+			}
+			cw.span(pid, r.Node, st.name, t, st.d, nil)
+			if st.name == "mesh" {
+				// Nest the mesh decomposition as sequential child spans.
+				// The sub-buckets are accumulated durations, not recorded
+				// intervals, so their positions are synthetic — only the
+				// widths are meaningful.
+				mt := t
+				for _, sub := range []struct {
+					name string
+					d    sim.Duration
+				}{
+					{"backoff", b.Backoff}, {"retry", b.Retry},
+					{"air", b.Air}, {"forward", b.Forward},
+				} {
+					if sub.d <= 0 {
+						continue
+					}
+					d := sub.d
+					if rem := st.d - mt.Sub(t); d > rem {
+						d = rem // clamp inside the mesh span
+					}
+					if d <= 0 {
+						continue
+					}
+					cw.span(pid, r.Node, sub.name, mt, d, nil)
+					mt = mt.Add(d)
+				}
+			}
+			t = t.Add(st.d)
+		}
+	case StateLost:
+		cw.span(pid, r.Node, name, r.Gen, r.End.Sub(r.Gen), map[string]any{
+			"state": "lost", "cause": r.Cause.String(),
+		})
+		cw.emit(chromeEvent{Name: "loss: " + r.Cause.String(), Cat: "journey", Ph: "i",
+			Ts: int64(r.End), Pid: pid, Tid: r.Node, S: "t",
+			Args: map[string]any{"seq": r.Seq}})
+	default:
+		cw.emit(chromeEvent{Name: "in-flight: " + r.Stage, Cat: "journey", Ph: "i",
+			Ts: int64(r.Gen), Pid: pid, Tid: r.Node, S: "t",
+			Args: map[string]any{"seq": r.Seq}})
+	}
+}
+
+// Close terminates the JSON array.
+func (cw *ChromeWriter) Close() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.err != nil {
+		return cw.err
+	}
+	if cw.n == 0 {
+		_, cw.err = io.WriteString(cw.w, "[]\n")
+		return cw.err
+	}
+	_, cw.err = io.WriteString(cw.w, "\n]\n")
+	return cw.err
+}

@@ -1,0 +1,87 @@
+package journey
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+const barWidth = 36
+
+// Waterfall renders the flow's mean per-stage latency attribution as a
+// text bar chart — the quick-look version of the Chrome trace export.
+func (f *FlowReport) Waterfall() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "node %d: %d generated, %d delivered, %d lost, %d in flight\n",
+		f.Node, f.Generated, f.Delivered, f.Lost, f.InFlight)
+	if len(f.LostByCause) > 0 {
+		fmt.Fprintf(&sb, "  lost by cause: %s\n", countMap(f.LostByCause))
+	}
+	if len(f.InFlightByStage) > 0 {
+		fmt.Fprintf(&sb, "  in flight at: %s\n", countMap(f.InFlightByStage))
+	}
+	if f.Delivered == 0 {
+		return sb.String()
+	}
+	m := &f.Mean
+	fmt.Fprintf(&sb, "  mean end-to-end latency %.1f ms, spent in:\n", m.Total)
+	rows := []struct {
+		name string
+		ms   float64
+		sub  bool
+	}{
+		{"app-queue", m.AppQueue, false},
+		{"send-wait", m.SendWait, false},
+		{"rtx-stall", m.RtxStall, false},
+		{"mesh", m.Mesh, false},
+		{"backoff", m.Backoff, true},
+		{"retry", m.Retry, true},
+		{"air", m.Air, true},
+		{"forward", m.Forward, true},
+		{"gateway", m.Gateway, false},
+		{"wan", m.WAN, false},
+	}
+	for _, row := range rows {
+		if row.ms == 0 && row.sub {
+			continue
+		}
+		indent, name := "  ", row.name
+		if row.sub {
+			indent, name = "    ", "· "+name
+		}
+		fmt.Fprintf(&sb, "%s%-11s %s %8.1f ms %5.1f%%\n",
+			indent, name, bar(row.ms, m.Total), row.ms, pct(row.ms, m.Total))
+	}
+	return sb.String()
+}
+
+func bar(v, total float64) string {
+	n := 0
+	if total > 0 {
+		n = int(v/total*barWidth + 0.5)
+	}
+	if n > barWidth {
+		n = barWidth
+	}
+	return "▕" + strings.Repeat("█", n) + strings.Repeat(" ", barWidth-n) + "▏"
+}
+
+func pct(v, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return v / total * 100
+}
+
+func countMap(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -79,6 +79,14 @@ func (n *NDJSONWriter) writeEvent(run string, seed int64, e Event) {
 		b = append(b, `,"len":`...)
 		b = strconv.AppendInt(b, int64(e.Len), 10)
 	}
+	if e.J != 0 {
+		b = append(b, `,"j":`...)
+		b = strconv.AppendInt(b, e.J, 10)
+	}
+	if e.Cause != CauseNone {
+		b = append(b, `,"cause":`...)
+		b = strconv.AppendQuote(b, e.Cause.String())
+	}
 	b = append(b, "}\n"...)
 	n.buf = b
 	n.write(b)

@@ -43,6 +43,23 @@ func TestKindNamesComplete(t *testing.T) {
 	}
 }
 
+// TestCauseNamesComplete: every drop cause in the taxonomy stringifies
+// — the conformance checker reports losses by these names, so a gap
+// here is a silent hole in the loss accounting.
+func TestCauseNamesComplete(t *testing.T) {
+	if CauseNone.String() != "" {
+		t.Errorf("CauseNone stringified as %q, want empty (NDJSON omits it)", CauseNone.String())
+	}
+	for c := CauseNone + 1; c < causeCount; c++ {
+		if c.String() == "" {
+			t.Errorf("cause %d has no name", c)
+		}
+	}
+	if causeCount.String() != "invalid" {
+		t.Errorf("sentinel cause stringified as %q", causeCount.String())
+	}
+}
+
 // TestDisabledHookAllocs pins the core design contract: the hook
 // pattern every layer uses (`if tr != nil { tr.Emit(...) }`) must not
 // allocate when tracing is off, and emitting to an attached value-sink
@@ -57,6 +74,18 @@ func TestDisabledHookAllocs(t *testing.T) {
 	}); n != 0 {
 		t.Errorf("disabled hook allocates %.1f per op, want 0", n)
 	}
+	// The journey hooks add J/Cause fields and NextID calls on the same
+	// path; they must stay free too.
+	var jid int64
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr != nil {
+			jid = tr.NextID()
+			tr.Emit(Event{T: 1, Kind: JourneySeg, Node: 0, J: jid, A: 82, Len: len(payload)})
+			tr.Emit(Event{T: 2, Kind: MacDrop, Node: 0, J: jid, Cause: CauseRetriesExhausted})
+		}
+	}); n != 0 {
+		t.Errorf("disabled journey hook allocates %.1f per op, want 0", n)
+	}
 	en := NewTrace()
 	en.AddSink(&countSink{})
 	if n := testing.AllocsPerRun(1000, func() {
@@ -66,6 +95,15 @@ func TestDisabledHookAllocs(t *testing.T) {
 	}); n != 0 {
 		t.Errorf("enabled emit allocates %.1f per op, want 0", n)
 	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if en != nil {
+			jid = en.NextID()
+			en.Emit(Event{T: 1, Kind: JourneySeg, Node: 0, J: jid, A: 82, Len: len(payload)})
+		}
+	}); n != 0 {
+		t.Errorf("enabled journey emit allocates %.1f per op, want 0", n)
+	}
+	_ = jid
 }
 
 func BenchmarkEmitDisabled(b *testing.B) {

@@ -15,6 +15,7 @@ type transmission struct {
 	data   []byte
 	start  sim.Time
 	end    sim.Time
+	jid    int64      // journey packet id snapshot (metadata; 0 = untagged)
 	nbrs   []nbrEntry // sender's sensed-neighbor snapshot at frame start (index mode)
 	endFn  func()
 	next   *transmission // pool free list
@@ -221,6 +222,7 @@ func (c *Channel) releaseTx(t *transmission) {
 	t.sender = nil
 	t.data = nil
 	t.nbrs = nil
+	t.jid = 0
 	t.next = c.txFree
 	c.txFree = t
 }
@@ -244,13 +246,14 @@ func (c *Channel) busyAt(r *Radio) bool {
 // beginTx is called by a radio when its frame's first bit hits the air.
 func (c *Channel) beginTx(sender *Radio, data []byte, air sim.Duration) {
 	if tr := c.Trace; tr != nil {
-		tr.Emit(obs.Event{T: c.eng.Now(), Kind: obs.PhyTx, Node: sender.id, A: int64(air), Len: len(data)})
+		tr.Emit(obs.Event{T: c.eng.Now(), Kind: obs.PhyTx, Node: sender.id, A: int64(air), Len: len(data), J: sender.TxJID})
 		if tr.WantsFrames() && !sender.NoiseOnly {
 			tr.Frame(c.eng.Now(), sender.id, data)
 		}
 	}
 	t := c.allocTx()
 	t.sender, t.data = sender, data
+	t.jid = sender.TxJID
 	t.start, t.end = c.eng.Now(), c.eng.Now().Add(air)
 	c.active = append(c.active, t)
 

@@ -120,6 +120,11 @@ type Frame struct {
 	FramePending bool
 	Command      CommandID // valid when Type == FrameCommand
 	Payload      []byte
+
+	// J is the journey packet id of the datagram the frame carries
+	// (0 = untagged). Simulator metadata: decode zeroes it and the MAC
+	// refills it from the radio's RxJID side channel.
+	J int64
 }
 
 // FCF bit layout (IEEE 802.15.4-2006 §7.2.1.1).

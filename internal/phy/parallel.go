@@ -136,7 +136,7 @@ func (c *Channel) endTxParallel(t *transmission, nbrs []nbrEntry) {
 	// (reception callbacks may run CCAs).
 	for i := range prep {
 		if prep[i].receiving {
-			nbrs[i].r.finishRx(prep[i].per, prep[i].corrupted, prep[i].n, len(t.data))
+			nbrs[i].r.finishRx(prep[i].per, prep[i].corrupted, prep[i].n, len(t.data), t.jid)
 		}
 	}
 }

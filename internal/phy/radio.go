@@ -70,6 +70,17 @@ type Radio struct {
 	// receptions and trip CCAs but are never decoded by anyone.
 	NoiseOnly bool
 
+	// TxJID is the journey packet id of the frame about to be
+	// transmitted (0 = untagged). The MAC sets it immediately before
+	// Transmit/TransmitLoaded; the channel snapshots it into the
+	// in-flight transmission. Simulator metadata only — never on the
+	// wire.
+	TxJID int64
+	// RxJID is the journey packet id of the frame being handed to
+	// OnReceive, valid only for the duration of that callback (like
+	// rxBuf).
+	RxJID int64
+
 	// current reception in progress (nil if none)
 	rx          *transmission
 	rxCorrupted bool
@@ -260,7 +271,7 @@ func (r *Radio) endRx(t *transmission, per float64) {
 	if !corrupted && r.OnReceive != nil {
 		n = copy(r.rxBuf[:], t.data)
 	}
-	r.finishRx(per, corrupted, n, len(t.data))
+	r.finishRx(per, corrupted, n, len(t.data), t.jid)
 }
 
 // finishRx is the reception epilogue: state transitions, the loss draw,
@@ -269,26 +280,28 @@ func (r *Radio) endRx(t *transmission, per float64) {
 // — it consumes the engine RNG — while the pure prefix (the PER
 // computation and the buffer copy) may have run on a fan-out worker
 // (see Channel.SetWorkers).
-func (r *Radio) finishRx(per float64, corrupted bool, n, frameLen int) {
+func (r *Radio) finishRx(per float64, corrupted bool, n, frameLen int, jid int64) {
 	r.rx = nil
 	r.rxCorrupted = false
 	r.setState(StateListen)
 	if corrupted {
 		r.rxDropped++
 		if tr := r.ch.Trace; tr != nil {
-			tr.Emit(obs.Event{T: r.eng.Now(), Kind: obs.PhyCollision, Node: r.id, Len: frameLen})
+			tr.Emit(obs.Event{T: r.eng.Now(), Kind: obs.PhyCollision, Node: r.id, Len: frameLen, J: jid, Cause: obs.CauseCollision})
 		}
 		return
 	}
 	if per > 0 && r.eng.Rand().Float64() < per {
 		r.rxDropped++
 		if tr := r.ch.Trace; tr != nil {
-			tr.Emit(obs.Event{T: r.eng.Now(), Kind: obs.PhyRxDrop, Node: r.id, A: 1, Len: frameLen})
+			tr.Emit(obs.Event{T: r.eng.Now(), Kind: obs.PhyRxDrop, Node: r.id, A: 1, Len: frameLen, J: jid, Cause: obs.CausePER})
 		}
 		return
 	}
 	r.framesRecv++
 	if r.OnReceive != nil {
+		r.RxJID = jid
 		r.OnReceive(r.rxBuf[:n])
+		r.RxJID = 0
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"tcplp/internal/mesh"
 	"tcplp/internal/netem"
 	"tcplp/internal/obs"
+	"tcplp/internal/obs/journey"
 	"tcplp/internal/scenario/flows"
 	"tcplp/internal/sim"
 	"tcplp/internal/stack"
@@ -110,6 +111,8 @@ type runContext struct {
 	oc          *ObsConfig
 	trace       *obs.Trace
 	flight      *obs.FlightRecorder
+	recorder    *journey.Recorder
+	eventFilter *obs.FilterSink
 	stallDumped map[int]bool
 }
 
@@ -184,6 +187,18 @@ func buildRun(spec *Spec, seed int64, oc *ObsConfig) (*runContext, error) {
 		rc.flows = append(rc.flows, fr)
 		if rc.flight != nil {
 			rc.flight.Bind(fr.src.ID, fr.spec.Label)
+		}
+	}
+	// The -events-flow filter names flows by label; flows only resolve
+	// to source nodes here, after startFlow, so the allow-list is
+	// populated last (before the engine runs a single event).
+	if rc.eventFilter != nil && oc != nil {
+		for _, label := range oc.EventFlows {
+			for _, fr := range rc.flows {
+				if fr.spec.Label == label {
+					rc.eventFilter.AllowNode(fr.src.ID)
+				}
+			}
 		}
 	}
 	return rc, nil
@@ -369,6 +384,18 @@ func (rc *runContext) collect() Result {
 		DCSamples:  rc.dcSamples,
 	}
 	idle := rc.spec.IdleWindow > 0
+	// Journey reconstruction runs once over the run's recorded events;
+	// each telemetry flow picks up its own attribution below.
+	var jrep *journey.Report
+	if rc.recorder != nil {
+		jrep = journey.Analyze(rc.recorder.Events)
+		if out := rc.oc.JourneyOut; out != nil {
+			out.AddRun(rc.spec.Name, rc.seed, jrep)
+		}
+		if cb := rc.oc.OnJourney; cb != nil {
+			cb(rc.spec.Name, rc.seed, jrep)
+		}
+	}
 	var goodputs []float64
 	for _, fr := range rc.flows {
 		m := fr.probe.Collect()
@@ -419,6 +446,9 @@ func (rc *runContext) collect() Result {
 			}
 		}
 		fres.RTOms = m.RTOms
+		if jrep != nil {
+			fres.Journey = jrep.Flows[fr.src.ID]
+		}
 		rc.dumpLowDelivery(fr, &fres)
 		goodputs = append(goodputs, fres.GoodputKbps)
 		res.AggregateKbps += fres.GoodputKbps

@@ -6,6 +6,7 @@ import (
 	"tcplp/internal/app"
 	"tcplp/internal/coap"
 	"tcplp/internal/ip6"
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 	"tcplp/internal/stats"
 )
@@ -36,6 +37,10 @@ type coapProbe struct {
 	// Gateway crediting (fs.Gateway flows).
 	e2eDelivered, wanLost uint64
 	markE2E, markWanLost  uint64
+
+	// Journey terminal hooks (nil trace when observability is off).
+	obsTr *obs.Trace
+	node  int
 
 	stopped       bool
 	frozenGoodput float64
@@ -85,11 +90,17 @@ func (coapDriver) Start(env *Env, fs Spec) (Probe, error) {
 		p.rtts.Add(d.Milliseconds())
 	}}
 	p.tr.Client.Policy = p.policy
-	p.tr.Client.Trace = env.Net.Opt.Trace
-	p.tr.Client.Node = env.Src.ID
+	p.obsTr = env.Net.Opt.Trace
+	p.node = env.Src.ID
+	p.tr.Client.Trace = p.obsTr
+	p.tr.Client.Node = p.node
+	p.tr.Trace = p.obsTr
+	p.tr.Node = p.node
 	p.sensor = app.NewSensor(env.Src.Eng(), p.tr, app.CoAPQueueCap)
 	p.sensor.Interval = fs.Interval
 	p.sensor.Batch = fs.Batch
+	p.sensor.Trace = p.obsTr
+	p.sensor.Node = p.node
 	p.tr.Attach(p.sensor)
 	p.sensor.Start()
 	return p, nil
@@ -100,10 +111,22 @@ func (p *coapProbe) deliver(seq uint32) {
 	if t, ok := p.sensor.TakeGenTime(seq); ok {
 		p.lat.Add(p.eng.Now().Sub(t).Milliseconds())
 	}
+	if tr := p.obsTr; tr != nil {
+		k := obs.JourneyDeliver
+		if p.fs.Gateway != nil {
+			k = obs.JourneyMesh
+		}
+		tr.Emit(obs.Event{T: p.eng.Now(), Kind: k, Node: p.node, A: int64(seq)})
+	}
 }
 
 // e2eDeliver credits one reading at the cloud collector behind the WAN.
-func (p *coapProbe) e2eDeliver(seq uint32) { p.e2eDelivered++ }
+func (p *coapProbe) e2eDeliver(seq uint32) {
+	p.e2eDelivered++
+	if tr := p.obsTr; tr != nil {
+		tr.Emit(obs.Event{T: p.eng.Now(), Kind: obs.JourneyDeliver, Node: p.node, A: int64(seq)})
+	}
+}
 
 // onWANLost records readings dropped crossing the WAN.
 func (p *coapProbe) onWANLost(n int) { p.wanLost += uint64(n) }

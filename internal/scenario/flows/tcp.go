@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcplp/internal/app"
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 	"tcplp/internal/stats"
 	"tcplp/internal/tcplp"
@@ -43,6 +44,10 @@ type tcpProbe struct {
 	e2eDelivered, wanLost uint64
 	markE2E, markWanLost  uint64
 
+	// Journey terminal hooks (nil trace when observability is off).
+	obsTr *obs.Trace
+	node  int
+
 	trace []CwndSample
 
 	stopped       bool
@@ -81,6 +86,10 @@ func (tcpDriver) Start(env *Env, fs Spec) (Probe, error) {
 		p.sensor = app.NewSensor(env.Src.Eng(), tr, app.TCPQueueCap)
 		p.sensor.Interval = fs.Interval
 		p.sensor.Batch = fs.Batch
+		p.obsTr = env.Net.Opt.Trace
+		p.node = env.Src.ID
+		p.sensor.Trace = p.obsTr
+		p.sensor.Node = p.node
 		tr.Attach(p.sensor)
 		p.sensor.Start()
 		p.conn = tr.Conn
@@ -106,10 +115,24 @@ func (p *tcpProbe) deliver(seq uint32) {
 	if t, ok := p.sensor.TakeGenTime(seq); ok {
 		p.lat.Add(p.eng.Now().Sub(t).Milliseconds())
 	}
+	if tr := p.obsTr; tr != nil {
+		// For a gateway flow this is the mesh-egress boundary; for a
+		// direct flow it is final delivery.
+		k := obs.JourneyDeliver
+		if p.fs.Gateway != nil {
+			k = obs.JourneyMesh
+		}
+		tr.Emit(obs.Event{T: p.eng.Now(), Kind: k, Node: p.node, A: int64(seq)})
+	}
 }
 
 // e2eDeliver credits one reading at the cloud collector behind the WAN.
-func (p *tcpProbe) e2eDeliver(seq uint32) { p.e2eDelivered++ }
+func (p *tcpProbe) e2eDeliver(seq uint32) {
+	p.e2eDelivered++
+	if tr := p.obsTr; tr != nil {
+		tr.Emit(obs.Event{T: p.eng.Now(), Kind: obs.JourneyDeliver, Node: p.node, A: int64(seq)})
+	}
+}
 
 // onWANLost records readings dropped crossing the WAN.
 func (p *tcpProbe) onWANLost(n int) { p.wanLost += uint64(n) }

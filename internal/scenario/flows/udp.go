@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcplp/internal/app"
+	"tcplp/internal/obs"
 	"tcplp/internal/sim"
 	"tcplp/internal/stats"
 )
@@ -28,6 +29,10 @@ type udpProbe struct {
 	markGen, markDeliv uint64
 	markSentBytes      uint64
 
+	// Journey terminal hook (nil trace when observability is off).
+	obsTr *obs.Trace
+	node  int
+
 	stopped       bool
 	frozenGoodput float64
 	frozenBytes   int
@@ -45,6 +50,12 @@ func (udpDriver) Start(env *Env, fs Spec) (Probe, error) {
 	p.sensor = app.NewSensor(env.Src.Eng(), p.tr, app.CoAPQueueCap)
 	p.sensor.Interval = fs.Interval
 	p.sensor.Batch = fs.Batch
+	p.obsTr = env.Net.Opt.Trace
+	p.node = env.Src.ID
+	p.sensor.Trace = p.obsTr
+	p.sensor.Node = p.node
+	p.tr.Trace = p.obsTr
+	p.tr.Node = p.node
 	p.tr.Attach(p.sensor)
 	p.sensor.Start()
 	return p, nil
@@ -54,6 +65,9 @@ func (p *udpProbe) deliver(seq uint32) {
 	p.sensor.Stats.Delivered++
 	if t, ok := p.sensor.TakeGenTime(seq); ok {
 		p.lat.Add(p.eng.Now().Sub(t).Milliseconds())
+	}
+	if tr := p.obsTr; tr != nil {
+		tr.Emit(obs.Event{T: p.eng.Now(), Kind: obs.JourneyDeliver, Node: p.node, A: int64(seq)})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tcplp/internal/obs"
+	"tcplp/internal/obs/journey"
 	"tcplp/internal/sim"
 )
 
@@ -47,11 +48,34 @@ type ObsConfig struct {
 	MetricsInterval sim.Duration
 	// Flight enables the per-flow flight recorder.
 	Flight *FlightConfig
+	// Journey records every run's events in memory, reconstructs
+	// per-reading causal span trees, and attaches each telemetry flow's
+	// critical-path latency attribution to its FlowResult.
+	Journey bool
+	// JourneyOut streams each run's span trees as Chrome trace events
+	// (chrome://tracing / Perfetto-loadable). Implies Journey.
+	JourneyOut *journey.ChromeWriter
+	// OnJourney, when set with Journey, receives each run's analyzed
+	// report at collect time — the conformance checker's hook. Called
+	// from worker goroutines when runs execute in parallel.
+	OnJourney func(name string, seed int64, rep *journey.Report)
+	// EventLayers filters the NDJSON event stream to these layers
+	// (obs.Kind.Layer() names; empty keeps every layer).
+	EventLayers []string
+	// EventFlows filters the NDJSON event stream to events from the
+	// named flows' source nodes (flow labels; empty keeps every node).
+	EventFlows []string
 }
 
 // enabled reports whether the config asks for any instrumentation.
 func (oc *ObsConfig) enabled() bool {
-	return oc != nil && (oc.Events != nil || oc.Pcap != nil || oc.Flight != nil)
+	return oc != nil && (oc.Events != nil || oc.Pcap != nil || oc.Flight != nil ||
+		oc.Journey || oc.JourneyOut != nil)
+}
+
+// journeyOn reports whether journey reconstruction is requested.
+func (oc *ObsConfig) journeyOn() bool {
+	return oc != nil && (oc.Journey || oc.JourneyOut != nil)
 }
 
 // buildTrace assembles the per-run trace fan-out. The NDJSON sink tags
@@ -64,7 +88,17 @@ func (rc *runContext) buildTrace(oc *ObsConfig) {
 	rc.oc = oc
 	tr := obs.NewTrace()
 	if oc.Events != nil {
-		tr.AddSink(oc.Events.Sink(rc.spec.Name, rc.seed))
+		var sink obs.Sink = oc.Events.Sink(rc.spec.Name, rc.seed)
+		if len(oc.EventLayers) > 0 || len(oc.EventFlows) > 0 {
+			fs := obs.NewFilterSink(sink, oc.EventLayers)
+			rc.eventFilter = fs
+			sink = fs
+		}
+		tr.AddSink(sink)
+	}
+	if oc.journeyOn() {
+		rc.recorder = journey.NewRecorder()
+		tr.AddSink(rc.recorder)
 	}
 	if oc.Pcap != nil {
 		tr.AddFrameSink(oc.Pcap)

@@ -107,5 +107,25 @@ func (sr *SpecResult) Summary() string {
 			sr.Agg.CreditJainMean, sr.Agg.CreditJainMin,
 			sr.Agg.WANDropsMean, sr.Agg.WANQueueMaxMean)
 	}
+	// With -journey on, each flow carries its latency waterfall; render
+	// the first run's (one seed keeps the summary bounded — the full
+	// per-seed attribution is in the JSON output).
+	if len(sr.Runs) > 0 {
+		r0 := sr.Runs[0]
+		printed := false
+		for i := range r0.Flows {
+			jf := r0.Flows[i].Journey
+			if jf == nil {
+				continue
+			}
+			if !printed {
+				fmt.Fprintf(&b, "  packet journeys (seed %d):\n", r0.Seed)
+				printed = true
+			}
+			for _, line := range strings.Split(strings.TrimRight(jf.Waterfall(), "\n"), "\n") {
+				fmt.Fprintf(&b, "    %s\n", line)
+			}
+		}
+	}
 	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"tcplp/internal/obs/journey"
 	"tcplp/internal/stats"
 )
 
@@ -76,6 +77,11 @@ type FlowResult struct {
 	// CwndTrace holds the flow's cwnd/ssthresh trajectory when the
 	// flow's Trace knob is set (Fig. 7a).
 	CwndTrace []CwndPoint `json:"cwnd_trace,omitempty"`
+	// Journey is the flow's per-reading causal latency attribution —
+	// populated only when the runner's ObsConfig enables journey
+	// tracing, nil (and absent from JSON) otherwise, so results stay
+	// bit-identical with tracing off.
+	Journey *journey.FlowReport `json:"journey,omitempty"`
 }
 
 // GatewayResult is one run's gateway-tier report: windowed connection

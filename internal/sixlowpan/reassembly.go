@@ -23,6 +23,7 @@ type partial struct {
 	have     []bool      // per-byte coverage of payload
 	covered  int
 	deadline sim.Time
+	jid      int64 // journey packet id carried by the fragments (0 = untagged)
 }
 
 // Reassembler rebuilds IPv6 packets from 6LoWPAN link payloads. One
@@ -74,7 +75,7 @@ func (r *Reassembler) expire() {
 			delete(r.inflight, k)
 			r.TimedOut++
 			if tr := r.Trace; tr != nil {
-				tr.Emit(obs.Event{T: now, Kind: obs.FragTimeout, Node: r.Node, A: int64(k.tag)})
+				tr.Emit(obs.Event{T: now, Kind: obs.FragTimeout, Node: r.Node, A: int64(k.tag), J: p.jid, Cause: obs.CauseReassemblyTimeout})
 			}
 			r.release(p, true)
 		}
@@ -140,7 +141,9 @@ func (r *Reassembler) release(p *partial, withPayload bool) {
 // Input processes one link payload from src. When a datagram completes,
 // the reassembled packet is returned. A nil packet with nil error means
 // "more fragments needed" (or an unrelated dispatch, which is dropped).
-func (r *Reassembler) Input(src phy.Addr, b []byte) (*ip6.Packet, error) {
+// jid is the journey packet id the carrying frame was tagged with
+// (0 = untagged); it is threaded onto the reassembled packet.
+func (r *Reassembler) Input(src phy.Addr, b []byte, jid int64) (*ip6.Packet, error) {
 	r.expire()
 	switch Classify(b) {
 	case KindUnfragmented:
@@ -150,6 +153,7 @@ func (r *Reassembler) Input(src phy.Addr, b []byte) (*ip6.Packet, error) {
 		}
 		pkt := &ip6.Packet{Header: *h, Payload: append([]byte(nil), b[n:]...)}
 		pkt.PayloadLen = uint16(len(pkt.Payload))
+		pkt.JID = jid
 		return pkt, nil
 
 	case KindFrag1:
@@ -163,6 +167,9 @@ func (r *Reassembler) Input(src phy.Addr, b []byte) (*ip6.Packet, error) {
 		}
 		p := r.get(src, fi)
 		p.header = h
+		if jid != 0 {
+			p.jid = jid
+		}
 		return r.deposit(src, fi, p, 0, b[fi.HeaderLen+n:])
 
 	case KindFragN:
@@ -174,6 +181,9 @@ func (r *Reassembler) Input(src phy.Addr, b []byte) (*ip6.Packet, error) {
 			return nil, ErrBadOffset
 		}
 		p := r.get(src, fi)
+		if jid != 0 {
+			p.jid = jid
+		}
 		return r.deposit(src, fi, p, fi.Offset-40, b[fi.HeaderLen:])
 	}
 	return nil, nil
@@ -213,8 +223,9 @@ func (r *Reassembler) deposit(src phy.Addr, fi FragInfo, p *partial, off int, da
 	delete(r.inflight, partialKey{src: src, tag: fi.Tag})
 	pkt := &ip6.Packet{Header: *p.header, Payload: p.payload}
 	pkt.PayloadLen = uint16(len(pkt.Payload))
+	pkt.JID = p.jid
 	if tr := r.Trace; tr != nil {
-		tr.Emit(obs.Event{T: r.eng.Now(), Kind: obs.FragReassembled, Node: r.Node, A: int64(fi.Tag), Len: p.size})
+		tr.Emit(obs.Event{T: r.eng.Now(), Kind: obs.FragReassembled, Node: r.Node, A: int64(fi.Tag), Len: p.size, J: p.jid})
 	}
 	r.release(p, false)
 	return pkt, nil

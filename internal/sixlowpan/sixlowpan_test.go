@@ -149,7 +149,7 @@ func TestMSSFiveFramesMatchesPaper(t *testing.T) {
 func reassemble(t *testing.T, r *Reassembler, src phy.Addr, frags [][]byte) *ip6.Packet {
 	t.Helper()
 	for i, fr := range frags {
-		pkt, err := r.Input(src, fr)
+		pkt, err := r.Input(src, fr, 0)
 		if err != nil {
 			t.Fatalf("fragment %d: %v", i, err)
 		}
@@ -198,7 +198,7 @@ func TestReassemblyOutOfOrder(t *testing.T) {
 	perm := rand.New(rand.NewSource(9)).Perm(len(frags))
 	var pkt *ip6.Packet
 	for _, i := range perm {
-		p, err := r.Input(phy.AddrFromID(1), frags[i])
+		p, err := r.Input(phy.AddrFromID(1), frags[i], 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,14 +218,14 @@ func TestReassemblyDuplicateFragment(t *testing.T) {
 	payload := make([]byte, 400)
 	frags := f.Fragment(CompressHeader(meshHeader(1, 2)), payload, phy.MaxMACPayload)
 	src := phy.AddrFromID(1)
-	if _, err := r.Input(src, frags[0]); err != nil {
+	if _, err := r.Input(src, frags[0], 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Input(src, frags[0]); err != nil { // duplicate FRAG1
+	if _, err := r.Input(src, frags[0], 0); err != nil { // duplicate FRAG1
 		t.Fatal(err)
 	}
 	for _, fr := range frags[1:] {
-		if pkt, _ := r.Input(src, fr); pkt != nil {
+		if pkt, _ := r.Input(src, fr, 0); pkt != nil {
 			return
 		}
 	}
@@ -237,7 +237,7 @@ func TestReassemblyTimeout(t *testing.T) {
 	r := NewReassembler(eng)
 	var f Fragmenter
 	frags := f.Fragment(CompressHeader(meshHeader(1, 2)), make([]byte, 500), phy.MaxMACPayload)
-	if _, err := r.Input(phy.AddrFromID(1), frags[0]); err != nil {
+	if _, err := r.Input(phy.AddrFromID(1), frags[0], 0); err != nil {
 		t.Fatal(err)
 	}
 	if r.Pending() != 1 {
@@ -263,10 +263,10 @@ func TestInterleavedDatagramsFromTwoSources(t *testing.T) {
 	srcA, srcB := phy.AddrFromID(1), phy.AddrFromID(2)
 	var gotA, gotB *ip6.Packet
 	for i := range fra {
-		if p, _ := r.Input(srcA, fra[i]); p != nil {
+		if p, _ := r.Input(srcA, fra[i], 0); p != nil {
 			gotA = p
 		}
-		if p, _ := r.Input(srcB, frb[i]); p != nil {
+		if p, _ := r.Input(srcB, frb[i], 0); p != nil {
 			gotB = p
 		}
 	}
@@ -309,7 +309,7 @@ func TestQuickFragmentRoundTrip(t *testing.T) {
 		order := rng.Perm(len(frags))
 		var pkt *ip6.Packet
 		for _, i := range order {
-			p, err := r.Input(phy.AddrFromID(int(srcID)), frags[i])
+			p, err := r.Input(phy.AddrFromID(int(srcID)), frags[i], 0)
 			if err != nil {
 				return false
 			}

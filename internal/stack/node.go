@@ -61,6 +61,7 @@ type outItem struct {
 	frames [][]byte
 	next   phy.Addr
 	idx    int
+	jid    int64 // journey packet id of the datagram (0 = untagged)
 }
 
 // Node is one device: a mesh node with a radio, or the wired host (radio
@@ -122,12 +123,14 @@ func (n *Node) route(pkt *ip6.Packet, forwarded bool) {
 	if forwarded {
 		if pkt.HopLimit <= 1 {
 			n.Stats.HopLimitDrops++
+			n.emitIPDrop(pkt.JID, obs.CauseHopLimit, int64(pkt.HopLimit))
 			return
 		}
 		pkt.HopLimit--
 	}
 	dstID, ok := pkt.Dst.ID()
 	if !ok {
+		n.emitIPDrop(pkt.JID, obs.CauseNoRoute, 0)
 		return
 	}
 	// Toward the wired host (or from it): the border router bridges.
@@ -147,12 +150,14 @@ func (n *Node) route(pkt *ip6.Packet, forwarded bool) {
 	}
 	next, ok := n.Net.Routes.NextHop(n.ID, target)
 	if !ok {
+		n.emitIPDrop(pkt.JID, obs.CauseNoRoute, 0)
 		return
 	}
 	if forwarded && n.red != nil {
 		switch n.red.OnArrival(len(n.outQ), pkt.ECN() == ip6.ECT0, n.Eng().Rand()) {
 		case mesh.REDDrop:
 			n.Stats.REDDrops++
+			n.emitIPDrop(pkt.JID, obs.CauseRED, int64(len(n.outQ)))
 			return
 		case mesh.REDMark:
 			n.Stats.REDMarks++
@@ -163,14 +168,22 @@ func (n *Node) route(pkt *ip6.Packet, forwarded bool) {
 	frames := n.frag.Fragment(chdr, pkt.Payload, phy.MaxMACPayload)
 	if tr := n.Net.Opt.Trace; tr != nil {
 		tr.Emit(obs.Event{T: n.Eng().Now(), Kind: obs.FragEmit, Node: n.ID,
-			A: int64(len(frames)), Len: len(chdr) + len(pkt.Payload)})
+			A: int64(len(frames)), Len: len(chdr) + len(pkt.Payload), J: pkt.JID})
 	}
-	n.enqueue(&outItem{frames: frames, next: phy.AddrFromID(next)})
+	n.enqueue(&outItem{frames: frames, next: phy.AddrFromID(next), jid: pkt.JID})
+}
+
+// emitIPDrop records a network-layer drop with its cause.
+func (n *Node) emitIPDrop(jid int64, cause obs.Cause, a int64) {
+	if tr := n.Net.Opt.Trace; tr != nil {
+		tr.Emit(obs.Event{T: n.Eng().Now(), Kind: obs.IPDrop, Node: n.ID, A: a, J: jid, Cause: cause})
+	}
 }
 
 func (n *Node) dropAtBorder(pkt *ip6.Packet) bool {
 	if n.DropFilter != nil && n.DropFilter(pkt) {
 		n.Stats.BorderDrops++
+		n.emitIPDrop(pkt.JID, obs.CauseBorderFilter, 0)
 		return true
 	}
 	return false
@@ -180,7 +193,7 @@ func (n *Node) enqueue(it *outItem) {
 	if len(n.outQ) >= n.Net.Opt.QueueCap {
 		n.Stats.QueueDrops++
 		if tr := n.Net.Opt.Trace; tr != nil {
-			tr.Emit(obs.Event{T: n.Eng().Now(), Kind: obs.QueueDrop, Node: n.ID, A: int64(len(n.outQ))})
+			tr.Emit(obs.Event{T: n.Eng().Now(), Kind: obs.QueueDrop, Node: n.ID, A: int64(len(n.outQ)), J: it.jid, Cause: obs.CauseQueueOverflow})
 		}
 		n.releaseFrames(it, it.idx)
 		return
@@ -211,7 +224,7 @@ func (n *Node) pump() {
 	it := n.outQ[0]
 	frame := it.frames[it.idx]
 	n.CPU.ChargeFrameTx()
-	n.Mac.Send(it.next, frame, func(status mac.TxStatus) {
+	n.Mac.SendJID(it.next, frame, it.jid, func(status mac.TxStatus) {
 		if status != mac.TxOK {
 			n.Stats.LinkFailures++
 			// Abandoning the datagram: the sent frame and the never-sent
@@ -264,11 +277,11 @@ func (n *Node) onFrame(f *phy.Frame) {
 		return
 	}
 	if n.Net.Opt.Mode == FragmentForwarding {
-		if n.tryForwardFragment(f.Src, payload) {
+		if n.tryForwardFragment(f.Src, payload, f.J) {
 			return
 		}
 	}
-	pkt, err := n.reasm.Input(f.Src, payload)
+	pkt, err := n.reasm.Input(f.Src, payload, f.J)
 	if err != nil || pkt == nil {
 		return
 	}
@@ -298,7 +311,7 @@ func (n *Node) isHostBound(pkt *ip6.Packet) bool {
 // unfragmented datagram) carries the compressed IPv6 header: the relay
 // peeks at it, decrements the hop limit in place, re-tags the datagram,
 // and records the mapping so later fragments follow without reassembly.
-func (n *Node) tryForwardFragment(src phy.Addr, payload []byte) bool {
+func (n *Node) tryForwardFragment(src phy.Addr, payload []byte, jid int64) bool {
 	n.gcFwdCache()
 	kind := sixlowpan.Classify(payload)
 	switch kind {
@@ -327,10 +340,12 @@ func (n *Node) tryForwardFragment(src phy.Addr, payload []byte) bool {
 		}
 		next, ok := n.Net.Routes.NextHop(n.ID, target)
 		if !ok {
+			n.emitIPDrop(jid, obs.CauseNoRoute, 0)
 			return true // unroutable: swallow
 		}
 		if hl, ok := sixlowpan.DecrementHopLimit(payload[iphcOff:]); !ok || hl == 0 {
 			n.Stats.HopLimitDrops++
+			n.emitIPDrop(jid, obs.CauseHopLimit, 0)
 			return true
 		}
 		fwd := n.frag.Clone(payload)
@@ -353,7 +368,7 @@ func (n *Node) tryForwardFragment(src phy.Addr, payload []byte) bool {
 			}
 		}
 		n.Stats.FragmentsFwd++
-		n.enqueue(&outItem{frames: [][]byte{fwd}, next: phy.AddrFromID(next)})
+		n.enqueue(&outItem{frames: [][]byte{fwd}, next: phy.AddrFromID(next), jid: jid})
 		return true
 
 	case sixlowpan.KindFragN:
@@ -373,7 +388,7 @@ func (n *Node) tryForwardFragment(src phy.Addr, payload []byte) bool {
 			return true
 		}
 		n.Stats.FragmentsFwd++
-		n.enqueue(&outItem{frames: [][]byte{fwd}, next: entry.next})
+		n.enqueue(&outItem{frames: [][]byte{fwd}, next: entry.next, jid: jid})
 		return true
 	}
 	return false

@@ -384,8 +384,13 @@ func (c *Conn) setState(s State) {
 
 // emit records an obs event when the owning stack is traced.
 func (c *Conn) emit(k obs.Kind, a, b int64, n int) {
+	c.emitJ(k, 0, a, b, n)
+}
+
+// emitJ is emit with a journey packet id attached.
+func (c *Conn) emitJ(k obs.Kind, j, a, b int64, n int) {
 	if tr := c.stack.Trace; tr != nil {
-		tr.Emit(obs.Event{T: c.stack.eng.Now(), Kind: k, Node: c.stack.TraceNode, A: a, B: b, Len: n})
+		tr.Emit(obs.Event{T: c.stack.eng.Now(), Kind: k, Node: c.stack.TraceNode, A: a, B: b, Len: n, J: j})
 	}
 }
 

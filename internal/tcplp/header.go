@@ -85,6 +85,11 @@ type Segment struct {
 	SACKBlocks    []SACKBlock
 
 	Payload []byte
+
+	// JID is the journey packet id (0 = untagged), simulator metadata
+	// threaded into ip6.Packet.JID on send and copied back from it on
+	// receive. Never encoded into wire bytes.
+	JID int64
 }
 
 // Len returns the sequence-space length of the segment (payload plus SYN

@@ -9,7 +9,7 @@ import (
 // whether the IP header carried the ECN Congestion Experienced mark.
 func (c *Conn) input(seg *Segment, ce bool) {
 	c.Stats.SegsRecv++
-	c.emit(obs.TCPRecv, int64(seg.SeqNum), int64(seg.AckNum), len(seg.Payload))
+	c.emitJ(obs.TCPRecv, seg.JID, int64(seg.SeqNum), int64(seg.AckNum), len(seg.Payload))
 	switch c.state {
 	case StateClosed:
 		return

@@ -407,10 +407,21 @@ func (c *Conn) sendRST(seq Seq) {
 }
 
 // transmit hands a segment to the stack's IP output. Data segments are
-// marked ECT(0) when ECN is negotiated.
+// marked ECT(0) when ECN is negotiated. When traced, each data
+// transmission — original or retransmit — gets a fresh journey packet
+// id so the analyzer can follow exactly this copy across the mesh.
 func (c *Conn) transmit(seg *Segment, isData bool) {
 	c.Stats.SegsSent++
-	c.emit(obs.TCPSend, int64(seg.SeqNum), int64(seg.AckNum), len(seg.Payload))
+	if tr := c.stack.Trace; tr != nil && len(seg.Payload) > 0 {
+		seg.JID = tr.NextID()
+		// A = 0-based stream offset of the first payload byte (the SYN
+		// occupies iss, so data starts at iss+1).
+		tr.Emit(obs.Event{
+			T: c.stack.eng.Now(), Kind: obs.JourneySeg, Node: c.stack.TraceNode,
+			J: seg.JID, A: int64(seg.SeqNum.Diff(c.iss) - 1), Len: len(seg.Payload),
+		})
+	}
+	c.emitJ(obs.TCPSend, seg.JID, int64(seg.SeqNum), int64(seg.AckNum), len(seg.Payload))
 	var ecn ip6.ECN
 	if c.ecnOn && isData {
 		ecn = ip6.ECT0

@@ -168,6 +168,7 @@ func (s *Stack) Input(pkt *ip6.Packet) {
 		s.Stats.BadChecksum++
 		return
 	}
+	seg.JID = pkt.JID
 	ce := pkt.ECN() == ip6.CE
 	key := connKey{pkt.Src, seg.SrcPort, seg.DstPort}
 	if c, ok := s.conns[key]; ok {
@@ -244,6 +245,7 @@ func (s *Stack) sendSegment(src, dst ip6.Addr, seg *Segment, ecn ip6.ECN) {
 	}
 	pkt.SetECN(ecn)
 	pkt.PayloadLen = uint16(len(pkt.Payload))
+	pkt.JID = seg.JID
 	if s.Output != nil {
 		s.Output(pkt)
 	}

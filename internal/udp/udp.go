@@ -93,6 +93,12 @@ func (s *Stack) Unbind(port uint16) { delete(s.handlers, port) }
 
 // Send transmits payload to dst:dstPort from srcPort.
 func (s *Stack) Send(dst ip6.Addr, dstPort, srcPort uint16, payload []byte) {
+	s.SendJID(dst, dstPort, srcPort, payload, 0)
+}
+
+// SendJID is Send with a journey packet id attached to the datagram for
+// causal tracing (simulator metadata; never on the wire).
+func (s *Stack) SendJID(dst ip6.Addr, dstPort, srcPort uint16, payload []byte, jid int64) {
 	d := &Datagram{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
 	pkt := &ip6.Packet{
 		Header: ip6.Header{
@@ -104,6 +110,7 @@ func (s *Stack) Send(dst ip6.Addr, dstPort, srcPort uint16, payload []byte) {
 		Payload: d.Encode(),
 	}
 	pkt.PayloadLen = uint16(len(pkt.Payload))
+	pkt.JID = jid
 	if s.Output != nil {
 		s.Output(pkt)
 	}
